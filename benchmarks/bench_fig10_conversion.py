@@ -1,0 +1,93 @@
+"""Figure 10 — preprocessing time and memory cost of format conversion.
+
+(a) modeled conversion time per nnz (paper: BSR 1.21 ns, Spaden 3.31 ns,
+    DASP 4.95 ns; cuSPARSE CSR's buffer setup shown for reference);
+(b) resident memory per nnz (paper: Spaden 2.85 B, CSR 8.06 B,
+    DASP 12.25 B, BSR 13.63 B -> savings 2.83x / 4.32x / 4.70x).
+"""
+
+import pytest
+
+from repro.kernels import get_kernel
+from repro.perf.metrics import geomean
+from repro.perf.report import format_table
+
+from benchmarks.conftest import write_result
+
+METHODS = ("cusparse-csr", "cusparse-bsr", "spaden", "dasp")
+PAPER_BYTES = {"cusparse-csr": 8.06, "cusparse-bsr": 13.63, "spaden": 2.85, "dasp": 12.25}
+PAPER_NS = {"cusparse-bsr": 1.21, "spaden": 3.31, "dasp": 4.95}
+
+
+@pytest.fixture(scope="module")
+def prepared(suite):
+    out = {}
+    for name, g in suite.items():
+        out[name] = {m: get_kernel(m).prepare(g.csr) for m in METHODS}
+    return out
+
+
+def test_fig10a_preprocessing_time(benchmark, prepared, scale):
+    rows = []
+    for name, per_method in prepared.items():
+        row = {"Matrix": name}
+        for m in METHODS:
+            row[get_kernel(m).label + " ns/nnz"] = round(per_method[m].preprocessing_ns_per_nnz, 2)
+        rows.append(row)
+    table = format_table(rows, title=f"Figure 10a — modeled conversion cost (scale={scale})")
+    write_result("fig10a_preprocessing.txt", table)
+
+    means = {
+        m: geomean([per[m].preprocessing_ns_per_nnz for per in prepared.values()])
+        for m in METHODS
+    }
+    # ordering: CSR reference < BSR < Spaden < DASP (paper Fig. 10a)
+    assert means["cusparse-bsr"] < means["spaden"] < means["dasp"]
+    for m, paper in PAPER_NS.items():
+        assert 0.3 < means[m] / paper < 3.0, (m, means[m], paper)
+
+    benchmark(
+        lambda: {
+            m: geomean([per[m].preprocessing_ns_per_nnz for per in prepared.values()])
+            for m in METHODS
+        }
+    )
+
+
+def test_fig10a_wallclock_conversion(benchmark, suite):
+    """Actual host conversion wall time for the record."""
+    g = suite["shipsec1"]
+    kernel = get_kernel("spaden")
+    prep = benchmark(lambda: kernel.prepare(g.csr))
+    assert prep.host_seconds >= 0
+
+
+def test_fig10b_memory(benchmark, prepared, scale):
+    rows = []
+    for name, per_method in prepared.items():
+        row = {"Matrix": name}
+        for m in METHODS:
+            row[get_kernel(m).label + " B/nnz"] = round(per_method[m].bytes_per_nnz, 2)
+        rows.append(row)
+    table = format_table(rows, title=f"Figure 10b — memory per nonzero (scale={scale})")
+    write_result("fig10b_memory.txt", table)
+
+    means = {m: geomean([per[m].bytes_per_nnz for per in prepared.values()]) for m in METHODS}
+    savings_rows = [
+        {
+            "vs": get_kernel(m).label,
+            "paper B/nnz": PAPER_BYTES[m],
+            "modeled B/nnz": round(means[m], 2),
+            "saving over": round(means[m] / means["spaden"], 2),
+        }
+        for m in METHODS
+    ]
+    table2 = format_table(savings_rows, title="Figure 10b — Spaden memory savings (paper: 2.83x CSR, 4.70x BSR, 4.32x DASP)")
+    write_result("fig10b_savings.txt", table2)
+
+    # orderings and magnitudes
+    assert means["spaden"] < means["cusparse-csr"] < means["dasp"] < means["cusparse-bsr"]
+    for m, paper in PAPER_BYTES.items():
+        assert 0.6 < means[m] / paper < 1.6, (m, means[m], paper)
+
+    benchmark(lambda: {m: per[m].bytes_per_nnz for per in prepared.values() for m in METHODS})

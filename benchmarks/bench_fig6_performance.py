@@ -1,0 +1,53 @@
+"""Figure 6 — SpMV throughput (GFLOPS) of six methods on L40 and V100.
+
+Prints one series per GPU: per-matrix modeled GFLOPS for Spaden,
+cuSPARSE CSR/BSR, LightSpMV, Gunrock and DASP.  Also wall-clock-
+benchmarks the vectorized kernels themselves via pytest-benchmark.
+"""
+
+import pytest
+
+from repro.bench import EVALUATED_METHODS, modeled_times, profile_suite
+from repro.kernels import get_kernel
+from repro.perf.metrics import gflops
+from repro.perf.report import format_table
+
+from benchmarks.conftest import write_result
+
+
+@pytest.fixture(scope="module")
+def profiles(suite, scale):
+    return profile_suite(suite, EVALUATED_METHODS, scale)
+
+
+@pytest.mark.parametrize("gpu_name", ["L40", "V100"])
+def test_fig6_gflops_series(benchmark, profiles, suite, gpu_name, scale):
+    times = modeled_times(profiles, gpu_name)
+    rows = []
+    for name, per_method in times.items():
+        nnz = suite[name].nnz
+        row = {"Matrix": name}
+        for method in EVALUATED_METHODS:
+            row[get_kernel(method).label] = round(gflops(nnz, per_method[method]), 1)
+        rows.append(row)
+    table = format_table(rows, title=f"Figure 6 — modeled GFLOPS on {gpu_name} (scale={scale})")
+    write_result(f"fig6_performance_{gpu_name}.txt", table)
+
+    # sanity: Spaden leads on the sparse-block chemistry matrices
+    for name in ("Si41Ge41H72", "Ga41As41H72"):
+        t = times[name]
+        assert t["spaden"] < t["cusparse-bsr"], name
+        assert t["spaden"] < t["gunrock"], name
+
+    benchmark(lambda: modeled_times(profiles, gpu_name))
+
+
+@pytest.mark.parametrize("method", EVALUATED_METHODS)
+def test_wallclock_spmv(benchmark, suite, method):
+    """Wall-clock time of the vectorized numeric kernels (pwtk analog)."""
+    g = suite["pwtk"]
+    kernel = get_kernel(method)
+    prepared = kernel.prepare(g.csr)
+    x = g.dense_vector()
+    y = benchmark(lambda: kernel.run(prepared, x))
+    assert y.shape == (g.nrows,)

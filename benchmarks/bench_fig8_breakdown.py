@@ -1,0 +1,64 @@
+"""Figure 8 — speedup breakdown of Spaden on L40.
+
+Paper (geomean over the 12 in-scope matrices): Spaden is 1.47x faster
+than Spaden w/o TC, 3.37x than cuSPARSE BSR and 23.18x than CSR Warp16.
+The decomposition isolates (1) coalesced block access, (2) bitmap
+compression and (3) the tensor cores themselves.
+"""
+
+import pytest
+
+from repro.bench import FIG8_METHODS, modeled_times, profile_suite
+from repro.kernels import get_kernel
+from repro.perf.metrics import speedup_table
+from repro.perf.report import format_table
+
+from benchmarks.conftest import write_result
+
+PAPER = {"spaden-no-tc": 1.47, "cusparse-bsr": 3.37, "csr-warp16": 23.18}
+
+
+@pytest.fixture(scope="module")
+def profiles(suite, scale):
+    return profile_suite(suite, FIG8_METHODS, scale)
+
+
+def test_fig8_breakdown(benchmark, profiles, scale):
+    times = benchmark(lambda: modeled_times(profiles, "L40"))
+    geomeans = speedup_table(times, "spaden")
+    rows = [
+        {
+            "vs variant": get_kernel(m).label,
+            "paper": PAPER[m],
+            "modeled": round(geomeans[m], 2),
+        }
+        for m in ("spaden-no-tc", "cusparse-bsr", "csr-warp16")
+    ]
+    table = format_table(rows, title=f"Figure 8 — Spaden speedup breakdown on L40 (scale={scale})")
+    write_result("fig8_breakdown.txt", table)
+
+    # ordering must hold: warp16 << bsr < no-tc < spaden
+    assert geomeans["csr-warp16"] > geomeans["cusparse-bsr"] > geomeans["spaden-no-tc"] > 1.0
+
+
+def test_fig8_factor_attribution(benchmark, profiles, scale):
+    """The paper's narrative: w/o-TC already beats BSR (bitmap effect,
+    2.29x in the paper); the tensor cores add the final 1.47x."""
+    times = benchmark(lambda: modeled_times(profiles, "L40"))
+    per_matrix_bsr_over_notc = [
+        t["cusparse-bsr"] / t["spaden-no-tc"] for t in times.values()
+    ]
+    import math
+
+    geo = math.exp(sum(math.log(v) for v in per_matrix_bsr_over_notc) / len(per_matrix_bsr_over_notc))
+    # bitBSR alone beats BSR (paper: 2.29x); launch overhead compresses
+    # the gap at reduced scale
+    assert geo > (1.2 if scale >= 0.3 else 1.02)
+
+
+def test_wallclock_breakdown_variants(benchmark, suite):
+    g = suite["consph"]
+    kernel = get_kernel("spaden-no-tc")
+    prepared = kernel.prepare(g.csr)
+    x = g.dense_vector()
+    benchmark(lambda: kernel.run(prepared, x))

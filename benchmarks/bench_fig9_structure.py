@@ -1,0 +1,81 @@
+"""Figure 9 — impact of matrix structure.
+
+(a) per-matrix ratio of sparse (<=32) / medium (33-48) / dense (>48)
+    blocks;
+(b) correlation between the sparse-block ratio and Spaden's speedup over
+    cuSPARSE BSR (paper: BSR wins on the dense-block raefsky3/TSOPF by
+    1.2-1.5x; Spaden wins by 4.0-4.2x on Si41Ge41H72/Ga41As41H72).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import modeled_times, profile_suite
+from repro.core.analysis import categorize_blocks
+from repro.perf.report import format_table
+
+from benchmarks.conftest import write_result
+
+
+@pytest.fixture(scope="module")
+def profiles(suite, scale):
+    return profile_suite(suite, ("spaden", "cusparse-bsr"), scale)
+
+
+def test_fig9a_block_ratios(benchmark, suite, scale):
+    profiles_by_matrix = benchmark(
+        lambda: {name: categorize_blocks(g.bitbsr) for name, g in suite.items()}
+    )
+    rows = [
+        {
+            "Matrix": name,
+            "sparse": round(p.sparse_ratio, 2),
+            "medium": round(p.medium_ratio, 2),
+            "dense": round(p.dense_ratio, 2),
+            "mean nnz/block": round(p.mean_block_nnz, 1),
+        }
+        for name, p in profiles_by_matrix.items()
+    ]
+    table = format_table(rows, title=f"Figure 9a — block category ratios (scale={scale})")
+    write_result("fig9a_block_ratios.txt", table)
+
+    # the paper's landmarks
+    assert profiles_by_matrix["raefsky3"].dense_ratio > 0.9
+    assert profiles_by_matrix["TSOPF"].dense_ratio > 0.6
+    assert profiles_by_matrix["Si41Ge41H72"].sparse_ratio > 0.9
+    assert 0.25 < profiles_by_matrix["pwtk"].sparse_ratio < 0.45  # even split
+
+
+def test_fig9b_speedup_vs_sparsity(benchmark, suite, profiles, scale):
+    """Speedup over BSR grows with the sparse-block ratio."""
+    times = benchmark(lambda: modeled_times(profiles, "L40"))
+    entries = []
+    for name, g in suite.items():
+        ratio = categorize_blocks(g.bitbsr).sparse_ratio
+        speedup = times[name]["cusparse-bsr"] / times[name]["spaden"]
+        entries.append((ratio, speedup, name))
+    entries.sort()
+    rows = [
+        {"Matrix": name, "sparse ratio": round(r, 2), "speedup over BSR": round(s, 2)}
+        for r, s, name in entries
+    ]
+    table = format_table(rows, title=f"Figure 9b — Spaden over BSR vs sparse-block ratio (scale={scale})")
+    write_result("fig9b_speedup_vs_sparsity.txt", table)
+
+    ratios = np.array([e[0] for e in entries])
+    speedups = np.array([e[1] for e in entries])
+    corr = float(np.corrcoef(ratios, np.log(speedups))[0, 1])
+    # below ~1/3 scale the small matrices are genuinely launch/occupancy
+    # bound (as they would be on real hardware), which compresses the
+    # correlation; the full-size run shows the paper's strong trend
+    min_corr = 0.6 if scale >= 0.3 else 0.35
+    assert corr > min_corr, f"speedup should rise with sparse-block ratio (corr={corr:.2f})"
+
+    by_name = {name: s for _, s, name in entries}
+    # sparse-block chemistry matrices: Spaden wins big (paper 4.0-4.2x)
+    chem_floor = 2.0 if scale >= 0.3 else 1.4
+    assert by_name["Si41Ge41H72"] > chem_floor
+    assert by_name["Ga41As41H72"] > chem_floor
+    # dense-block matrices: BSR is competitive (paper: BSR wins 1.2-1.5x)
+    assert by_name["raefsky3"] < 1.6
+    assert by_name["TSOPF"] < 1.6

@@ -1,0 +1,64 @@
+"""The selection-criteria experiment (§5.2's low-degree discussion).
+
+The paper: on scircuit and webbase-1M (nnz/nrow < 6) "all SpMV
+algorithms exhibit remarkably low throughput" and Spaden "achieves only
+41% of the throughput of cuSPARSE CSR" because most fragment slots carry
+zeros.  This bench reproduces the scope boundary: Spaden loses on the
+two out-of-scope matrices and wins on the in-scope suite.
+"""
+
+import pytest
+
+from repro.bench import load_suite, modeled_times, profile_suite
+from repro.perf.metrics import gflops
+from repro.perf.report import format_table
+
+from benchmarks.conftest import write_result
+
+METHODS = ("spaden", "cusparse-csr")
+
+
+@pytest.fixture(scope="module")
+def scope_profiles(scale):
+    suite = load_suite(scale, names=["scircuit", "webbase1M", "consph", "pwtk"])
+    return suite, profile_suite(suite, METHODS, scale)
+
+
+def test_out_of_scope_matrices_favor_csr(benchmark, scope_profiles, scale):
+    suite, profiles = scope_profiles
+    times = benchmark(lambda: modeled_times(profiles, "L40"))
+    rows = []
+    for name in ("scircuit", "webbase1M", "consph", "pwtk"):
+        t = times[name]
+        nnz = suite[name].nnz
+        ratio = t["cusparse-csr"] / t["spaden"]
+        rows.append(
+            {
+                "Matrix": name,
+                "nnz/nrow": round(suite[name].nnz / suite[name].nrows, 1),
+                "Spaden GFLOPS": round(gflops(nnz, t["spaden"]), 1),
+                "CSR GFLOPS": round(gflops(nnz, t["cusparse-csr"]), 1),
+                "Spaden/CSR": round(ratio, 2),
+                "in scope": "no" if name in ("scircuit", "webbase1M") else "yes",
+            }
+        )
+    table = format_table(rows, title=f"Scope criteria (paper: Spaden at 41% of CSR off-scope), scale={scale}")
+    write_result("scope_criteria.txt", table)
+
+    by_name = {r["Matrix"]: r["Spaden/CSR"] for r in rows}
+    # the paper's boundary: Spaden loses clearly on the low-degree pair
+    assert by_name["scircuit"] < 0.85
+    assert by_name["webbase1M"] < 0.85
+    # and wins (or at least matches) inside its scope
+    assert by_name["consph"] > 0.95
+    assert by_name["pwtk"] > 0.95
+
+
+def test_low_degree_blocks_are_mostly_zero_slots(benchmark, scope_profiles):
+    """Why it loses: < 10% of fragment slots carry true nonzeros."""
+    suite, _ = scope_profiles
+    from repro.core.analysis import categorize_blocks
+
+    profile = benchmark(lambda: categorize_blocks(suite["webbase1M"].bitbsr))
+    assert profile.fill_ratio < 0.15
+    assert profile.sparse_ratio > 0.95

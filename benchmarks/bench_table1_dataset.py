@@ -1,0 +1,49 @@
+"""Table 1 — matrix dataset information (nrow, nnz, Bnrow, Bnnz).
+
+Regenerates the paper's dataset table from the synthetic analogs and
+benchmarks the CSR -> bitBSR conversion that produces the B-columns.
+"""
+
+import pytest
+
+from repro.core.builder import build_bitbsr
+from repro.matrices import get_spec, matrix_names
+from repro.perf.report import format_table
+
+from benchmarks.conftest import write_result
+
+
+def test_table1_rows(benchmark, full_suite, scale):
+    """Print Table 1 (scaled); verify every analog matches its targets."""
+    rows = []
+    for name in matrix_names():
+        g = full_suite[name]
+        spec = get_spec(name)
+        rows.append(
+            {
+                "Matrix": name,
+                "nrow": g.nrows,
+                "nnz": g.nnz,
+                "Bnrow": g.bitbsr.block_rows_count,
+                "Bnnz": g.block_nnz,
+                "paper nnz (scaled)": int(spec.nnz * scale),
+                "paper Bnnz (scaled)": int(spec.block_nnz * scale),
+            }
+        )
+        assert abs(g.nnz - spec.nnz * scale) <= max(64, 0.03 * spec.nnz * scale)
+        assert abs(g.block_nnz - spec.block_nnz * scale) <= max(8, 0.03 * spec.block_nnz * scale)
+
+    table = format_table(rows, title=f"Table 1 (scale={scale})")
+    write_result("table1_dataset.txt", table)
+
+    # benchmark the conversion pipeline behind the Bnrow/Bnnz columns
+    sample = full_suite["consph"].csr
+    report = benchmark(lambda: build_bitbsr(sample))
+    assert report.block_nnz == full_suite["consph"].block_nnz
+
+
+def test_conversion_is_deterministic(benchmark, full_suite):
+    g = full_suite["cant"]
+    first = build_bitbsr(g.csr).matrix
+    second = benchmark(lambda: build_bitbsr(g.csr).matrix)
+    assert (first.bitmaps == second.bitmaps).all()

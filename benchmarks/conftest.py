@@ -1,0 +1,39 @@
+"""Session-scoped fixtures shared by all table/figure benchmarks."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import bench_scale, load_suite
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def suite(scale):
+    """The 12 in-scope Table-1 analogs at the configured scale."""
+    return load_suite(scale)
+
+
+@pytest.fixture(scope="session")
+def full_suite(scale):
+    """All 14 matrices, including the two out-of-scope low-degree ones."""
+    from repro.matrices import matrix_names
+
+    return load_suite(scale, names=matrix_names())
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist one reproduced table/figure under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+    return path

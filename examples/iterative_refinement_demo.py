@@ -1,0 +1,58 @@
+"""Mixed-precision iterative refinement with the fp16 tensor-core SpMV.
+
+Reproduces the pattern of Haidar et al. (the paper's related work [17]):
+the expensive operator runs in half precision on (simulated) tensor
+cores, a float64 outer loop corrects the defects, and the solution still
+reaches ~fp64 accuracy.
+
+Run:  python examples/iterative_refinement_demo.py
+"""
+
+import numpy as np
+
+from repro.apps.refinement import iterative_refinement, jacobi_preconditioner
+from repro.core.builder import build_bitbsr
+from repro.core.spmv import spaden_spmv
+from repro.formats.coo import COOMatrix
+from repro.matrices.random import random_banded
+
+
+def main() -> None:
+    n = 2048
+    rng = np.random.default_rng(17)
+    # diagonally dominant banded system
+    band = random_banded(n, 10, fill=0.6, seed=17)
+    off = band.todense() * 0.05
+    np.fill_diagonal(off, 4.0)
+    A = COOMatrix.from_dense(off.astype(np.float32))
+    x_true = rng.standard_normal(n)
+    b = A.todense().astype(np.float64) @ x_true
+    print(f"system: {n} unknowns, nnz={A.nnz}, diagonally dominant")
+
+    bit16 = build_bitbsr(A, value_dtype=np.float16).matrix
+    low = lambda v: spaden_spmv(bit16, v)  # fp16 tensor-core operator
+    high = lambda v: A.todense().astype(np.float64) @ np.asarray(v, np.float64)
+
+    result = iterative_refinement(
+        low, high, jacobi_preconditioner(A), b, tol=1e-12
+    )
+    err = np.abs(result.x - x_true).max()
+    print(
+        f"converged={result.converged} after {result.outer_iterations} outer "
+        f"corrections ({result.inner_spmv_calls} fp16 SpMVs)"
+    )
+    print(f"relative residual {result.residual_norm:.2e}, max|x - x*| = {err:.2e}")
+    print("-> the fp16 operator did the heavy lifting; accuracy is fp64-level")
+
+    # counterfactual: fp16 residuals stall at the half-precision floor
+    stalled = iterative_refinement(
+        low, low, jacobi_preconditioner(A), b, tol=1e-12, max_outer=40
+    )
+    print(
+        f"counterfactual (fp16 residuals too): converged={stalled.converged}, "
+        f"floor at {stalled.residual_norm:.2e}"
+    )
+
+
+if __name__ == "__main__":
+    main()

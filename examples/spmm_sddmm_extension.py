@@ -1,0 +1,53 @@
+"""The §7 extensions: SpMM and SDDMM on the bitBSR block machinery.
+
+Demonstrates a mini GNN-style aggregation: features are aggregated with
+SpMM (``H' = A @ H``), then attention-like scores are recomputed on the
+sparse pattern with SDDMM (``S = A_pattern ⊙ (H' H'^T)``), the pattern's
+bitmap acting as output selector.
+
+Run:  python examples/spmm_sddmm_extension.py
+"""
+
+import numpy as np
+
+from repro.core.builder import build_bitbsr
+from repro.core.sddmm import spaden_sddmm
+from repro.core.spmm import spaden_spmm, spmm_fragment_tiles
+from repro.gpu.mma import Precision
+from repro.matrices import generate_matrix
+
+
+def main() -> None:
+    g = generate_matrix("scircuit", scale=0.05)  # a circuit graph analog
+    bit = g.bitbsr
+    n = bit.nrows
+    k = 16
+    rng = np.random.default_rng(11)
+    features = (rng.integers(-8, 9, (n, k)) / 4.0).astype(np.float32)
+    print(f"graph: {n} vertices, {bit.nnz} edges, {bit.nblocks} bitBSR blocks")
+
+    # SpMM: one fragment computes 8 output rows x 8 feature columns
+    aggregated = spaden_spmm(bit, features)
+    ref = np.zeros_like(aggregated)
+    rows, cols = bit.entry_coordinates()
+    np.add.at(ref, rows, bit.values.astype(np.float32)[:, None] * features[cols])
+    print(f"SpMM max error vs reference: {np.abs(aggregated - ref).max():.2e}")
+    print(
+        f"fragment utilization: SpMV keeps 16/256 results per MMA; "
+        f"SpMM with k={k} keeps 128/256 "
+        f"({spmm_fragment_tiles(bit, k)} MMA tiles total)"
+    )
+
+    # SDDMM: recompute edge scores on the fixed sparsity pattern
+    scores = spaden_sddmm(bit, aggregated, aggregated, precision=Precision.FP32)
+    dense_scores = aggregated.astype(np.float64) @ aggregated.astype(np.float64).T
+    srows, scols = scores.entry_coordinates()
+    sampled = scores.values.astype(np.float64)
+    exact = dense_scores[srows, scols]
+    rel = np.abs(sampled - exact) / np.maximum(1.0, np.abs(exact))
+    print(f"SDDMM: {scores.nnz} sampled scores, max rel error {rel.max():.2e}")
+    print("pattern preserved:", bool((scores.bitmaps == bit.bitmaps).all()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Calibration helper: compute all kernel profiles once, then evaluate
+the roofline model's aggregate speedups against the paper's targets.
+
+Usage::
+
+    python scripts/calibrate.py collect [scale]   # pickle profiles
+    python scripts/calibrate.py evaluate          # print geomeans vs paper
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+import time
+from pathlib import Path
+
+CACHE = Path("/tmp/repro_profiles.pkl")
+
+METHODS = [
+    "spaden",
+    "cusparse-csr",
+    "cusparse-bsr",
+    "lightspmv",
+    "gunrock",
+    "dasp",
+    "spaden-no-tc",
+    "csr-warp16",
+]
+
+PAPER = {
+    "L40": {"cusparse-csr": 1.63, "cusparse-bsr": 3.37, "lightspmv": 2.68, "gunrock": 2.82, "dasp": 2.32,
+            "spaden-no-tc": 1.47, "csr-warp16": 23.18},
+    "V100": {"cusparse-csr": 1.30, "cusparse-bsr": 2.21, "lightspmv": 1.86, "gunrock": 2.58, "dasp": 1.20},
+}
+
+
+def collect(scale: float) -> None:
+    from repro.kernels import get_kernel
+    from repro.matrices import generate_matrix, in_scope_names
+
+    out = {}
+    for name in in_scope_names():
+        t0 = time.time()
+        g = generate_matrix(name, scale=scale)
+        x = g.dense_vector()
+        csr = g.csr
+        out[name] = {"nnz": csr.nnz}
+        for m in METHODS:
+            k = get_kernel(m)
+            prep = k.prepare(csr)
+            out[name][m] = k.profile(prep, x)
+        print(f"{name}: {time.time() - t0:.1f}s", flush=True)
+    CACHE.write_bytes(pickle.dumps({"scale": scale, "profiles": out}))
+    print(f"cached -> {CACHE}")
+
+
+def evaluate() -> None:
+    from repro.gpu.spec import get_gpu
+    from repro.perf import estimate_time
+    from repro.perf.metrics import gflops, speedup_table
+
+    data = pickle.loads(CACHE.read_bytes())
+    profiles = data["profiles"]
+    print(f"(profiles at scale {data['scale']})")
+    for gpu_name in ("L40", "V100"):
+        gpu = get_gpu(gpu_name)
+        times = {}
+        for mat, entry in profiles.items():
+            times[mat] = {m: estimate_time(entry[m], gpu).total for m in METHODS}
+        su = speedup_table(times, "spaden")
+        print(f"-- {gpu_name}")
+        for m in METHODS[1:]:
+            target = PAPER[gpu_name].get(m)
+            tgt = f"(paper {target:.2f})" if target else ""
+            print(f"   {m:14s} {su[m]:6.2f} {tgt}")
+        if gpu_name == "L40":
+            print("   per-matrix GFLOPS (spaden / csr / bsr):")
+            for mat, entry in profiles.items():
+                t = times[mat]
+                print(
+                    f"     {mat:12s} {gflops(entry['nnz'], t['spaden']):7.1f} "
+                    f"{gflops(entry['nnz'], t['cusparse-csr']):7.1f} "
+                    f"{gflops(entry['nnz'], t['cusparse-bsr']):7.1f}  "
+                    f"bsr/spaden={t['cusparse-bsr'] / t['spaden']:5.2f} "
+                    f"bound={estimate_time(entry['spaden'], gpu).bound}"
+                )
+
+
+if __name__ == "__main__":
+    cmd = sys.argv[1] if len(sys.argv) > 1 else "evaluate"
+    if cmd == "collect":
+        collect(float(sys.argv[2]) if len(sys.argv) > 2 else 0.2)
+    else:
+        evaluate()

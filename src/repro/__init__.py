@@ -1,0 +1,19 @@
+"""repro — reproduction of "Bitmap-Based Sparse Matrix-Vector
+Multiplication with Tensor Cores" (Spaden, ICPP 2024).
+
+Public entry points:
+
+* :mod:`repro.formats` — sparse storage formats incl. the paper's bitBSR,
+* :mod:`repro.gpu` — the SIMT / tensor-core simulator substrate,
+* :mod:`repro.core` — Spaden itself (builder, decode, pairing, extract),
+* :mod:`repro.kernels` — Spaden and all evaluated baselines,
+* :mod:`repro.perf` — the roofline performance model (V100 / L40),
+* :mod:`repro.matrices` — Table-1 synthetic dataset analogs,
+* :mod:`repro.apps` — PageRank / BFS / CG built on the SpMV API.
+"""
+
+__version__ = "1.0.0"
+
+from repro.constants import BLOCK_DIM, BLOCK_SIZE, FRAGMENT_DIM, WARP_SIZE
+
+__all__ = ["BLOCK_DIM", "BLOCK_SIZE", "FRAGMENT_DIM", "WARP_SIZE", "__version__"]

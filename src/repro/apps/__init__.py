@@ -1,0 +1,40 @@
+"""Downstream applications built on the Spaden SpMV API.
+
+The paper's introduction motivates SpMV through graph analytics
+(PageRank, BFS) and iterative numerical methods; these modules implement
+those workloads generically over any SpMV callable so every kernel in
+:mod:`repro.kernels` — Spaden included — can drive them.
+"""
+
+from repro.apps.pagerank import pagerank
+from repro.apps.bfs import bfs_levels
+from repro.apps.cg import conjugate_gradient
+from repro.apps.refinement import iterative_refinement, jacobi_preconditioner
+from repro.apps.recommender import ItemRecommender
+from repro.apps.semiring import (
+    MAX_TIMES,
+    MIN_PLUS,
+    OR_AND,
+    PLUS_TIMES,
+    Semiring,
+    semiring_spmv,
+    sssp_bellman_ford,
+)
+from repro.apps.svm import LinearSVM
+
+__all__ = [
+    "pagerank",
+    "bfs_levels",
+    "conjugate_gradient",
+    "iterative_refinement",
+    "jacobi_preconditioner",
+    "ItemRecommender",
+    "LinearSVM",
+    "Semiring",
+    "semiring_spmv",
+    "sssp_bellman_ford",
+    "PLUS_TIMES",
+    "MIN_PLUS",
+    "MAX_TIMES",
+    "OR_AND",
+]

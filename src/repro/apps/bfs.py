@@ -1,0 +1,50 @@
+"""Breadth-first search in the language of linear algebra.
+
+The frontier expansion of BFS is one SpMV over the Boolean semiring; with
+0/1 values a plain arithmetic SpMV followed by a nonzero test computes
+the same frontier, which lets every kernel in :mod:`repro.kernels` run
+graph traversal (GraphBLAS-style duality, §6 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import KernelError
+
+__all__ = ["bfs_levels"]
+
+SpMV = Callable[[np.ndarray], np.ndarray]
+
+
+def bfs_levels(
+    spmv_transpose: SpMV,
+    n: int,
+    source: int,
+    max_levels: int | None = None,
+) -> np.ndarray:
+    """Level array of a BFS from ``source`` (-1 for unreachable vertices).
+
+    ``spmv_transpose`` must compute ``A^T @ f`` for the graph's adjacency
+    matrix A and frontier vector f — i.e. it propagates the frontier along
+    edge direction (``(A^T f)[v] != 0`` iff some in-frontier vertex links
+    to v).  Pass a kernel prepared on the transposed matrix.
+    """
+    if not 0 <= source < n:
+        raise KernelError(f"source {source} out of range [0, {n})")
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[source] = 0
+    frontier = np.zeros(n, dtype=np.float32)
+    frontier[source] = 1.0
+    limit = n if max_levels is None else max_levels
+    for level in range(1, limit + 1):
+        spread = np.asarray(spmv_transpose(frontier))
+        next_mask = (spread != 0) & (levels < 0)
+        if not next_mask.any():
+            break
+        levels[next_mask] = level
+        frontier = np.zeros(n, dtype=np.float32)
+        frontier[next_mask] = 1.0
+    return levels

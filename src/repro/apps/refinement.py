@@ -1,0 +1,101 @@
+"""Mixed-precision iterative refinement (related work [17] made runnable).
+
+Haidar et al. accelerate solvers by running the expensive inner solver in
+fp16 on tensor cores and correcting in high precision.  The same
+structure here:
+
+* **outer loop** (float64): compute the true residual ``r = b - A x``
+  with a high-precision operator and stop when it is small;
+* **inner solver** (tensor-core precision): approximately solve
+  ``A d = r`` with a few Jacobi-preconditioned Richardson sweeps whose
+  SpMV is the cheap low-precision operator (e.g. fp16 bitBSR);
+* correct ``x += d``.
+
+The demo property: the fp16 operator does almost all the work, yet the
+solution reaches fp64-level accuracy — the production pattern for
+mixed-precision tensor cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.formats.coo import COOMatrix
+
+__all__ = ["RefinementResult", "iterative_refinement", "jacobi_preconditioner"]
+
+SpMV = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class RefinementResult:
+    """Solution plus convergence diagnostics of the outer loop."""
+
+    x: np.ndarray
+    outer_iterations: int
+    inner_spmv_calls: int
+    residual_norm: float
+    converged: bool
+
+
+def jacobi_preconditioner(coo: COOMatrix) -> np.ndarray:
+    """Inverse-diagonal preconditioner; requires a nonzero diagonal."""
+    diag = np.zeros(coo.nrows, dtype=np.float64)
+    on_diag = coo.rows == coo.cols
+    diag[coo.rows[on_diag]] = coo.values[on_diag].astype(np.float64)
+    if np.any(diag == 0):
+        raise KernelError("Jacobi preconditioner needs a full diagonal")
+    return 1.0 / diag
+
+
+def iterative_refinement(
+    low_precision_spmv: SpMV,
+    high_precision_spmv: SpMV,
+    preconditioner: np.ndarray,
+    b: np.ndarray,
+    tol: float = 1e-10,
+    max_outer: int = 100,
+    inner_sweeps: int = 8,
+) -> RefinementResult:
+    """Solve ``A x = b`` with a low-precision inner solver and
+    high-precision defect correction.
+
+    ``low_precision_spmv`` is the cheap operator (fp16 tensor-core SpMV);
+    ``high_precision_spmv`` computes the true residual (fp64 reference or
+    an fp32-exact kernel).  Converges for diagonally dominant /
+    well-preconditioned systems.
+    """
+    b64 = np.asarray(b, dtype=np.float64)
+    n = b64.size
+    preconditioner = np.asarray(preconditioner, dtype=np.float64)
+    if preconditioner.shape != (n,):
+        raise KernelError("preconditioner must be a length-n inverse diagonal")
+    if inner_sweeps < 1:
+        raise KernelError("inner_sweeps must be at least 1")
+    b_norm = float(np.linalg.norm(b64)) or 1.0
+    x = np.zeros(n, dtype=np.float64)
+    inner_calls = 0
+    residual_norm = np.inf
+    for outer in range(1, max_outer + 1):
+        residual = b64 - np.asarray(high_precision_spmv(x), dtype=np.float64)
+        residual_norm = float(np.linalg.norm(residual)) / b_norm
+        if residual_norm < tol:
+            return RefinementResult(x, outer - 1, inner_calls, residual_norm, True)
+        # scale the residual to unit norm before entering the narrow
+        # format: late-stage corrections are tiny and would otherwise
+        # underflow fp16's subnormal range (the standard mixed-precision
+        # refinement trick)
+        scale = float(np.linalg.norm(residual)) or 1.0
+        r_hat = residual / scale
+        # inner: Richardson sweeps on A d = r_hat with the cheap operator
+        d = preconditioner * r_hat
+        for _ in range(inner_sweeps - 1):
+            ad = np.asarray(low_precision_spmv(d.astype(np.float32)), dtype=np.float64)
+            inner_calls += 1
+            d = d + preconditioner * (r_hat - ad)
+        x = x + scale * d
+    return RefinementResult(x, max_outer, inner_calls, residual_norm, False)

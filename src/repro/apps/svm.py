@@ -1,0 +1,96 @@
+"""Linear SVM inference as SpMV (the paper's intro cites SVM [32]).
+
+Scoring a batch of sparse feature vectors against a linear SVM is one
+SpMV per weight vector: ``scores = X @ w + b`` with a sparse sample
+matrix X.  A one-vs-rest multiclass scorer is then an SpMM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.formats.bitbsr import BitBSRMatrix
+from repro.core.spmm import spaden_spmm
+from repro.core.spmv import spaden_spmv
+from repro.gpu.mma import Precision
+
+__all__ = ["LinearSVM", "train_reference_svm"]
+
+
+@dataclass
+class LinearSVM:
+    """A (pre-trained) linear SVM evaluated with Spaden SpMV.
+
+    ``weights`` has shape (features, classes) — one column per
+    one-vs-rest classifier — and ``bias`` shape (classes,).
+    """
+
+    weights: np.ndarray
+    bias: np.ndarray
+    precision: Precision = Precision.FP32
+
+    def __post_init__(self):
+        self.weights = np.asarray(self.weights, dtype=np.float32)
+        self.bias = np.asarray(self.bias, dtype=np.float32)
+        if self.weights.ndim != 2 or self.bias.shape != (self.weights.shape[1],):
+            raise KernelError("weights must be (features, classes), bias (classes,)")
+
+    @property
+    def n_features(self) -> int:
+        return int(self.weights.shape[0])
+
+    @property
+    def n_classes(self) -> int:
+        return int(self.weights.shape[1])
+
+    def decision_function(self, samples: BitBSRMatrix) -> np.ndarray:
+        """Scores of shape (samples, classes) via SpMV/SpMM."""
+        if samples.ncols != self.n_features:
+            raise KernelError(
+                f"samples have {samples.ncols} features, SVM expects {self.n_features}"
+            )
+        if self.n_classes == 1:
+            scores = spaden_spmv(samples, self.weights[:, 0], precision=self.precision)
+            return scores[:, None] + self.bias
+        return spaden_spmm(samples, self.weights, precision=self.precision) + self.bias
+
+    def predict(self, samples: BitBSRMatrix) -> np.ndarray:
+        """Class labels (argmax score; sign for a single classifier)."""
+        scores = self.decision_function(samples)
+        if self.n_classes == 1:
+            return (scores[:, 0] > 0).astype(np.int64)
+        return np.argmax(scores, axis=1)
+
+
+def train_reference_svm(
+    features: np.ndarray,
+    labels: np.ndarray,
+    classes: int,
+    epochs: int = 60,
+    lr: float = 0.1,
+    reg: float = 1e-3,
+    seed: int = 0,
+) -> LinearSVM:
+    """Tiny dense one-vs-rest hinge-loss trainer (test substrate only).
+
+    Produces weights for :class:`LinearSVM`; training runs dense because
+    the library's contribution is inference-side SpMV.
+    """
+    X = np.asarray(features, dtype=np.float64)
+    y = np.asarray(labels, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    W = rng.standard_normal((X.shape[1], classes)) * 0.01
+    b = np.zeros(classes)
+    for _ in range(epochs):
+        for c in range(classes):
+            target = np.where(y == c, 1.0, -1.0)
+            margin = target * (X @ W[:, c] + b[c])
+            active = margin < 1
+            grad_w = reg * W[:, c] - (target[active, None] * X[active]).mean(axis=0) if active.any() else reg * W[:, c]
+            grad_b = -target[active].mean() if active.any() else 0.0
+            W[:, c] -= lr * grad_w
+            b[c] -= lr * grad_b
+    return LinearSVM(weights=W.astype(np.float32), bias=b.astype(np.float32))

@@ -1,0 +1,19 @@
+"""Shared benchmark harness: suite loading, profile caching, reporting."""
+
+from repro.bench.harness import (
+    EVALUATED_METHODS,
+    FIG8_METHODS,
+    bench_scale,
+    load_suite,
+    modeled_times,
+    profile_suite,
+)
+
+__all__ = [
+    "EVALUATED_METHODS",
+    "FIG8_METHODS",
+    "bench_scale",
+    "load_suite",
+    "modeled_times",
+    "profile_suite",
+]

@@ -1,0 +1,106 @@
+"""Benchmark harness shared by every table/figure reproduction.
+
+Scale control
+    ``REPRO_SCALE`` (default 0.08) shrinks every Table-1 analog
+    proportionally so the suite runs in minutes; set ``REPRO_SCALE=1``
+    to regenerate the paper's full-size dataset.  Structure-derived
+    results (Table 1 ratios, Fig. 9a, Fig. 10b) are scale-invariant;
+    modeled runtimes (Figs. 6-8) sharpen as scale grows because the
+    fixed launch/occupancy terms stop dominating.
+
+Caching
+    Kernel profiles are pure functions of (matrix name, scale, kernel),
+    so they are memoized on disk under ``.bench_cache/`` next to the
+    working directory.  Delete the directory to force recomputation.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+
+from repro.gpu.spec import get_gpu
+from repro.kernels import get_kernel
+from repro.kernels.base import KernelProfile
+from repro.matrices import GeneratedMatrix, generate_matrix, in_scope_names
+from repro.perf import estimate_time
+
+__all__ = [
+    "EVALUATED_METHODS",
+    "FIG8_METHODS",
+    "bench_scale",
+    "load_suite",
+    "profile_suite",
+    "modeled_times",
+]
+
+#: The six methods of Figs. 6-7.
+EVALUATED_METHODS: tuple[str, ...] = (
+    "spaden",
+    "cusparse-csr",
+    "cusparse-bsr",
+    "lightspmv",
+    "gunrock",
+    "dasp",
+)
+
+#: The Fig. 8 breakdown set.
+FIG8_METHODS: tuple[str, ...] = ("spaden", "spaden-no-tc", "cusparse-bsr", "csr-warp16")
+
+_CACHE_DIR = Path(os.environ.get("REPRO_BENCH_CACHE", ".bench_cache"))
+
+
+def bench_scale() -> float:
+    """Scale factor for the Table-1 analogs (env ``REPRO_SCALE``)."""
+    return float(os.environ.get("REPRO_SCALE", "0.08"))
+
+
+def load_suite(
+    scale: float | None = None, names: list[str] | None = None
+) -> dict[str, GeneratedMatrix]:
+    """Generate (deterministically) the evaluation matrices."""
+    scale = bench_scale() if scale is None else scale
+    names = in_scope_names() if names is None else names
+    return {name: generate_matrix(name, scale=scale) for name in names}
+
+
+def _cached_profile(matrix: GeneratedMatrix, method: str, scale: float) -> KernelProfile:
+    key = f"{matrix.name}-{scale}-{method}.pkl"
+    path = _CACHE_DIR / key
+    if path.exists():
+        try:
+            return pickle.loads(path.read_bytes())
+        except Exception:
+            path.unlink()
+    kernel = get_kernel(method)
+    prepared = kernel.prepare(matrix.csr)
+    profile = kernel.profile(prepared, matrix.dense_vector())
+    _CACHE_DIR.mkdir(exist_ok=True)
+    path.write_bytes(pickle.dumps(profile))
+    return profile
+
+
+def profile_suite(
+    suite: dict[str, GeneratedMatrix],
+    methods: tuple[str, ...] = EVALUATED_METHODS,
+    scale: float | None = None,
+) -> dict[str, dict[str, KernelProfile]]:
+    """Per-matrix, per-method execution profiles (disk-cached)."""
+    scale = bench_scale() if scale is None else scale
+    return {
+        name: {m: _cached_profile(matrix, m, scale) for m in methods}
+        for name, matrix in suite.items()
+    }
+
+
+def modeled_times(
+    profiles: dict[str, dict[str, KernelProfile]],
+    gpu_name: str,
+) -> dict[str, dict[str, float]]:
+    """Modeled runtimes (seconds) for every (matrix, method) pair."""
+    gpu = get_gpu(gpu_name)
+    return {
+        name: {m: estimate_time(p, gpu).total for m, p in per_method.items()}
+        for name, per_method in profiles.items()
+    }

@@ -1,0 +1,156 @@
+"""Command-line interface for the reproduction harness.
+
+Usage::
+
+    python -m repro.cli table1  [--scale 0.08]
+    python -m repro.cli spmv    --matrix consph [--kernel spaden] [--gpu L40]
+    python -m repro.cli figures [--scale 0.08] [--gpu L40]
+    python -m repro.cli probe
+    python -m repro.cli formats --matrix cant
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_table1(args) -> int:
+    from repro.matrices import generate_matrix, get_spec, matrix_names
+    from repro.perf.report import format_table
+
+    rows = []
+    for name in matrix_names():
+        g = generate_matrix(name, scale=args.scale)
+        spec = get_spec(name)
+        rows.append(
+            {
+                "Matrix": name,
+                "nrow": g.nrows,
+                "nnz": g.nnz,
+                "Bnrow": g.bitbsr.block_rows_count,
+                "Bnnz": g.block_nnz,
+                "nnz/blk": round(g.nnz / g.block_nnz, 1),
+                "paper nnz/blk": round(spec.mean_block_nnz, 1),
+            }
+        )
+    print(format_table(rows, title=f"Table 1 analogs (scale={args.scale})"))
+    return 0
+
+
+def _cmd_spmv(args) -> int:
+    from repro.gpu.spec import get_gpu
+    from repro.kernels import get_kernel
+    from repro.matrices import generate_matrix
+    from repro.perf import estimate_time
+    from repro.perf.metrics import gflops
+
+    g = generate_matrix(args.matrix, scale=args.scale)
+    x = g.dense_vector()
+    kernel = get_kernel(args.kernel)
+    prepared = kernel.prepare(g.csr)
+    y = kernel.run(prepared, x)
+    profile = kernel.profile(prepared, x)
+    tb = estimate_time(profile, get_gpu(args.gpu))
+    print(f"{args.matrix} (scale={args.scale}): nnz={g.nnz:,}, blocks={g.block_nnz:,}")
+    print(f"kernel: {kernel.label}  format bytes: {prepared.device_bytes:,} ({prepared.bytes_per_nnz:.2f} B/nnz)")
+    print(f"y[:4] = {y[:4]}")
+    print(
+        f"modeled on {args.gpu}: {tb.total * 1e6:.1f} us "
+        f"({gflops(g.nnz, tb.total):.1f} GFLOPS, {tb.bound}-bound)"
+    )
+    print(f"DRAM {profile.dram_bytes:,} B, transactions {profile.transactions:,}, MMAs {profile.stats.mma_ops:,}")
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from repro.bench import EVALUATED_METHODS, load_suite, modeled_times, profile_suite
+    from repro.kernels import get_kernel
+    from repro.perf.metrics import gflops, speedup_table
+    from repro.perf.report import format_table
+
+    suite = load_suite(args.scale)
+    profiles = profile_suite(suite, EVALUATED_METHODS, args.scale)
+    times = modeled_times(profiles, args.gpu)
+    rows = []
+    for name, per_method in times.items():
+        row = {"Matrix": name}
+        for method in EVALUATED_METHODS:
+            row[get_kernel(method).label] = round(gflops(suite[name].nnz, per_method[method]), 1)
+        rows.append(row)
+    print(format_table(rows, title=f"Figure 6 — GFLOPS on {args.gpu} (scale={args.scale})"))
+    print()
+    geomeans = speedup_table(times, "spaden")
+    print(format_table(
+        [{"vs": get_kernel(m).label, "speedup": round(v, 2)} for m, v in sorted(geomeans.items())],
+        title="Spaden geomean speedups (Figure 7)",
+    ))
+    return 0
+
+
+def _cmd_probe(args) -> int:
+    from repro.core.reverse_engineering import probe_fragment_layout
+    from repro.gpu.fragment import FragmentKind
+
+    for kind in FragmentKind:
+        layout = probe_fragment_layout(kind)
+        print(f"{kind.value}: portion registers = {layout.portion_registers}")
+    return 0
+
+
+def _cmd_formats(args) -> int:
+    from repro.formats import available_formats, convert, format_footprint
+    from repro.matrices import generate_matrix
+    from repro.perf.report import format_table
+
+    g = generate_matrix(args.matrix, scale=args.scale)
+    coo = g.csr.tocoo()
+    rows = []
+    for fmt in available_formats():
+        if fmt == "dia":
+            continue  # scattered matrices overflow DIA
+        report = format_footprint(convert(coo, fmt))
+        rows.append({"format": fmt, "bytes": report.total_bytes, "B/nnz": round(report.bytes_per_nnz, 2)})
+    print(format_table(rows, title=f"{args.matrix} across formats (scale={args.scale})"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="print the Table 1 dataset analogs")
+    p.add_argument("--scale", type=float, default=0.08)
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("spmv", help="run one kernel on one matrix")
+    p.add_argument("--matrix", default="consph")
+    p.add_argument("--kernel", default="spaden")
+    p.add_argument("--gpu", default="L40")
+    p.add_argument("--scale", type=float, default=0.08)
+    p.set_defaults(func=_cmd_spmv)
+
+    p = sub.add_parser("figures", help="reproduce Figures 6/7 series")
+    p.add_argument("--gpu", default="L40")
+    p.add_argument("--scale", type=float, default=0.08)
+    p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser("probe", help="run the §3 reverse-engineering probe")
+    p.set_defaults(func=_cmd_probe)
+
+    p = sub.add_parser("formats", help="compare format footprints")
+    p.add_argument("--matrix", default="cant")
+    p.add_argument("--scale", type=float, default=0.08)
+    p.set_defaults(func=_cmd_formats)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

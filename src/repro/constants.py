@@ -1,0 +1,48 @@
+"""Architectural constants shared across the Spaden reproduction.
+
+These mirror the fixed parameters of the paper (ICPP'24, §2.2 and §4.2):
+a 32-lane warp, a 16x16 WMMA fragment decomposed into four 8x8 portions,
+and an 8x8 sparse block encoded by a 64-bit bitmap.
+"""
+
+from __future__ import annotations
+
+#: Number of lanes (threads) in a warp. All simulated kernels are written
+#: against lockstep execution of exactly this many lanes.
+WARP_SIZE: int = 32
+
+#: Side length of the square WMMA fragment (``<M, N, K> = <16, 16, 16>``).
+FRAGMENT_DIM: int = 16
+
+#: Side length of one fragment portion. The 16x16 fragment is four of these.
+PORTION_DIM: int = 8
+
+#: Side length of a bitBSR block.  Chosen in the paper so one 64-bit
+#: unsigned integer covers the whole block (8 * 8 = 64 bits) and two blocks
+#: tile a fragment diagonally.
+BLOCK_DIM: int = 8
+
+#: Elements per bitBSR block; equals the bit width of the bitmap.
+BLOCK_SIZE: int = BLOCK_DIM * BLOCK_DIM
+
+#: Number of 8x8 blocks placed diagonally on one fragment (Fig. 5).
+BLOCKS_PER_FRAGMENT: int = FRAGMENT_DIM // BLOCK_DIM
+
+#: Elements each lane owns inside one 8x8 portion (two consecutive ones).
+ELEMENTS_PER_LANE: int = 2
+
+#: Registers per lane in a 16x16 accumulator fragment (``fragment.x[0..7]``).
+REGISTERS_PER_LANE: int = 8
+
+#: Memory transaction (sector) granularity used by the coalescing model, in
+#: bytes.  Matches the 32-byte sectors of NVIDIA's L1/L2.
+SECTOR_BYTES: int = 32
+
+#: Full cache-line granularity (four sectors).
+CACHE_LINE_BYTES: int = 128
+
+#: Bytes per value for the precisions the paper evaluates.
+FLOAT32_BYTES: int = 4
+FLOAT16_BYTES: int = 2
+INDEX_BYTES: int = 4
+BITMAP_BYTES: int = 8

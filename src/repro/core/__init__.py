@@ -1,0 +1,47 @@
+"""Spaden — the paper's primary contribution.
+
+* :mod:`repro.core.reverse_engineering` — the §3 probe that discovers the
+  fragment register layout by writing ``fragment.x[i] = i``,
+* :mod:`repro.core.builder` — CSR -> bitBSR conversion (Fig. 4) with
+  preprocessing cost accounting,
+* :mod:`repro.core.decode` — Algorithm 2 (bitmap + vector decoding),
+* :mod:`repro.core.pairing` — Algorithm 3 (diagonal block pairing + MMA),
+* :mod:`repro.core.extract` — Algorithm 4 (result-vector extraction),
+* :mod:`repro.core.spmv` — the public SpMV entry points,
+* :mod:`repro.core.analysis` — block-density categorization (Fig. 9).
+"""
+
+from repro.core.ablation import BlockSizePoint, block_size_ablation
+from repro.core.analysis import BlockProfile, categorize_blocks
+from repro.core.builder import BuildReport, build_bitbsr
+from repro.core.decode import decode_matrix_lane_values, decode_vector_lane_values
+from repro.core.extract import extract_result_vector
+from repro.core.pairing import pair_block_rows
+from repro.core.reverse_engineering import DiscoveredLayout, probe_fragment_layout
+from repro.core.precision import PrecisionReport, precision_study
+from repro.core.sddmm import spaden_sddmm
+from repro.core.spmm import spaden_spmm
+from repro.core.spmm_simulated import spaden_spmm_simulated
+from repro.core.spmv import spaden_spmv, spaden_spmv_simulated
+
+__all__ = [
+    "BlockSizePoint",
+    "block_size_ablation",
+    "PrecisionReport",
+    "precision_study",
+    "spaden_sddmm",
+    "spaden_spmm",
+    "spaden_spmm_simulated",
+    "BlockProfile",
+    "categorize_blocks",
+    "BuildReport",
+    "build_bitbsr",
+    "decode_matrix_lane_values",
+    "decode_vector_lane_values",
+    "extract_result_vector",
+    "pair_block_rows",
+    "DiscoveredLayout",
+    "probe_fragment_layout",
+    "spaden_spmv",
+    "spaden_spmv_simulated",
+]

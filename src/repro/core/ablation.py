@@ -1,0 +1,71 @@
+"""Block-size ablation for the bitBSR design choice (§4.2).
+
+The paper fixes the block at 8x8 because one 64-bit integer covers it and
+two blocks tile a fragment diagonally.  This module quantifies the
+trade-off for alternative sizes: smaller blocks waste fewer zero bits
+but multiply per-block overhead; larger blocks amortize overhead but
+dilute occupancy and overflow native integer widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.formats.bsr import BSRMatrix
+from repro.formats.coo import COOMatrix
+
+__all__ = ["BlockSizePoint", "block_size_ablation"]
+
+
+@dataclass(frozen=True)
+class BlockSizePoint:
+    """Cost metrics of one candidate block size."""
+
+    block_dim: int
+    #: Bits in the per-block bitmap (block_dim^2).
+    bitmap_bits: int
+    #: Stored blocks.
+    nblocks: int
+    #: Mean nonzeros per stored block.
+    mean_block_nnz: float
+    #: Fraction of block slots holding true nonzeros.
+    fill_ratio: float
+    #: Device bytes per nonzero for a bitmap format at this size
+    #: (fp16 values + bitmap + 4 B column + 4 B offset per block).
+    bytes_per_nnz: float
+    #: Whether one native integer (<= 64 bits) can hold the bitmap.
+    native_bitmap: bool
+
+    @property
+    def overhead_bytes_per_block(self) -> float:
+        return self.bitmap_bits / 8 + 8
+
+
+def block_size_ablation(
+    coo: COOMatrix, block_dims: tuple[int, ...] = (2, 4, 8, 16)
+) -> list[BlockSizePoint]:
+    """Evaluate the bitmap-block trade-off across candidate sizes."""
+    points = []
+    for dim in block_dims:
+        if dim <= 0:
+            raise KernelError("block_dim must be positive")
+        bsr = BSRMatrix.from_coo(coo, block_dim=dim)
+        bits = dim * dim
+        overhead = bits / 8 + 4 + 4  # bitmap + block col + offset
+        nnz = coo.nnz
+        total = nnz * 2 + bsr.nblocks * overhead + (bsr.block_rows_count + 1) * 4
+        points.append(
+            BlockSizePoint(
+                block_dim=dim,
+                bitmap_bits=bits,
+                nblocks=bsr.nblocks,
+                mean_block_nnz=nnz / bsr.nblocks if bsr.nblocks else 0.0,
+                fill_ratio=bsr.fill_ratio,
+                bytes_per_nnz=total / nnz if nnz else float("inf"),
+                native_bitmap=bits <= 64,
+            )
+        )
+    return points

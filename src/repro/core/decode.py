@@ -1,0 +1,86 @@
+"""Algorithm 2 — bitBSR decoding executed by one warp.
+
+Each warp processes one 8x8 block per fragment portion.  For the block,
+lane ``lid`` owns in-block bit positions ``2 * lid`` and ``2 * lid + 1``
+(64 elements / 32 lanes).  The bitmap is tested with bitwise shifts; only
+the values whose bits are set are *loaded* from global memory — the zeros
+are "computed instead of loaded" by leaving the register at 0, which is
+the paper's key traffic saving.
+
+The value of a set bit at position ``p`` lives at
+``block_offsets[block] + popcount(bitmap & ((1 << p) - 1))`` — the rank
+of the bit — matching the packed-in-bit-order layout the builder emits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import BLOCK_DIM, WARP_SIZE
+from repro.errors import KernelError
+from repro.formats.bitbsr import BitBSRMatrix
+from repro.gpu.warp import Warp
+from repro.utils.bitops import popcount_below
+
+__all__ = ["decode_matrix_lane_values", "decode_vector_lane_values"]
+
+_U64 = np.uint64
+
+
+def decode_matrix_lane_values(
+    warp: Warp,
+    bitbsr: BitBSRMatrix,
+    block_index: int,
+    values_name: str = "A_values",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Decode one block: per-lane (A_val1, A_val2), float32.
+
+    Follows Algorithm 2 lines 1-6: lane ``lid`` computes bit positions
+    ``2*lid`` and ``2*lid + 1``, tests them against the block's bitmap and
+    loads only the set positions from the packed value array.  The
+    per-lane value index is the bit's rank plus the block's offset.
+    """
+    if not 0 <= block_index < bitbsr.nblocks:
+        raise KernelError(f"block index {block_index} out of range")
+    lid = warp.lanes
+    # every lane reads the same bitmap word — a broadcast load (one sector)
+    bmp_per_lane = warp.load("bitmaps", np.full(WARP_SIZE, block_index, dtype=np.int64))
+    bmp = _U64(bmp_per_lane[0])
+    # lid_offset = lid << 1;  bit1 = 1 << lid_offset;  bit2 = 2 << lid_offset
+    pos1 = (lid.astype(_U64) << _U64(1))
+    pos2 = pos1 + _U64(1)
+    has1 = ((bmp >> pos1) & _U64(1)).astype(bool)
+    has2 = ((bmp >> pos2) & _U64(1)).astype(bool)
+    warp.count_int_ops(6)  # shifts, masks, compares of lines 1-6
+
+    base_per_lane = warp.load("block_offsets", np.full(WARP_SIZE, block_index, dtype=np.int64))
+    base = int(base_per_lane[0])
+    rank1 = popcount_below(np.full(WARP_SIZE, bmp, dtype=_U64), pos1.astype(np.int64))
+    rank2 = rank1 + has1  # bit2's rank includes bit1 when it is set
+    warp.count_int_ops(2)  # the two rank computations
+
+    v1 = warp.load(values_name, base + rank1.astype(np.int64), mask=has1)
+    v2 = warp.load(values_name, base + rank2.astype(np.int64), mask=has2)
+    return v1.astype(np.float32), v2.astype(np.float32)
+
+
+def decode_vector_lane_values(
+    warp: Warp,
+    segment_index: int,
+    vector_name: str = "B_values",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Decode the x segment: per-lane (B_val1, B_val2).
+
+    Algorithm 2 lines 7-10: the warp fetches the 8-element segment in a
+    repetitive pattern — lane ``lid`` reads positions ``(lid & 3) << 1``
+    and its successor, so each element is read by four lanes (the
+    column-major broadcast of Fig. 5's Frag B).
+    """
+    lid = warp.lanes
+    b_pos1 = (lid & 3) << 1
+    b_pos2 = b_pos1 + 1
+    warp.count_int_ops(2)
+    base = segment_index * BLOCK_DIM
+    v1 = warp.load(vector_name, base + b_pos1)
+    v2 = warp.load(vector_name, base + b_pos2)
+    return v1.astype(np.float32), v2.astype(np.float32)

@@ -1,0 +1,50 @@
+"""Algorithm 4 — extracting the result vector from the accumulator.
+
+After the MMA loop, column 0 of the accumulator's top-left portion holds
+the 8 results of the top block row and column 0 of the bottom-right
+portion those of the bottom block row.  In the accumulator layout a
+lane owns column 0 exactly when ``lid % 4 == 0``, and its row within the
+portion is ``lid / 4`` — giving the 8 storing lanes of Algorithm 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import BLOCK_DIM
+from repro.errors import KernelError
+from repro.gpu.fragment import Fragment, FragmentKind
+from repro.gpu.warp import Warp
+
+__all__ = ["extract_result_vector"]
+
+
+def extract_result_vector(
+    warp: Warp,
+    acc_frag: Fragment,
+    block_row_top: int,
+    block_row_bottom: int | None,
+    output_name: str = "C_values",
+) -> None:
+    """Store the two 8-element y segments (Algorithm 4).
+
+    ``acc_frag.x[0]`` of the storing lanes is the top segment,
+    ``acc_frag.x[6]`` the bottom one.  Stores are predicated on
+    ``lid % 4 == 0``; the remaining lanes hold duplicate columns of the
+    broadcast multiply and stay idle.
+    """
+    if acc_frag.kind is not FragmentKind.ACCUMULATOR:
+        raise KernelError("extraction expects an accumulator fragment")
+    lid = warp.lanes
+    storing = (lid % 4) == 0
+    warp.count_int_ops(3)  # predicate + the two offset computations
+
+    row_in_block = lid // 4
+    top_vals = acc_frag.warp_read_register(0)
+    offsets_top = block_row_top * BLOCK_DIM + row_in_block
+    warp.store(output_name, offsets_top, top_vals, mask=storing)
+
+    if block_row_bottom is not None:
+        bottom_vals = acc_frag.warp_read_register(6)
+        offsets_bot = block_row_bottom * BLOCK_DIM + row_in_block
+        warp.store(output_name, offsets_bot, bottom_vals, mask=storing)

@@ -1,0 +1,120 @@
+"""Algorithm 3 — tensor-core computing over paired block rows.
+
+One warp owns two consecutive block rows of the bitBSR matrix.  Blocks of
+the top row are decoded into the *top-left* portion of fragment A
+(registers ``x[0], x[1]``), blocks of the bottom row into the
+*bottom-right* portion (``x[6], x[7]``); the matching x segments are
+broadcast into the same two diagonal portions of fragment B.  Each MMA
+therefore advances both block rows by one block — 16 result rows per
+tensor-core op, "a double of DASP's throughput" (§4.3).
+
+The two block rows generally have different lengths; the shorter one's
+portion is cleared to zero for the excess iterations (zeros contribute
+nothing to the accumulator).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import WARP_SIZE
+from repro.errors import KernelError
+from repro.formats.bitbsr import BitBSRMatrix
+from repro.gpu.fragment import Fragment, FragmentKind, registers_of_portion
+from repro.gpu.mma import MMAUnit
+from repro.gpu.warp import Warp
+from repro.core.decode import decode_matrix_lane_values, decode_vector_lane_values
+
+__all__ = ["pair_block_rows", "TOP_PORTION", "BOTTOM_PORTION"]
+
+#: Diagonal portions used by the pairing kernel (Fig. 5).
+TOP_PORTION: int = 0
+BOTTOM_PORTION: int = 3
+
+
+def _broadcast_load(warp: Warp, name: str, index: int) -> int:
+    """All lanes read the same scalar (pointer / block column)."""
+    values = warp.load(name, np.full(WARP_SIZE, index, dtype=np.int64))
+    return int(values[0])
+
+
+def pair_block_rows(
+    warp: Warp,
+    mma_unit: MMAUnit,
+    bitbsr: BitBSRMatrix,
+    block_row_top: int,
+    block_row_bottom: int | None,
+) -> Fragment:
+    """Run Algorithm 3 for one warp; returns the accumulator fragment.
+
+    ``block_row_bottom`` may be ``None`` when the matrix has an odd number
+    of block rows and the last warp only fills the top-left portion.
+    Expects the warp's memory to expose the bitBSR arrays under the names
+    ``block_row_pointers``, ``block_cols``, ``bitmaps``, ``block_offsets``,
+    ``A_values`` and the input vector under ``B_values``.
+    """
+    nbrows = bitbsr.block_rows_count
+    if not 0 <= block_row_top < nbrows:
+        raise KernelError(f"block row {block_row_top} out of range")
+    if block_row_bottom is not None and not 0 <= block_row_bottom < nbrows:
+        raise KernelError(f"block row {block_row_bottom} out of range")
+
+    a_frag = Fragment(FragmentKind.MATRIX_A, np.float32)
+    b_frag = Fragment(FragmentKind.MATRIX_B, np.float32)
+    acc = Fragment(FragmentKind.ACCUMULATOR, np.float32)
+    acc.fill(0.0)
+
+    start_top = _broadcast_load(warp, "block_row_pointers", block_row_top)
+    end_top = _broadcast_load(warp, "block_row_pointers", block_row_top + 1)
+    if block_row_bottom is not None:
+        start_bot = _broadcast_load(warp, "block_row_pointers", block_row_bottom)
+        end_bot = _broadcast_load(warp, "block_row_pointers", block_row_bottom + 1)
+    else:
+        start_bot = end_bot = 0
+
+    steps = max(end_top - start_top, end_bot - start_bot)
+    zero = np.zeros(WARP_SIZE, dtype=np.float32)
+    for i in range(steps):
+        _fill_portion(
+            warp, a_frag, b_frag, bitbsr, TOP_PORTION,
+            start_top + i if start_top + i < end_top else None,
+        )
+        if block_row_bottom is not None:
+            _fill_portion(
+                warp, a_frag, b_frag, bitbsr, BOTTOM_PORTION,
+                start_bot + i if start_bot + i < end_bot else None,
+            )
+        else:
+            for reg in registers_of_portion(BOTTOM_PORTION):
+                a_frag.warp_write_register(reg, zero)
+                b_frag.warp_write_register(reg, zero)
+        acc = mma_unit.mma(a_frag, b_frag, acc)
+    return acc
+
+
+def _fill_portion(
+    warp: Warp,
+    a_frag: Fragment,
+    b_frag: Fragment,
+    bitbsr: BitBSRMatrix,
+    portion: int,
+    block_index: int | None,
+) -> None:
+    """Decode one block (or clear the portion when the row is exhausted)."""
+    reg1, reg2 = registers_of_portion(portion)
+    if block_index is None:
+        zero = np.zeros(WARP_SIZE, dtype=np.float32)
+        a_frag.warp_write_register(reg1, zero)
+        a_frag.warp_write_register(reg2, zero)
+        b_frag.warp_write_register(reg1, zero)
+        b_frag.warp_write_register(reg2, zero)
+        return
+    # A_idx / B_idx of Algorithm 3 lines 2-3
+    b_idx = _broadcast_load(warp, "block_cols", block_index)
+    a1, a2 = decode_matrix_lane_values(warp, bitbsr, block_index)
+    v1, v2 = decode_vector_lane_values(warp, b_idx)
+    # Algorithm 3 lines 6-7: direct register writes, no shared memory
+    a_frag.warp_write_register(reg1, a1)
+    a_frag.warp_write_register(reg2, a2)
+    b_frag.warp_write_register(reg1, v1)
+    b_frag.warp_write_register(reg2, v2)

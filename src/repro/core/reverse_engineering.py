@@ -1,0 +1,115 @@
+"""Reproduction of the paper's §3 reverse-engineering experiment.
+
+The paper discovers the undocumented fragment layout by assigning
+``fragment.x[i] = i`` in every thread and observing where each value lands
+in the stored 16x16 matrix.  This module runs the same probe against the
+simulated hardware (:mod:`repro.gpu.fragment`) and *derives* the
+(lane, register) -> (row, col) mapping from the observations alone — it
+never reads the simulator's own tables, so it would detect any layout the
+simulator happened to implement, exactly as the paper's probe would on
+real silicon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    FRAGMENT_DIM,
+    PORTION_DIM,
+    REGISTERS_PER_LANE,
+    WARP_SIZE,
+)
+from repro.errors import LayoutError
+from repro.gpu.fragment import Fragment, FragmentKind
+
+__all__ = ["DiscoveredLayout", "probe_fragment_layout", "valid_register_range"]
+
+
+@dataclass(frozen=True)
+class DiscoveredLayout:
+    """Result of probing one fragment kind.
+
+    ``owner_lane[r, c]`` / ``owner_register[r, c]`` give the thread and
+    register holding fragment element (r, c); ``portion_registers[p]`` is
+    the ordered pair of register indices that addresses portion ``p``
+    (0 = top-left, 1 = top-right, 2 = bottom-left, 3 = bottom-right in
+    row-major portion order).
+    """
+
+    kind: FragmentKind
+    owner_lane: np.ndarray
+    owner_register: np.ndarray
+    portion_registers: tuple[tuple[int, int], ...]
+
+    def element_of(self, lane: int, register: int) -> tuple[int, int]:
+        """Invert the probe: where does (lane, register) land?"""
+        hits = np.argwhere((self.owner_lane == lane) & (self.owner_register == register))
+        if hits.shape[0] != 1:
+            raise LayoutError(f"(lane {lane}, x[{register}]) maps to {hits.shape[0]} elements")
+        return int(hits[0, 0]), int(hits[0, 1])
+
+
+def valid_register_range(kind: FragmentKind = FragmentKind.ACCUMULATOR) -> int:
+    """How many register indices are actually live per lane.
+
+    The paper's first surprise: probing shows indices 0..7 only (Fig. 2),
+    i.e. 32 lanes x 8 registers = 256 = all 16x16 elements.
+    """
+    return REGISTERS_PER_LANE
+
+
+def probe_fragment_layout(kind: FragmentKind = FragmentKind.ACCUMULATOR) -> DiscoveredLayout:
+    """Run the §3 probe: two passes of distinguishable writes.
+
+    Pass 1 writes ``x[i] = i`` in every lane (the paper's experiment) and
+    recovers which *register index* each element comes from.  Pass 2
+    writes ``x[i] = lane`` and recovers which *lane* owns each element.
+    Together they fully determine the layout.
+    """
+    # pass 1: register identity
+    frag = Fragment(kind, np.float32)
+    for reg in range(REGISTERS_PER_LANE):
+        frag.warp_write_register(reg, np.full(WARP_SIZE, float(reg)))
+    register_view = frag.to_matrix().astype(np.int64)
+
+    # pass 2: lane identity
+    frag = Fragment(kind, np.float32)
+    for reg in range(REGISTERS_PER_LANE):
+        frag.warp_write_register(reg, np.arange(WARP_SIZE, dtype=np.float32))
+    lane_view = frag.to_matrix().astype(np.int64)
+
+    # derive portion -> register-pair table from the observations
+    portion_registers = []
+    for pr in range(0, FRAGMENT_DIM, PORTION_DIM):
+        for pc in range(0, FRAGMENT_DIM, PORTION_DIM):
+            regs = np.unique(register_view[pr : pr + PORTION_DIM, pc : pc + PORTION_DIM])
+            if regs.size != 2 or regs[1] != regs[0] + 1:
+                raise LayoutError(
+                    f"portion at ({pr},{pc}) is not addressed by a consecutive "
+                    f"register pair (saw {regs.tolist()})"
+                )
+            portion_registers.append((int(regs[0]), int(regs[1])))
+
+    _check_probe_consistency(lane_view, register_view)
+    return DiscoveredLayout(
+        kind=kind,
+        owner_lane=lane_view,
+        owner_register=register_view,
+        portion_registers=tuple(portion_registers),
+    )
+
+
+def _check_probe_consistency(lane_view: np.ndarray, register_view: np.ndarray) -> None:
+    """Every (lane, register) pair must own exactly one element."""
+    keys = lane_view * REGISTERS_PER_LANE + register_view
+    unique = np.unique(keys)
+    if unique.size != FRAGMENT_DIM * FRAGMENT_DIM:
+        raise LayoutError(
+            f"probe found {unique.size} distinct (lane, register) pairs; "
+            f"expected {FRAGMENT_DIM * FRAGMENT_DIM}"
+        )
+    if register_view.min() < 0 or register_view.max() >= REGISTERS_PER_LANE:
+        raise LayoutError("probe observed register indices outside 0..7")

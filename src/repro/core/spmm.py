@@ -1,0 +1,80 @@
+"""SpMM on bitBSR — the paper's §7 extension, built on the same blocks.
+
+``Y = A @ X`` with sparse A (bitBSR) and dense X.  Where SpMV broadcasts
+one 8-element x segment across fragment B's columns and keeps only
+column 0 of the result (Fig. 5), SpMM loads a *different* 8-wide slice
+of X into each fragment-B column and keeps the whole 8x8 result tile —
+full fragment utilization, which is why the paper expects the extension
+to pay off.
+
+The implementation mirrors :func:`repro.core.spmv.spaden_spmv`:
+vectorized NumPy with tensor-core precision semantics (inputs rounded to
+the storage precision, float32-or-wider accumulation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import BLOCK_DIM
+from repro.errors import KernelError
+from repro.formats.bitbsr import BitBSRMatrix
+from repro.gpu.mma import Precision, to_tf32
+
+__all__ = ["spaden_spmm"]
+
+
+def _round_operand(values: np.ndarray, precision: Precision) -> np.ndarray:
+    v = values.astype(np.float32)
+    if precision is Precision.FP16:
+        return v.astype(np.float16).astype(np.float32)
+    if precision is Precision.TF32:
+        return to_tf32(v)
+    return v
+
+
+def spaden_spmm(
+    bitbsr: BitBSRMatrix,
+    dense: np.ndarray,
+    precision: Precision | None = None,
+) -> np.ndarray:
+    """Multiply a bitBSR matrix by a dense matrix: ``Y = A @ X``.
+
+    ``dense`` has shape ``(A.ncols, k)``.  Each stored nonzero at global
+    position (r, c) contributes ``value * X[c, :]`` to ``Y[r, :]``; the
+    per-tile accumulation order of the tensor-core formulation is
+    associativity-equivalent, so the vectorized segment-sum below matches
+    the fragment computation up to float rounding.
+    """
+    X = np.asarray(dense)
+    if X.ndim != 2 or X.shape[0] != bitbsr.ncols:
+        raise KernelError(f"dense operand has shape {X.shape}, expected ({bitbsr.ncols}, k)")
+    if precision is None:
+        precision = Precision.FP16 if bitbsr.value_dtype == np.float16 else Precision.TF32
+
+    rows, cols = bitbsr.entry_coordinates()
+    vals = _round_operand(bitbsr.values, precision)
+    Xr = _round_operand(X, precision)
+    contributions = vals[:, None].astype(np.float64) * Xr[cols].astype(np.float64)
+    Y = np.zeros((bitbsr.nrows, X.shape[1]), dtype=np.float64)
+    np.add.at(Y, rows, contributions)
+    return Y.astype(np.float32)
+
+
+def spmm_fragment_tiles(bitbsr: BitBSRMatrix, k: int) -> int:
+    """Number of 16x16 MMA operations the SpMM pairing kernel issues.
+
+    Two diagonal blocks per fragment A (as in SpMV), and ceil(k / 8)
+    8-wide X panels per fragment B column half — the utilization metric
+    the §7 extension improves (8x more useful output per MMA than SpMV).
+    """
+    if k <= 0:
+        raise KernelError("k must be positive")
+    lens = np.diff(bitbsr.block_row_pointers)
+    top = lens[0::2]
+    bottom = lens[1::2]
+    if bottom.size < top.size:
+        bottom = np.concatenate([bottom, [0]])
+    steps = int(np.maximum(top, bottom).sum())
+    panels = -(-k // BLOCK_DIM)
+    return steps * panels

@@ -1,0 +1,174 @@
+"""Lane-accurate SpMM pairing kernel (the §7 extension on the simulator).
+
+Extends Algorithm 3 from vector to dense-matrix right-hand side: fragment
+A is decoded exactly as in SpMV (two diagonal bitBSR blocks), but
+fragment B's diagonal portions hold genuine 8x8 *panels* of the dense
+operand X instead of a broadcast vector, and the full 8x8 result tiles of
+the accumulator are stored — 128 useful results per MMA instead of 16.
+
+The module mirrors :mod:`repro.core.spmv`'s structure: a simulated path
+(ground truth + exact counters) and the vectorized path in
+:mod:`repro.core.spmm`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import BLOCK_DIM, WARP_SIZE
+from repro.core.decode import decode_matrix_lane_values
+from repro.core.pairing import BOTTOM_PORTION, TOP_PORTION, _broadcast_load
+from repro.errors import KernelError
+from repro.formats.bitbsr import BitBSRMatrix
+from repro.gpu.counters import ExecutionStats
+from repro.gpu.fragment import Fragment, FragmentKind, lane_register_element, registers_of_portion
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.mma import MMAUnit, Precision
+from repro.gpu.warp import Warp
+
+__all__ = ["spaden_spmm_simulated"]
+
+
+def _load_b_panel(
+    warp: Warp,
+    b_frag: Fragment,
+    portion: int,
+    segment: int,
+    panel: int,
+    k: int,
+) -> None:
+    """Load one 8x8 panel of X into a B-fragment portion, per lane.
+
+    In the column-major B layout, lane ``l`` owns rows ``2(l%4)`` and
+    ``2(l%4)+1`` of column ``l//4`` of the portion; the global element is
+    ``X[segment*8 + row, panel*8 + col]`` stored row-major with leading
+    dimension ``k``.  Panel columns beyond ``k`` are zero-filled.
+    """
+    reg1, reg2 = registers_of_portion(portion)
+    for reg in (reg1, reg2):
+        rows = np.empty(WARP_SIZE, dtype=np.int64)
+        cols = np.empty(WARP_SIZE, dtype=np.int64)
+        dr, dc = _portion_offset(portion)
+        for lane in range(WARP_SIZE):
+            r, c = lane_register_element(FragmentKind.MATRIX_B, lane, reg)
+            rows[lane] = r - dr
+            cols[lane] = c - dc
+        global_cols = panel * BLOCK_DIM + cols
+        valid = global_cols < k
+        idx = (segment * BLOCK_DIM + rows) * k + global_cols
+        values = warp.load("B_matrix", np.where(valid, idx, 0), mask=valid)
+        b_frag.warp_write_register(reg, values.astype(np.float32))
+
+
+def _portion_offset(portion: int) -> tuple[int, int]:
+    from repro.gpu.fragment import PORTION_OFFSETS
+
+    return PORTION_OFFSETS[FragmentKind.MATRIX_B][portion]
+
+
+def _store_c_portion(
+    warp: Warp,
+    acc: Fragment,
+    portion: int,
+    block_row: int,
+    panel: int,
+    k: int,
+    nrows: int,
+) -> None:
+    """Store one accumulator portion's 8x8 tile into Y (row-major, ld k)."""
+    from repro.gpu.fragment import PORTION_OFFSETS
+
+    dr, dc = PORTION_OFFSETS[FragmentKind.ACCUMULATOR][portion]
+    reg1, reg2 = registers_of_portion(portion)
+    for reg in (reg1, reg2):
+        rows = np.empty(WARP_SIZE, dtype=np.int64)
+        cols = np.empty(WARP_SIZE, dtype=np.int64)
+        for lane in range(WARP_SIZE):
+            r, c = lane_register_element(FragmentKind.ACCUMULATOR, lane, reg)
+            rows[lane] = r - dr
+            cols[lane] = c - dc
+        global_rows = block_row * BLOCK_DIM + rows
+        global_cols = panel * BLOCK_DIM + cols
+        valid = (global_cols < k) & (global_rows < nrows)
+        idx = global_rows * k + global_cols
+        warp.store("Y_matrix", np.where(valid, idx, 0), acc.warp_read_register(reg), mask=valid)
+
+
+def spaden_spmm_simulated(
+    bitbsr: BitBSRMatrix,
+    dense: np.ndarray,
+    precision: Precision | None = None,
+) -> tuple[np.ndarray, ExecutionStats]:
+    """Run the SpMM pairing kernel lane-by-lane; returns (Y, stats).
+
+    One warp per (block-row pair, 8-column panel).  Verification-scale
+    inputs only — every register write happens individually.
+    """
+    X = np.asarray(dense)
+    if X.ndim != 2 or X.shape[0] != bitbsr.ncols:
+        raise KernelError(f"dense operand has shape {X.shape}, expected ({bitbsr.ncols}, k)")
+    k = int(X.shape[1])
+    if precision is None:
+        precision = Precision.FP16 if bitbsr.value_dtype == np.float16 else Precision.TF32
+
+    memory = GlobalMemory()
+    memory.register("block_row_pointers", bitbsr.block_row_pointers.astype(np.int32))
+    memory.register("block_cols", bitbsr.block_cols)
+    memory.register("bitmaps", bitbsr.bitmaps)
+    memory.register("block_offsets", bitbsr.block_offsets.astype(np.int32))
+    memory.register("A_values", bitbsr.values)
+    xpad = np.zeros((bitbsr.block_cols_count * BLOCK_DIM, k), dtype=bitbsr.value_dtype)
+    xpad[: X.shape[0]] = X.astype(bitbsr.value_dtype)
+    memory.register("B_matrix", xpad.reshape(-1))
+    memory.register("Y_matrix", np.zeros(bitbsr.nrows * k, dtype=np.float32))
+
+    nbrows = bitbsr.block_rows_count
+    panels = -(-k // BLOCK_DIM)
+    zero = np.zeros(WARP_SIZE, dtype=np.float32)
+    for top in range(0, nbrows, 2):
+        bottom = top + 1 if top + 1 < nbrows else None
+        for panel in range(panels):
+            warp = Warp(memory)
+            unit = MMAUnit(precision, stats=memory.stats)
+            a_frag = Fragment(FragmentKind.MATRIX_A, np.float32)
+            b_frag = Fragment(FragmentKind.MATRIX_B, np.float32)
+            acc = Fragment(FragmentKind.ACCUMULATOR, np.float32)
+
+            start_top = _broadcast_load(warp, "block_row_pointers", top)
+            end_top = _broadcast_load(warp, "block_row_pointers", top + 1)
+            if bottom is not None:
+                start_bot = _broadcast_load(warp, "block_row_pointers", bottom)
+                end_bot = _broadcast_load(warp, "block_row_pointers", bottom + 1)
+            else:
+                start_bot = end_bot = 0
+
+            for i in range(max(end_top - start_top, end_bot - start_bot)):
+                for portion, start, end in (
+                    (TOP_PORTION, start_top, end_top),
+                    (BOTTOM_PORTION, start_bot, end_bot),
+                ):
+                    if portion == BOTTOM_PORTION and bottom is None:
+                        for reg in registers_of_portion(portion):
+                            a_frag.warp_write_register(reg, zero)
+                            b_frag.warp_write_register(reg, zero)
+                        continue
+                    if start + i < end:
+                        block = start + i
+                        seg = _broadcast_load(warp, "block_cols", block)
+                        a1, a2 = decode_matrix_lane_values(warp, bitbsr, block)
+                        r1, r2 = registers_of_portion(portion)
+                        a_frag.warp_write_register(r1, a1)
+                        a_frag.warp_write_register(r2, a2)
+                        _load_b_panel(warp, b_frag, portion, seg, panel, k)
+                    else:
+                        for reg in registers_of_portion(portion):
+                            a_frag.warp_write_register(reg, zero)
+                            b_frag.warp_write_register(reg, zero)
+                acc = unit.mma(a_frag, b_frag, acc)
+
+            _store_c_portion(warp, acc, TOP_PORTION, top, panel, k, bitbsr.nrows)
+            if bottom is not None:
+                _store_c_portion(warp, acc, BOTTOM_PORTION, bottom, panel, k, bitbsr.nrows)
+
+    Y = memory.array("Y_matrix").reshape(bitbsr.nrows, k).copy()
+    return Y, memory.stats

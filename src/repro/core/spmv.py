@@ -1,0 +1,122 @@
+"""Public Spaden SpMV entry points.
+
+Two execution paths share the same semantics:
+
+* :func:`spaden_spmv_simulated` drives the lane-accurate simulator —
+  every bitmap test, register write, MMA and predicated store happens
+  per-lane through :mod:`repro.gpu`.  This is the ground truth for the
+  algorithm and the source of exact traffic counters, but it is a Python
+  loop over warps, so use it for verification-scale matrices.
+* :func:`spaden_spmv` is the vectorized NumPy equivalent (identical
+  arithmetic, batch-decoded blocks) used for full-scale benchmarking.
+
+Both honor the mixed-precision pipeline: bitBSR stores half-precision
+values, fragment B receives a half-precision x, products accumulate in
+float32.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import BLOCK_DIM
+from repro.errors import KernelError
+from repro.formats.bitbsr import BitBSRMatrix
+from repro.gpu.counters import ExecutionStats
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.mma import MMAUnit, Precision
+from repro.gpu.warp import Warp
+from repro.core.extract import extract_result_vector
+from repro.core.pairing import pair_block_rows
+
+__all__ = ["spaden_spmv", "spaden_spmv_simulated", "register_bitbsr_arrays"]
+
+
+def _input_precision(bitbsr: BitBSRMatrix) -> Precision:
+    """FP16 when values are stored half, else TF32 (the L40 FP32 path)."""
+    return Precision.FP16 if bitbsr.value_dtype == np.float16 else Precision.TF32
+
+
+def register_bitbsr_arrays(
+    memory: GlobalMemory, bitbsr: BitBSRMatrix, x: np.ndarray
+) -> None:
+    """Place all Spaden operands into simulated global memory.
+
+    The x vector is padded to a whole number of 8-element segments and
+    stored in the matrix's value precision (it feeds fragment B); the
+    output is padded likewise and stored in float32.
+    """
+    memory.register("block_row_pointers", bitbsr.block_row_pointers.astype(np.int32))
+    memory.register("block_cols", bitbsr.block_cols)
+    memory.register("bitmaps", bitbsr.bitmaps)
+    memory.register("block_offsets", bitbsr.block_offsets.astype(np.int32))
+    memory.register("A_values", bitbsr.values)
+    xpad = np.zeros(bitbsr.block_cols_count * BLOCK_DIM, dtype=bitbsr.value_dtype)
+    xpad[: x.size] = x.astype(bitbsr.value_dtype)
+    memory.register("B_values", xpad)
+    memory.register(
+        "C_values", np.zeros(bitbsr.block_rows_count * BLOCK_DIM, dtype=np.float32)
+    )
+
+
+def spaden_spmv_simulated(
+    bitbsr: BitBSRMatrix,
+    x: np.ndarray,
+    precision: Precision | None = None,
+) -> tuple[np.ndarray, ExecutionStats]:
+    """Run Spaden end-to-end on the simulator; returns (y, exact stats).
+
+    One warp per pair of consecutive block rows (Fig. 5); the final warp
+    of an odd-height matrix leaves its bottom-right portion empty.
+    """
+    x = np.asarray(x)
+    if x.ndim != 1 or x.shape[0] != bitbsr.ncols:
+        raise KernelError(f"x has shape {x.shape}, expected ({bitbsr.ncols},)")
+    if precision is None:
+        precision = _input_precision(bitbsr)
+    memory = GlobalMemory()
+    register_bitbsr_arrays(memory, bitbsr, x)
+
+    nbrows = bitbsr.block_rows_count
+    for top in range(0, nbrows, 2):
+        bottom = top + 1 if top + 1 < nbrows else None
+        warp = Warp(memory, warp_id=top // 2)
+        mma_unit = MMAUnit(precision, stats=memory.stats)
+        acc = pair_block_rows(warp, mma_unit, bitbsr, top, bottom)
+        extract_result_vector(warp, acc, top, bottom)
+
+    y = memory.array("C_values")[: bitbsr.nrows].copy()
+    return y, memory.stats
+
+
+def spaden_spmv(
+    bitbsr: BitBSRMatrix,
+    x: np.ndarray,
+    precision: Precision | None = None,
+) -> np.ndarray:
+    """Vectorized Spaden SpMV with tensor-core arithmetic semantics.
+
+    Mathematically identical to :func:`spaden_spmv_simulated`: values and
+    the x operand are rounded to the input precision, every product is a
+    float32 multiply, and per-row sums accumulate in float32-or-wider.
+    """
+    x = np.asarray(x)
+    if x.ndim != 1 or x.shape[0] != bitbsr.ncols:
+        raise KernelError(f"x has shape {x.shape}, expected ({bitbsr.ncols},)")
+    if precision is None:
+        precision = _input_precision(bitbsr)
+
+    rows, cols = bitbsr.entry_coordinates()
+    vals = bitbsr.values.astype(np.float32)
+    xf = x.astype(np.float32)
+    if precision is Precision.FP16:
+        vals = vals.astype(np.float16).astype(np.float32)
+        xf = xf.astype(np.float16).astype(np.float32)
+    elif precision is Precision.TF32:
+        from repro.gpu.mma import to_tf32
+
+        vals = to_tf32(vals)
+        xf = to_tf32(xf)
+    products = (vals * xf[cols]).astype(np.float64)
+    y = np.bincount(rows, weights=products, minlength=bitbsr.nrows)
+    return y.astype(np.float32)[: bitbsr.nrows]

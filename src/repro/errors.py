@@ -1,0 +1,33 @@
+"""Exception hierarchy for the Spaden reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class FormatError(ReproError):
+    """A sparse-matrix format is structurally invalid (bad pointers,
+    out-of-range indices, mismatched array lengths, ...)."""
+
+
+class ConversionError(ReproError):
+    """A format conversion is impossible or was given inconsistent input."""
+
+
+class SimulationError(ReproError):
+    """The GPU simulator was driven incorrectly (bad lane id, register
+    index out of range, fragment shape mismatch, ...)."""
+
+
+class LayoutError(SimulationError):
+    """A fragment register/element mapping was violated."""
+
+
+class KernelError(ReproError):
+    """A kernel was invoked with incompatible operands."""
+
+
+class DatasetError(ReproError):
+    """A matrix-generator or registry request cannot be satisfied."""

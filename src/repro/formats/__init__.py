@@ -1,0 +1,50 @@
+"""Sparse-matrix storage formats.
+
+Implements every format the paper discusses (§2.1, §4.2 and the GPU-SpMV
+survey it cites): COO, CSR, CSC, ELL, HYB, DIA, BSR — plus the paper's
+contribution, bitBSR (bitmap-compressed blocked CSR), and the future-work
+bitCOO variant (§7).
+
+All formats share the :class:`~repro.formats.base.SparseMatrix` interface:
+construction from / conversion to COO, a dense materialization, a
+reference ``matvec`` and byte-exact memory accounting.
+"""
+
+from repro.formats.base import SparseMatrix, available_formats, get_format, register_format
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.ell import ELLMatrix
+from repro.formats.hyb import HYBMatrix
+from repro.formats.dia import DIAMatrix
+from repro.formats.bsr import BSRMatrix
+from repro.formats.sell import SELLMatrix
+from repro.formats.bitbsr import BitBSRMatrix
+from repro.formats.bitbsr_multi import GenericBitBSRMatrix
+from repro.formats.bitcoo import BitCOOMatrix
+from repro.formats.convert import convert, from_dense, from_scipy, to_scipy
+from repro.formats.memory import FootprintReport, format_footprint
+
+__all__ = [
+    "SparseMatrix",
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "ELLMatrix",
+    "HYBMatrix",
+    "DIAMatrix",
+    "BSRMatrix",
+    "SELLMatrix",
+    "BitBSRMatrix",
+    "GenericBitBSRMatrix",
+    "BitCOOMatrix",
+    "available_formats",
+    "get_format",
+    "register_format",
+    "convert",
+    "from_dense",
+    "from_scipy",
+    "to_scipy",
+    "FootprintReport",
+    "format_footprint",
+]

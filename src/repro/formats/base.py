@@ -1,0 +1,162 @@
+"""Common interface and registry for sparse-matrix formats."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from repro.errors import ConversionError, FormatError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.formats.coo import COOMatrix
+
+__all__ = ["ArrayField", "SparseMatrix", "register_format", "get_format", "available_formats"]
+
+_REGISTRY: dict[str, type["SparseMatrix"]] = {}
+
+
+def register_format(cls: type["SparseMatrix"]) -> type["SparseMatrix"]:
+    """Class decorator: register a format under its ``format_name``."""
+    name = cls.format_name
+    if not name:
+        raise ValueError(f"{cls.__name__} must define format_name")
+    if name in _REGISTRY and _REGISTRY[name] is not cls:
+        raise ValueError(f"format {name!r} already registered")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def get_format(name: str) -> type["SparseMatrix"]:
+    """Look up a registered format class by name (e.g. ``"bitbsr"``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConversionError(
+            f"unknown format {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_formats() -> list[str]:
+    """Names of all registered formats, sorted."""
+    return sorted(_REGISTRY)
+
+
+@dataclass(frozen=True)
+class ArrayField:
+    """One storage array of a format, for byte-exact memory accounting."""
+
+    name: str
+    nbytes: int
+    dtype: str
+    length: int
+
+
+class SparseMatrix(ABC):
+    """Abstract base class for all storage formats.
+
+    Subclasses store a 2-D sparse matrix and provide:
+
+    * ``from_coo`` / ``tocoo`` so any pair of formats can interconvert,
+    * ``todense`` for reference comparisons,
+    * ``matvec`` — a NumPy reference SpMV with the format's natural
+      traversal order (the GPU kernels in :mod:`repro.kernels` model the
+      parallel execution; this is the semantic ground truth),
+    * ``storage_fields`` — the exact arrays kept in device memory, used by
+      :mod:`repro.formats.memory` to reproduce Fig. 10b.
+    """
+
+    #: Registry key; subclasses must override.
+    format_name: str = ""
+
+    def __init__(self, shape: tuple[int, int]):
+        nrows, ncols = shape
+        if nrows < 0 or ncols < 0:
+            raise FormatError(f"invalid shape {shape}")
+        self._shape = (int(nrows), int(ncols))
+
+    # -- shape / size -----------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(rows, cols) of the logical matrix."""
+        return self._shape
+
+    @property
+    def nrows(self) -> int:
+        return self._shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self._shape[1]
+
+    @property
+    @abstractmethod
+    def nnz(self) -> int:
+        """Number of explicitly stored nonzero entries."""
+
+    @property
+    def density(self) -> float:
+        """nnz divided by the full matrix size (0 for empty shapes)."""
+        total = self.nrows * self.ncols
+        return self.nnz / total if total else 0.0
+
+    # -- conversion -------------------------------------------------------
+    @classmethod
+    @abstractmethod
+    def from_coo(cls, coo: "COOMatrix") -> "SparseMatrix":
+        """Build this format from a canonical (sorted, deduplicated) COO."""
+
+    @abstractmethod
+    def tocoo(self) -> "COOMatrix":
+        """Convert back to canonical COO."""
+
+    def todense(self) -> np.ndarray:
+        """Materialize as a dense float32 array (small matrices only)."""
+        return self.tocoo().todense()
+
+    def convert(self, name: str) -> "SparseMatrix":
+        """Convert to any registered format by name."""
+        cls = get_format(name)
+        if isinstance(self, cls):
+            return self
+        return cls.from_coo(self.tocoo())
+
+    # -- computation ------------------------------------------------------
+    @abstractmethod
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Reference SpMV ``y = A @ x`` in float32."""
+
+    def _check_matvec_operand(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        if x.ndim != 1 or x.shape[0] != self.ncols:
+            raise FormatError(
+                f"operand has shape {x.shape}, expected ({self.ncols},)"
+            )
+        return np.ascontiguousarray(x, dtype=np.float32)
+
+    # -- memory accounting ------------------------------------------------
+    @abstractmethod
+    def storage_fields(self) -> Iterator[ArrayField]:
+        """Yield every array the format keeps resident in device memory."""
+
+    @property
+    def nbytes(self) -> int:
+        """Total device-resident bytes of this representation."""
+        return sum(f.nbytes for f in self.storage_fields())
+
+    def bytes_per_nnz(self) -> float:
+        """Memory cost normalized by nonzeros (the Fig. 10b metric)."""
+        return self.nbytes / self.nnz if self.nnz else float("inf")
+
+    # -- misc ---------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} {self.nrows}x{self.ncols}, "
+            f"nnz={self.nnz}, {self.nbytes} bytes>"
+        )
+
+    @staticmethod
+    def _field(name: str, array: np.ndarray) -> ArrayField:
+        return ArrayField(name=name, nbytes=int(array.nbytes), dtype=str(array.dtype), length=int(array.size))

@@ -1,0 +1,151 @@
+"""Blocked CSR (BSR) — dense fixed-size blocks indexed by a block-level CSR.
+
+This is both the cuSPARSE-BSR baseline of the paper's evaluation and the
+intermediate abstraction bitBSR compresses (§4.2): "BSR represents a CSR
+with dense blocks of fixed size rather than individual scalar elements."
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.constants import BLOCK_DIM
+from repro.errors import FormatError
+from repro.formats.base import ArrayField, SparseMatrix, register_format
+from repro.formats.coo import COOMatrix
+from repro.utils.scan import exclusive_scan, segment_ids
+
+__all__ = ["BSRMatrix", "block_coordinates"]
+
+
+def block_coordinates(
+    rows: np.ndarray, cols: np.ndarray, block_dim: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split entry coordinates into (block_row, block_col, local_row, local_col)."""
+    r = np.asarray(rows, dtype=np.int64)
+    c = np.asarray(cols, dtype=np.int64)
+    return r // block_dim, c // block_dim, r % block_dim, c % block_dim
+
+
+@register_format
+class BSRMatrix(SparseMatrix):
+    """BSR with square dense blocks (default 8x8, matching the paper).
+
+    Storage:
+
+    * ``block_row_pointers`` — CSR pointers over block rows,
+    * ``block_cols`` — block-column index of each stored block,
+    * ``blocks`` — dense ``(nblocks, bd, bd)`` float32 values, zeros
+      included (this zero-padding is exactly the waste bitBSR removes).
+    """
+
+    format_name = "bsr"
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        block_row_pointers: np.ndarray,
+        block_cols: np.ndarray,
+        blocks: np.ndarray,
+        block_dim: int = BLOCK_DIM,
+    ):
+        super().__init__(shape)
+        if block_dim <= 0:
+            raise FormatError("block_dim must be positive")
+        self.block_dim = int(block_dim)
+        ptr = np.asarray(block_row_pointers, dtype=np.int64)
+        cols = np.asarray(block_cols, dtype=np.int32)
+        blocks = np.asarray(blocks, dtype=np.float32)
+        nbrows = self.block_rows_count
+        if ptr.size != nbrows + 1 or ptr[0] != 0 or ptr[-1] != cols.size:
+            raise FormatError("block_row_pointers inconsistent")
+        if np.any(np.diff(ptr) < 0):
+            raise FormatError("block_row_pointers must be non-decreasing")
+        if blocks.shape != (cols.size, self.block_dim, self.block_dim):
+            raise FormatError("blocks must have shape (nblocks, bd, bd)")
+        if cols.size and (cols.min() < 0 or cols.max() >= self.block_cols_count):
+            raise FormatError("block column index out of range")
+        self.block_row_pointers = ptr
+        self.block_cols = cols
+        self.blocks = blocks
+
+    # -- block-grid geometry --------------------------------------------------
+    @property
+    def block_rows_count(self) -> int:
+        """Number of block rows (``Bnrow`` in Table 1)."""
+        return -(-self.nrows // self.block_dim)
+
+    @property
+    def block_cols_count(self) -> int:
+        return -(-self.ncols // self.block_dim)
+
+    @property
+    def nblocks(self) -> int:
+        """Number of stored (non-empty) blocks (``Bnnz`` in Table 1)."""
+        return int(self.block_cols.size)
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.blocks))
+
+    @property
+    def fill_ratio(self) -> float:
+        """Mean fraction of block slots that hold a true nonzero."""
+        total = self.blocks.size
+        return self.nnz / total if total else 0.0
+
+    def block_row_of(self) -> np.ndarray:
+        """Block-row index of every stored block."""
+        return segment_ids(self.block_row_pointers)
+
+    # -- conversion --------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, block_dim: int = BLOCK_DIM) -> "BSRMatrix":
+        br, bc, lr, lc = block_coordinates(coo.rows, coo.cols, block_dim)
+        nbcols = -(-coo.ncols // block_dim)
+        nbrows = -(-coo.nrows // block_dim)
+        keys = br * nbcols + bc
+        order = np.argsort(keys, kind="stable")
+        keys_sorted = keys[order]
+        unique_keys, starts = np.unique(keys_sorted, return_index=True)
+        block_idx_of_entry = np.searchsorted(unique_keys, keys_sorted)
+        blocks = np.zeros((unique_keys.size, block_dim, block_dim), dtype=np.float32)
+        blocks[block_idx_of_entry, lr[order], lc[order]] = coo.values[order]
+        counts = np.bincount((unique_keys // nbcols).astype(np.int64), minlength=nbrows)
+        ptr = exclusive_scan(counts)
+        return cls(coo.shape, ptr, (unique_keys % nbcols).astype(np.int32), blocks, block_dim)
+
+    def tocoo(self) -> COOMatrix:
+        bidx, lr, lc = np.nonzero(self.blocks)
+        brow = self.block_row_of()[bidx]
+        rows = brow * self.block_dim + lr
+        cols = self.block_cols[bidx].astype(np.int64) * self.block_dim + lc
+        return COOMatrix(
+            self.shape,
+            rows.astype(np.int32),
+            cols.astype(np.int32),
+            self.blocks[bidx, lr, lc],
+        )
+
+    # -- computation ----------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Block-wise SpMV: one dense (bd x bd) @ (bd,) product per block."""
+        x = self._check_matvec_operand(x)
+        bd = self.block_dim
+        xpad = np.zeros(self.block_cols_count * bd, dtype=np.float32)
+        xpad[: x.size] = x
+        segs = xpad.reshape(self.block_cols_count, bd)
+        partial = np.einsum(
+            "bij,bj->bi", self.blocks.astype(np.float64), segs[self.block_cols].astype(np.float64)
+        )
+        ypad = np.zeros((self.block_rows_count, bd), dtype=np.float64)
+        np.add.at(ypad, self.block_row_of(), partial)
+        return ypad.reshape(-1)[: self.nrows].astype(np.float32)
+
+    def storage_fields(self) -> Iterator[ArrayField]:
+        nptr = self.block_rows_count + 1
+        yield ArrayField("block_row_pointers", nptr * 4, "int32", nptr)
+        yield self._field("block_cols", self.block_cols)
+        yield self._field("blocks", self.blocks)

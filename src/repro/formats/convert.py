@@ -1,0 +1,54 @@
+"""Conversion helpers between formats, dense arrays and SciPy."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ConversionError
+from repro.formats.base import SparseMatrix, get_format
+from repro.formats.coo import COOMatrix
+
+__all__ = ["convert", "from_dense", "from_scipy", "to_scipy"]
+
+
+def convert(matrix: SparseMatrix, name: str, **kwargs) -> SparseMatrix:
+    """Convert ``matrix`` to the format registered under ``name``.
+
+    Extra keyword arguments are forwarded to the target's ``from_coo``
+    (e.g. ``block_dim=4`` for BSR, ``value_dtype=np.float32`` for bitBSR).
+    """
+    cls = get_format(name)
+    if isinstance(matrix, cls) and not kwargs:
+        return matrix
+    return cls.from_coo(matrix.tocoo(), **kwargs)
+
+
+def from_dense(dense: np.ndarray, name: str = "coo", **kwargs) -> SparseMatrix:
+    """Build any registered format from a dense array."""
+    coo = COOMatrix.from_dense(np.asarray(dense))
+    return convert(coo, name, **kwargs)
+
+
+def from_scipy(matrix, name: str = "csr", **kwargs) -> SparseMatrix:
+    """Import a ``scipy.sparse`` matrix into a registered format."""
+    if not sp.issparse(matrix):
+        raise ConversionError("from_scipy expects a scipy.sparse matrix")
+    m = matrix.tocoo()
+    m.sum_duplicates()
+    coo = COOMatrix(
+        m.shape,
+        m.row.astype(np.int32),
+        m.col.astype(np.int32),
+        m.data.astype(np.float32),
+    )
+    return convert(coo, name, **kwargs)
+
+
+def to_scipy(matrix: SparseMatrix) -> sp.csr_matrix:
+    """Export any registered format to a ``scipy.sparse.csr_matrix``."""
+    coo = matrix.tocoo()
+    out = sp.coo_matrix(
+        (coo.values, (coo.rows, coo.cols)), shape=coo.shape, dtype=np.float32
+    )
+    return out.tocsr()

@@ -1,0 +1,79 @@
+"""Compressed Sparse Column (CSC) — column-major dual of CSR."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import ArrayField, SparseMatrix, register_format
+from repro.formats.coo import COOMatrix
+from repro.utils.scan import exclusive_scan, segment_ids
+from repro.utils.validation import ensure_1d, ensure_dtype, ensure_sorted
+
+__all__ = ["CSCMatrix"]
+
+
+@register_format
+class CSCMatrix(SparseMatrix):
+    """CSC: ``col_pointers`` / ``row_indices`` / ``values``.
+
+    Included for completeness of the format substrate (pull-style graph
+    kernels such as Gunrock's traverse the transpose).
+    """
+
+    format_name = "csc"
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        col_pointers: np.ndarray,
+        row_indices: np.ndarray,
+        values: np.ndarray,
+    ):
+        super().__init__(shape)
+        col_pointers = ensure_dtype(ensure_1d(col_pointers, "col_pointers"), np.int64, "col_pointers")
+        row_indices = ensure_dtype(ensure_1d(row_indices, "row_indices"), np.int32, "row_indices")
+        values = ensure_dtype(ensure_1d(values, "values"), np.float32, "values")
+        if col_pointers.size != self.ncols + 1:
+            raise FormatError("col_pointers must have ncols + 1 entries")
+        ensure_sorted(col_pointers, "col_pointers")
+        if col_pointers[0] != 0 or col_pointers[-1] != row_indices.size:
+            raise FormatError("col_pointers endpoints inconsistent with row_indices")
+        if row_indices.size != values.size:
+            raise FormatError("row_indices and values must have equal length")
+        if row_indices.size and (row_indices.min() < 0 or row_indices.max() >= self.nrows):
+            raise FormatError("row index out of range")
+        self.col_pointers = col_pointers
+        self.row_indices = row_indices
+        self.values = values
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSCMatrix":
+        order = np.argsort(coo.cols.astype(np.int64) * coo.nrows + coo.rows, kind="stable")
+        cols = coo.cols[order]
+        counts = np.bincount(cols, minlength=coo.ncols)
+        ptr = exclusive_scan(counts)
+        return cls(coo.shape, ptr, coo.rows[order].copy(), coo.values[order].copy())
+
+    def tocoo(self) -> COOMatrix:
+        cols = segment_ids(self.col_pointers).astype(np.int32)
+        return COOMatrix(self.shape, self.row_indices.copy(), cols, self.values.copy())
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Scatter-style SpMV: each column contributes ``values * x[j]``."""
+        x = self._check_matvec_operand(x)
+        cols = segment_ids(self.col_pointers)
+        y = np.zeros(self.nrows, dtype=np.float32)
+        np.add.at(y, self.row_indices, self.values * x[cols])
+        return y
+
+    def storage_fields(self) -> Iterator[ArrayField]:
+        yield ArrayField("col_pointers", (self.ncols + 1) * 4, "int32", self.ncols + 1)
+        yield self._field("row_indices", self.row_indices)
+        yield self._field("values", self.values)

@@ -1,0 +1,112 @@
+"""Compressed Sparse Row (CSR) — the paper's baseline format (§2.1)."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import ArrayField, SparseMatrix, register_format
+from repro.formats.coo import COOMatrix
+from repro.utils.scan import exclusive_scan, segment_ids
+from repro.utils.validation import ensure_1d, ensure_dtype, ensure_sorted
+
+__all__ = ["CSRMatrix"]
+
+
+@register_format
+class CSRMatrix(SparseMatrix):
+    """CSR: ``row_pointers`` / ``col_indices`` / ``values`` (Algorithm 1).
+
+    ``row_pointers`` has ``nrows + 1`` entries; row ``i`` owns the slice
+    ``[row_pointers[i], row_pointers[i + 1])`` of the other two arrays.
+    Column indices are kept sorted within each row.
+    """
+
+    format_name = "csr"
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        row_pointers: np.ndarray,
+        col_indices: np.ndarray,
+        values: np.ndarray,
+    ):
+        super().__init__(shape)
+        row_pointers = ensure_dtype(ensure_1d(row_pointers, "row_pointers"), np.int64, "row_pointers")
+        col_indices = ensure_dtype(ensure_1d(col_indices, "col_indices"), np.int32, "col_indices")
+        values = ensure_dtype(ensure_1d(values, "values"), np.float32, "values")
+        if row_pointers.size != self.nrows + 1:
+            raise FormatError("row_pointers must have nrows + 1 entries")
+        ensure_sorted(row_pointers, "row_pointers")
+        if row_pointers[0] != 0 or row_pointers[-1] != col_indices.size:
+            raise FormatError("row_pointers endpoints inconsistent with col_indices")
+        if col_indices.size != values.size:
+            raise FormatError("col_indices and values must have equal length")
+        if col_indices.size:
+            if col_indices.min() < 0 or col_indices.max() >= self.ncols:
+                raise FormatError("column index out of range")
+        self.row_pointers = row_pointers
+        self.col_indices = col_indices
+        self.values = values
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSRMatrix":
+        counts = np.bincount(coo.rows, minlength=coo.nrows)
+        ptr = exclusive_scan(counts)
+        # canonical COO is already ordered by (row, col)
+        return cls(coo.shape, ptr, coo.cols.copy(), coo.values.copy())
+
+    @classmethod
+    def from_scipy(cls, sp_csr) -> "CSRMatrix":
+        sp_csr = sp_csr.tocsr()
+        sp_csr.sort_indices()
+        sp_csr.sum_duplicates()
+        sp_csr.eliminate_zeros()
+        return cls(
+            sp_csr.shape,
+            sp_csr.indptr.astype(np.int64),
+            sp_csr.indices.astype(np.int32),
+            sp_csr.data.astype(np.float32),
+        )
+
+    def tocoo(self) -> COOMatrix:
+        rows = segment_ids(self.row_pointers).astype(np.int32)
+        return COOMatrix(self.shape, rows, self.col_indices.copy(), self.values.copy(), canonical=True)
+
+    # -- interface --------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    def row_lengths(self) -> np.ndarray:
+        """nnz per row (``row_pointers[i+1] - row_pointers[i]``)."""
+        return np.diff(self.row_pointers)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Vectorized equivalent of Algorithm 1 (row-parallel CSR SpMV)."""
+        x = self._check_matvec_operand(x)
+        products = self.values * x[self.col_indices]
+        # reduceat needs non-empty input; guard the all-empty matrix
+        if products.size == 0:
+            return np.zeros(self.nrows, dtype=np.float32)
+        y = np.zeros(self.nrows, dtype=np.float32)
+        starts = self.row_pointers[:-1]
+        nonempty = np.flatnonzero(np.diff(self.row_pointers) > 0)
+        if nonempty.size:
+            sums = np.add.reduceat(products.astype(np.float64), starts[nonempty])
+            y[nonempty] = sums.astype(np.float32)
+        return y
+
+    def row_slice(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+        """(col_indices, values) of one row — used by scalar kernels."""
+        lo, hi = int(self.row_pointers[row]), int(self.row_pointers[row + 1])
+        return self.col_indices[lo:hi], self.values[lo:hi]
+
+    def storage_fields(self) -> Iterator[ArrayField]:
+        # device-side CSR keeps 32-bit row pointers (as cuSPARSE does)
+        yield ArrayField("row_pointers", (self.nrows + 1) * 4, "int32", self.nrows + 1)
+        yield self._field("col_indices", self.col_indices)
+        yield self._field("values", self.values)

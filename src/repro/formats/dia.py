@@ -1,0 +1,91 @@
+"""Diagonal (DIA) format — for banded matrices."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import ArrayField, SparseMatrix, register_format
+from repro.formats.coo import COOMatrix
+
+__all__ = ["DIAMatrix"]
+
+
+@register_format
+class DIAMatrix(SparseMatrix):
+    """DIA: one dense lane per occupied diagonal.
+
+    ``offsets[k]`` is the diagonal (col - row); ``data[k, i]`` stores
+    element ``(i, i + offsets[k])``.  Superb for stencil matrices, useless
+    for scattered sparsity — stored here mainly so the format survey the
+    paper cites (§2.1) is complete and testable.
+    """
+
+    format_name = "dia"
+
+    #: Refuse conversions that would materialize more than this many lanes
+    #: (a scattered matrix in DIA explodes memory otherwise).
+    MAX_DIAGONALS: int = 20_000
+
+    def __init__(self, shape: tuple[int, int], offsets: np.ndarray, data: np.ndarray):
+        super().__init__(shape)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        data = np.asarray(data, dtype=np.float32)
+        if offsets.ndim != 1 or data.ndim != 2:
+            raise FormatError("offsets must be 1-D and data 2-D")
+        if data.shape != (offsets.size, self.nrows):
+            raise FormatError("data must have shape (ndiags, nrows)")
+        if offsets.size != np.unique(offsets).size:
+            raise FormatError("duplicate diagonal offsets")
+        self.offsets = offsets
+        self.data = data
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "DIAMatrix":
+        diags = coo.cols.astype(np.int64) - coo.rows.astype(np.int64)
+        offsets = np.unique(diags)
+        if offsets.size > cls.MAX_DIAGONALS:
+            raise FormatError(
+                f"matrix occupies {offsets.size} diagonals; DIA refuses > {cls.MAX_DIAGONALS}"
+            )
+        data = np.zeros((offsets.size, coo.nrows), dtype=np.float32)
+        lane = np.searchsorted(offsets, diags)
+        data[lane, coo.rows] = coo.values
+        return cls(coo.shape, offsets, data)
+
+    def tocoo(self) -> COOMatrix:
+        lanes, rows = np.nonzero(self.data)
+        cols = rows + self.offsets[lanes]
+        keep = (cols >= 0) & (cols < self.ncols)
+        return COOMatrix(
+            self.shape,
+            rows[keep].astype(np.int32),
+            cols[keep].astype(np.int32),
+            self.data[lanes[keep], rows[keep]],
+        )
+
+    @property
+    def nnz(self) -> int:
+        # entries whose column lands outside the matrix are structurally
+        # impossible, so counting nonzero storage is exact
+        return int(np.count_nonzero(self.data))
+
+    @property
+    def ndiags(self) -> int:
+        return int(self.offsets.size)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_matvec_operand(x)
+        y = np.zeros(self.nrows, dtype=np.float64)
+        rows = np.arange(self.nrows, dtype=np.int64)
+        for lane, off in enumerate(self.offsets):
+            cols = rows + off
+            valid = (cols >= 0) & (cols < self.ncols)
+            y[valid] += self.data[lane, valid].astype(np.float64) * x[cols[valid]]
+        return y.astype(np.float32)
+
+    def storage_fields(self) -> Iterator[ArrayField]:
+        yield ArrayField("offsets", self.offsets.size * 4, "int32", self.offsets.size)
+        yield self._field("data", self.data)

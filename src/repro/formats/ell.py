@@ -1,0 +1,99 @@
+"""ELLPACK (ELL) format — fixed number of nonzeros per padded row."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import ArrayField, SparseMatrix, register_format
+from repro.formats.coo import COOMatrix
+
+__all__ = ["ELLMatrix"]
+
+#: Column index marking a padding slot.
+PAD: int = -1
+
+
+@register_format
+class ELLMatrix(SparseMatrix):
+    """ELL: dense ``(nrows, width)`` index/value grids, padded with zeros.
+
+    ``width`` is the maximum row length; shorter rows are padded with
+    ``PAD`` indices and zero values.  ELL gives perfectly regular (and
+    hence coalescible, when stored column-major) access on SIMT hardware
+    at the cost of padding waste on skewed row-length distributions.
+    """
+
+    format_name = "ell"
+
+    def __init__(self, shape: tuple[int, int], col_indices: np.ndarray, values: np.ndarray):
+        super().__init__(shape)
+        col_indices = np.asarray(col_indices, dtype=np.int32)
+        values = np.asarray(values, dtype=np.float32)
+        if col_indices.ndim != 2 or values.ndim != 2:
+            raise FormatError("ELL grids must be 2-D")
+        if col_indices.shape != values.shape:
+            raise FormatError("index and value grids must have equal shape")
+        if col_indices.shape[0] != self.nrows:
+            raise FormatError("ELL grids must have nrows rows")
+        valid = col_indices != PAD
+        if valid.any():
+            used = col_indices[valid]
+            if used.min() < 0 or used.max() >= self.ncols:
+                raise FormatError("column index out of range")
+        if np.any(values[~valid] != 0):
+            raise FormatError("padding slots must hold zero values")
+        self.col_indices = col_indices
+        self.values = values
+
+    @property
+    def width(self) -> int:
+        """Entries stored per row (the padded row length)."""
+        return int(self.col_indices.shape[1])
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "ELLMatrix":
+        counts = coo.row_counts()
+        width = int(counts.max()) if counts.size else 0
+        cols = np.full((coo.nrows, width), PAD, dtype=np.int32)
+        vals = np.zeros((coo.nrows, width), dtype=np.float32)
+        if coo.nnz:
+            # position of each entry within its row (COO is row-sorted)
+            starts = np.zeros(coo.nnz, dtype=np.int64)
+            row_start_of = np.concatenate(([0], np.cumsum(counts)))[coo.rows]
+            starts = np.arange(coo.nnz, dtype=np.int64) - row_start_of
+            cols[coo.rows, starts] = coo.cols
+            vals[coo.rows, starts] = coo.values
+        return cls(coo.shape, cols, vals)
+
+    def tocoo(self) -> COOMatrix:
+        valid = self.col_indices != PAD
+        r, slot = np.nonzero(valid)
+        return COOMatrix(
+            self.shape,
+            r.astype(np.int32),
+            self.col_indices[r, slot],
+            self.values[r, slot],
+        )
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.col_indices != PAD))
+
+    @property
+    def padding_ratio(self) -> float:
+        """Fraction of stored slots that are padding."""
+        total = self.col_indices.size
+        return 1.0 - self.nnz / total if total else 0.0
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_matvec_operand(x)
+        safe_cols = np.where(self.col_indices == PAD, 0, self.col_indices)
+        gathered = x[safe_cols] * self.values  # padded values are zero
+        return gathered.sum(axis=1, dtype=np.float64).astype(np.float32)
+
+    def storage_fields(self) -> Iterator[ArrayField]:
+        yield self._field("col_indices", self.col_indices)
+        yield self._field("values", self.values)

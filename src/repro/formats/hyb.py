@@ -1,0 +1,91 @@
+"""Hybrid (HYB) format — ELL for the regular part, COO for the overflow."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import ArrayField, SparseMatrix, register_format
+from repro.formats.coo import COOMatrix
+from repro.formats.ell import ELLMatrix
+
+__all__ = ["HYBMatrix"]
+
+
+@register_format
+class HYBMatrix(SparseMatrix):
+    """HYB: an ELL part of fixed width plus a COO tail.
+
+    The split width defaults to the mean row length rounded up, which keeps
+    padding bounded while still capturing the bulk of entries in the
+    regular ELL part — the classic cuSPARSE heuristic.
+    """
+
+    format_name = "hyb"
+
+    def __init__(self, ell: ELLMatrix, tail: COOMatrix):
+        if ell.shape != tail.shape:
+            raise FormatError("ELL and COO parts must share a shape")
+        super().__init__(ell.shape)
+        self.ell = ell
+        self.tail = tail
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, width: int | None = None) -> "HYBMatrix":
+        counts = coo.row_counts()
+        if width is None:
+            mean = counts.mean() if counts.size else 0.0
+            width = int(np.ceil(mean)) if coo.nnz else 0
+        width = max(0, int(width))
+        if coo.nnz == 0:
+            return cls(
+                ELLMatrix(coo.shape, np.full((coo.nrows, 0), -1, np.int32), np.zeros((coo.nrows, 0), np.float32)),
+                coo,
+            )
+        # slot of each entry within its row (COO is row-major sorted)
+        row_starts = np.concatenate(([0], np.cumsum(counts)))
+        slots = np.arange(coo.nnz, dtype=np.int64) - row_starts[coo.rows]
+        in_ell = slots < width
+        cols = np.full((coo.nrows, width), -1, dtype=np.int32)
+        vals = np.zeros((coo.nrows, width), dtype=np.float32)
+        cols[coo.rows[in_ell], slots[in_ell]] = coo.cols[in_ell]
+        vals[coo.rows[in_ell], slots[in_ell]] = coo.values[in_ell]
+        ell = ELLMatrix(coo.shape, cols, vals)
+        tail = COOMatrix(
+            coo.shape,
+            coo.rows[~in_ell].copy(),
+            coo.cols[~in_ell].copy(),
+            coo.values[~in_ell].copy(),
+            canonical=True,
+        )
+        return cls(ell, tail)
+
+    def tocoo(self) -> COOMatrix:
+        e = self.ell.tocoo()
+        return COOMatrix(
+            self.shape,
+            np.concatenate([e.rows, self.tail.rows]),
+            np.concatenate([e.cols, self.tail.cols]),
+            np.concatenate([e.values, self.tail.values]),
+        )
+
+    @property
+    def nnz(self) -> int:
+        return self.ell.nnz + self.tail.nnz
+
+    @property
+    def ell_fraction(self) -> float:
+        """Fraction of nonzeros captured by the regular ELL part."""
+        return self.ell.nnz / self.nnz if self.nnz else 0.0
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_matvec_operand(x)
+        return self.ell.matvec(x) + self.tail.matvec(x)
+
+    def storage_fields(self) -> Iterator[ArrayField]:
+        for f in self.ell.storage_fields():
+            yield ArrayField(f"ell.{f.name}", f.nbytes, f.dtype, f.length)
+        for f in self.tail.storage_fields():
+            yield ArrayField(f"coo.{f.name}", f.nbytes, f.dtype, f.length)

@@ -1,0 +1,69 @@
+"""Byte-exact memory accounting across formats (reproduces Fig. 10b)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.base import ArrayField, SparseMatrix
+
+__all__ = ["FootprintReport", "format_footprint", "compare_footprints"]
+
+
+@dataclass(frozen=True)
+class FootprintReport:
+    """Memory usage of one matrix in one format."""
+
+    format_name: str
+    shape: tuple[int, int]
+    nnz: int
+    fields: tuple[ArrayField, ...]
+    total_bytes: int
+
+    @property
+    def bytes_per_nnz(self) -> float:
+        """The normalized metric of Fig. 10b."""
+        return self.total_bytes / self.nnz if self.nnz else float("inf")
+
+    def breakdown(self) -> dict[str, int]:
+        """Bytes per storage array."""
+        return {f.name: f.nbytes for f in self.fields}
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lines = [
+            f"{self.format_name}: {self.total_bytes:,} bytes "
+            f"({self.bytes_per_nnz:.2f} B/nnz, nnz={self.nnz:,})"
+        ]
+        for f in self.fields:
+            lines.append(f"  {f.name:<22} {f.nbytes:>14,} B  ({f.dtype} x {f.length:,})")
+        return "\n".join(lines)
+
+
+def format_footprint(matrix: SparseMatrix) -> FootprintReport:
+    """Account every device-resident array of ``matrix``."""
+    fields = tuple(matrix.storage_fields())
+    return FootprintReport(
+        format_name=matrix.format_name,
+        shape=matrix.shape,
+        nnz=matrix.nnz,
+        fields=fields,
+        total_bytes=sum(f.nbytes for f in fields),
+    )
+
+
+def compare_footprints(reports: list[FootprintReport], baseline: str) -> dict[str, float]:
+    """Memory-saving factors of ``baseline`` over every other format.
+
+    A value > 1 means the baseline uses that many times more memory —
+    the paper's "2.83x memory saving over cuSPARSE CSR" convention.
+    """
+    by_name = {r.format_name: r for r in reports}
+    if baseline not in by_name:
+        raise KeyError(f"baseline {baseline!r} not among reports")
+    base = by_name[baseline].total_bytes
+    return {
+        name: r.total_bytes / base if base else float("inf")
+        for name, r in by_name.items()
+        if name != baseline
+    }

@@ -1,0 +1,88 @@
+"""Minimal MatrixMarket (``.mtx``) I/O for coordinate-format matrices.
+
+Self-contained reader/writer (no scipy.io dependency) supporting the
+subset SuiteSparse matrices use: ``matrix coordinate
+real|integer|pattern general|symmetric``.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.coo import COOMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_HEADER = "%%MatrixMarket"
+
+
+def read_matrix_market(source: str | Path | io.TextIOBase) -> COOMatrix:
+    """Parse a MatrixMarket coordinate file into a canonical COO matrix.
+
+    Symmetric matrices are expanded (mirror entries added for off-diagonal
+    elements); ``pattern`` matrices get unit values.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="ascii") as fh:
+            return read_matrix_market(fh)
+
+    header = source.readline()
+    if not header.startswith(_HEADER):
+        raise FormatError("missing MatrixMarket header")
+    tokens = header.strip().split()
+    if len(tokens) < 5 or tokens[1].lower() != "matrix":
+        raise FormatError(f"unsupported MatrixMarket header: {header.strip()!r}")
+    layout, field, symmetry = (t.lower() for t in tokens[2:5])
+    if layout != "coordinate":
+        raise FormatError("only coordinate layout is supported")
+    if field not in ("real", "integer", "pattern"):
+        raise FormatError(f"unsupported field type {field!r}")
+    if symmetry not in ("general", "symmetric"):
+        raise FormatError(f"unsupported symmetry {symmetry!r}")
+
+    size_line = source.readline()
+    while size_line.startswith("%"):
+        size_line = source.readline()
+    try:
+        nrows, ncols, nnz = (int(t) for t in size_line.split())
+    except ValueError as exc:
+        raise FormatError(f"bad size line: {size_line.strip()!r}") from exc
+
+    body = np.loadtxt(source, ndmin=2) if nnz else np.zeros((0, 3))
+    if body.shape[0] != nnz:
+        raise FormatError(f"expected {nnz} entries, found {body.shape[0]}")
+    rows = body[:, 0].astype(np.int64) - 1
+    cols = body[:, 1].astype(np.int64) - 1
+    if field == "pattern":
+        values = np.ones(nnz, dtype=np.float32)
+    else:
+        if body.shape[1] < 3:
+            raise FormatError("real/integer matrices need a value column")
+        values = body[:, 2].astype(np.float32)
+
+    if symmetry == "symmetric":
+        off = rows != cols
+        rows = np.concatenate([rows, cols[off]])
+        cols = np.concatenate([cols, body[:, 0].astype(np.int64)[off] - 1])
+        values = np.concatenate([values, values[off]])
+
+    return COOMatrix((nrows, ncols), rows.astype(np.int32), cols.astype(np.int32), values)
+
+
+def write_matrix_market(matrix, target: str | Path | io.TextIOBase, comment: str = "") -> None:
+    """Write any repro sparse matrix as ``coordinate real general``."""
+    coo = matrix.tocoo()
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="ascii") as fh:
+            write_matrix_market(coo, fh, comment=comment)
+        return
+    target.write(f"{_HEADER} matrix coordinate real general\n")
+    for line in comment.splitlines():
+        target.write(f"% {line}\n")
+    target.write(f"{coo.nrows} {coo.ncols} {coo.nnz}\n")
+    for r, c, v in zip(coo.rows, coo.cols, coo.values):
+        target.write(f"{int(r) + 1} {int(c) + 1} {float(v):.9g}\n")

@@ -1,0 +1,165 @@
+"""SELL-C-sigma — sliced ELLPACK with row sorting.
+
+The modern middle ground between ELL and CSR (Kreutzer et al.), included
+as part of the sparse-format library the paper's future work sketches:
+rows are sorted by length within windows of ``sigma``, grouped into
+slices of ``C`` rows, and each slice is padded only to its *own* maximum
+length — bounding ELL's padding waste while keeping SIMD/SIMT-friendly
+column-major slices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import ArrayField, SparseMatrix, register_format
+from repro.formats.coo import COOMatrix
+from repro.utils.scan import exclusive_scan
+
+__all__ = ["SELLMatrix"]
+
+PAD: int = -1
+
+
+@register_format
+class SELLMatrix(SparseMatrix):
+    """SELL-C-sigma storage.
+
+    Arrays:
+
+    * ``permutation`` — original row of each sorted position,
+    * ``slice_pointers`` — start of each slice in the packed grids,
+    * ``slice_widths`` — padded row length per slice,
+    * ``col_indices`` / ``values`` — per-slice column-major grids,
+      concatenated (slice s occupies ``slice_pointers[s] : ... + C * width``).
+    """
+
+    format_name = "sell"
+
+    #: Slice height (rows sharing one padded width).
+    C: int = 32
+    #: Sorting window (rows sorted by length within windows of this size).
+    SIGMA: int = 256
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        permutation: np.ndarray,
+        slice_pointers: np.ndarray,
+        slice_widths: np.ndarray,
+        col_indices: np.ndarray,
+        values: np.ndarray,
+        c: int = 32,
+    ):
+        super().__init__(shape)
+        if c <= 0:
+            raise FormatError("slice height must be positive")
+        self.c = int(c)
+        self.permutation = np.asarray(permutation, dtype=np.int32)
+        self.slice_pointers = np.asarray(slice_pointers, dtype=np.int64)
+        self.slice_widths = np.asarray(slice_widths, dtype=np.int32)
+        self.col_indices = np.asarray(col_indices, dtype=np.int32)
+        self.values = np.asarray(values, dtype=np.float32)
+        nslices = -(-self.nrows // self.c) if self.nrows else 0
+        if self.permutation.size != self.nrows:
+            raise FormatError("permutation must cover every row")
+        if np.sort(self.permutation).tolist() != list(range(self.nrows)):
+            raise FormatError("permutation must be a bijection on rows")
+        if self.slice_widths.size != nslices or self.slice_pointers.size != nslices + 1:
+            raise FormatError("slice arrays inconsistent with row count")
+        expected = int(np.sum(self.slice_widths.astype(np.int64) * self.c))
+        if self.col_indices.size != expected or self.values.size != expected:
+            raise FormatError("packed grids inconsistent with slice widths")
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, c: int | None = None, sigma: int | None = None) -> "SELLMatrix":
+        c = cls.C if c is None else int(c)
+        sigma = cls.SIGMA if sigma is None else int(sigma)
+        if c <= 0 or sigma <= 0:
+            raise FormatError("C and sigma must be positive")
+        n = coo.nrows
+        lengths = coo.row_counts()
+        # sort rows by descending length within sigma windows
+        order = np.arange(n, dtype=np.int64)
+        for start in range(0, n, sigma):
+            window = slice(start, min(start + sigma, n))
+            idx = np.argsort(-lengths[window], kind="stable")
+            order[window] = start + idx
+        nslices = -(-n // c) if n else 0
+        widths = np.zeros(nslices, dtype=np.int32)
+        for s in range(nslices):
+            rows = order[s * c : (s + 1) * c]
+            widths[s] = int(lengths[rows].max(initial=0))
+        ptr = exclusive_scan(widths.astype(np.int64) * c)
+        cols = np.full(int(ptr[-1]), PAD, dtype=np.int32)
+        vals = np.zeros(int(ptr[-1]), dtype=np.float32)
+        row_start = exclusive_scan(lengths)
+        for s in range(nslices):
+            rows = order[s * c : (s + 1) * c]
+            width = int(widths[s])
+            for lane, row in enumerate(rows):
+                lo, hi = int(row_start[row]), int(row_start[row + 1])
+                count = hi - lo
+                # column-major within the slice: slot j of lane l at
+                # ptr[s] + j * c + l
+                dest = int(ptr[s]) + np.arange(count) * c + lane
+                cols[dest] = coo.cols[lo:hi]
+                vals[dest] = coo.values[lo:hi]
+        return cls(coo.shape, order.astype(np.int32), ptr, widths, cols, vals, c=c)
+
+    def tocoo(self) -> COOMatrix:
+        rows_out, cols_out, vals_out = [], [], []
+        nslices = self.slice_widths.size
+        for s in range(nslices):
+            width = int(self.slice_widths[s])
+            base = int(self.slice_pointers[s])
+            lanes = min(self.c, self.nrows - s * self.c)
+            for lane in range(lanes):
+                row = int(self.permutation[s * self.c + lane])
+                slots = base + np.arange(width) * self.c + lane
+                valid = self.col_indices[slots] != PAD
+                rows_out.append(np.full(int(valid.sum()), row, dtype=np.int32))
+                cols_out.append(self.col_indices[slots][valid])
+                vals_out.append(self.values[slots][valid])
+        if rows_out:
+            return COOMatrix(
+                self.shape,
+                np.concatenate(rows_out),
+                np.concatenate(cols_out),
+                np.concatenate(vals_out),
+            )
+        return COOMatrix(self.shape, np.zeros(0, np.int32), np.zeros(0, np.int32), np.zeros(0, np.float32))
+
+    # -- interface --------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.col_indices != PAD))
+
+    @property
+    def padding_ratio(self) -> float:
+        total = self.col_indices.size
+        return 1.0 - self.nnz / total if total else 0.0
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_matvec_operand(x)
+        safe = np.where(self.col_indices == PAD, 0, self.col_indices)
+        products = np.where(self.col_indices == PAD, 0.0, self.values * x[safe]).astype(np.float64)
+        y = np.zeros(self.nrows, dtype=np.float64)
+        for s in range(self.slice_widths.size):
+            width = int(self.slice_widths[s])
+            base = int(self.slice_pointers[s])
+            lanes = min(self.c, self.nrows - s * self.c)
+            grid = products[base : base + width * self.c].reshape(width, self.c)
+            y[self.permutation[s * self.c : s * self.c + lanes]] = grid[:, :lanes].sum(axis=0)
+        return y.astype(np.float32)
+
+    def storage_fields(self) -> Iterator[ArrayField]:
+        yield self._field("permutation", self.permutation)
+        yield ArrayField("slice_pointers", self.slice_pointers.size * 4, "int32", self.slice_pointers.size)
+        yield self._field("slice_widths", self.slice_widths)
+        yield self._field("col_indices", self.col_indices)
+        yield self._field("values", self.values)

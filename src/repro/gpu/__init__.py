@@ -1,0 +1,65 @@
+"""SIMT + tensor-core simulator substrate.
+
+The paper's contribution lives at the CUDA register level; since this
+reproduction runs without a GPU, this package simulates the parts of the
+machine the paper manipulates:
+
+* a 32-lane lockstep warp (:mod:`repro.gpu.warp`),
+* WMMA fragments with the *undocumented* register<->element mapping the
+  paper reverse engineers in §3 (:mod:`repro.gpu.fragment`) — the mapping
+  here is the simulated hardware's ground truth, and
+  :mod:`repro.core.reverse_engineering` rediscovers it by probing exactly
+  like the paper does,
+* an MMA unit with mixed-precision semantics (:mod:`repro.gpu.mma`),
+* a global-memory model that counts bytes and coalesced transactions per
+  warp access (:mod:`repro.gpu.memory`),
+* per-kernel execution counters (:mod:`repro.gpu.counters`) feeding the
+  roofline model in :mod:`repro.perf`,
+* named GPU specs for V100 and L40 (:mod:`repro.gpu.spec`).
+"""
+
+from repro.gpu.cache import CacheStats, SetAssociativeCache, replay_hit_rate
+from repro.gpu.counters import ExecutionStats
+from repro.gpu.fragment import (
+    Fragment,
+    FragmentKind,
+    element_owner,
+    lane_register_element,
+    portion_of_register,
+    registers_of_portion,
+)
+from repro.gpu.memory import GlobalMemory, sector_count
+from repro.gpu.mma import MMAUnit, Precision, to_tf32
+from repro.gpu.scheduler import KernelResources, OccupancyReport, occupancy
+from repro.gpu.spec import GPUSpec, get_gpu, known_gpus
+from repro.gpu.warp import Warp
+from repro.gpu.wmma import fill_fragment, load_matrix_sync, mma_sync, store_matrix_sync
+
+__all__ = [
+    "CacheStats",
+    "SetAssociativeCache",
+    "replay_hit_rate",
+    "KernelResources",
+    "OccupancyReport",
+    "occupancy",
+    "ExecutionStats",
+    "Fragment",
+    "FragmentKind",
+    "element_owner",
+    "lane_register_element",
+    "portion_of_register",
+    "registers_of_portion",
+    "GlobalMemory",
+    "sector_count",
+    "MMAUnit",
+    "Precision",
+    "to_tf32",
+    "GPUSpec",
+    "get_gpu",
+    "known_gpus",
+    "Warp",
+    "fill_fragment",
+    "load_matrix_sync",
+    "mma_sync",
+    "store_matrix_sync",
+]

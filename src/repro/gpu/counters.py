@@ -1,0 +1,86 @@
+"""Execution counters collected while simulating a kernel.
+
+These are the inputs to the roofline model in :mod:`repro.perf.model`.
+Counters are *exact* for the simulated execution: the memory model counts
+every warp access's useful bytes and its 32-byte-sector transactions, and
+the compute side counts CUDA-core operations and tensor-core MMAs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+__all__ = ["ExecutionStats"]
+
+
+@dataclass
+class ExecutionStats:
+    """Additive per-kernel counters."""
+
+    #: Useful bytes gathered from global memory (sum of active-lane loads).
+    global_load_bytes: int = 0
+    #: Useful bytes written to global memory.
+    global_store_bytes: int = 0
+    #: 32-byte-sector transactions issued for loads (coalescing-aware).
+    load_transactions: int = 0
+    #: 32-byte-sector transactions issued for stores.
+    store_transactions: int = 0
+    #: Scalar floating-point operations executed on CUDA cores.
+    cuda_flops: int = 0
+    #: Integer / logic / address operations on CUDA cores (decode cost).
+    cuda_int_ops: int = 0
+    #: Number of 16x16x16 MMA operations issued to tensor cores.
+    mma_ops: int = 0
+    #: Bytes staged through shared memory (the WMMA indirection Spaden skips).
+    shared_bytes: int = 0
+    #: Warp-level instructions issued (approximate issue pressure).
+    warp_instructions: int = 0
+    #: Warps launched by the kernel.
+    warps_launched: int = 0
+    #: Atomic read-modify-write operations on global memory.
+    atomic_ops: int = 0
+
+    # -- derived ------------------------------------------------------------
+    @property
+    def dram_bytes(self) -> int:
+        """DRAM traffic implied by the transaction counts (32 B/sector)."""
+        return (self.load_transactions + self.store_transactions) * 32
+
+    @property
+    def total_flops(self) -> int:
+        """All floating-point work: CUDA flops + MMA flops.
+
+        One 16x16x16 MMA is 2 * 16 * 16 * 16 = 8192 flops.
+        """
+        return self.cuda_flops + self.mma_ops * 8192
+
+    @property
+    def load_efficiency(self) -> float:
+        """Useful bytes per DRAM byte moved for loads (1.0 = perfectly
+        coalesced full sectors)."""
+        moved = self.load_transactions * 32
+        return self.global_load_bytes / moved if moved else 1.0
+
+    # -- combination ---------------------------------------------------------
+    def merge(self, other: "ExecutionStats") -> "ExecutionStats":
+        """Accumulate another stats object into this one (in place)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def scaled(self, factor: float) -> "ExecutionStats":
+        """Return a copy with every counter multiplied by ``factor``.
+
+        Used to extrapolate sampled simulation (a subset of warps executed
+        through the lane-accurate simulator) to the full kernel.
+        """
+        out = ExecutionStats()
+        for f in fields(self):
+            setattr(out, f.name, int(round(getattr(self, f.name) * factor)))
+        return out
+
+    def copy(self) -> "ExecutionStats":
+        return self.scaled(1.0)
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}

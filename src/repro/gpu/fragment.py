@@ -1,0 +1,212 @@
+"""WMMA fragment model with the register<->element mapping of §3.
+
+A 16x16 fragment is held collectively by a warp of 32 lanes; each lane
+owns 8 registers ``x[0..7]`` (Fig. 2).  The fragment splits into four 8x8
+*portions*; within a portion each lane owns two consecutive elements
+(Fig. 1).
+
+The mapping implemented here — and rediscovered by probing in
+:mod:`repro.core.reverse_engineering` — is:
+
+Accumulator / A-operand layout (row-major element pairs)
+    Registers ``x[2p], x[2p+1]`` address portion ``p`` in the order
+    top-left (0), top-right (1), bottom-left (2), bottom-right (3).
+    Within a portion, lane ``l`` owns row ``l // 4`` and columns
+    ``2 * (l % 4)`` and ``2 * (l % 4) + 1``.
+
+B-operand layout (column-major element pairs)
+    The B operand of ``D = A @ B + C`` is consumed column-major (§4.3:
+    "the vector is arranged vertically"), so lane ``l`` owns column
+    ``l // 4`` and rows ``2 * (l % 4)``, ``2 * (l % 4) + 1``; the portion
+    order is top-left (0), bottom-left (1), top-right (2), bottom-right
+    (3).  Both layouts give the diagonal portions the same registers —
+    ``x[0..1]`` top-left and ``x[6..7]`` bottom-right — which is what
+    Algorithm 3 relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.constants import (
+    ELEMENTS_PER_LANE,
+    FRAGMENT_DIM,
+    PORTION_DIM,
+    REGISTERS_PER_LANE,
+    WARP_SIZE,
+)
+from repro.errors import LayoutError
+
+__all__ = [
+    "FragmentKind",
+    "Fragment",
+    "lane_register_element",
+    "element_owner",
+    "portion_of_register",
+    "registers_of_portion",
+    "PORTION_OFFSETS",
+]
+
+
+class FragmentKind(enum.Enum):
+    """Which MMA operand a fragment feeds."""
+
+    MATRIX_A = "matrix_a"
+    MATRIX_B = "matrix_b"
+    ACCUMULATOR = "accumulator"
+
+    @property
+    def row_major_pairs(self) -> bool:
+        """True when a lane's two elements are row neighbours."""
+        return self is not FragmentKind.MATRIX_B
+
+
+#: (row offset, col offset) of each portion index, per kind.
+PORTION_OFFSETS: dict[FragmentKind, tuple[tuple[int, int], ...]] = {
+    FragmentKind.MATRIX_A: ((0, 0), (0, 8), (8, 0), (8, 8)),
+    FragmentKind.ACCUMULATOR: ((0, 0), (0, 8), (8, 0), (8, 8)),
+    FragmentKind.MATRIX_B: ((0, 0), (8, 0), (0, 8), (8, 8)),
+}
+
+
+def portion_of_register(register: int) -> int:
+    """Portion index (0..3) a register addresses."""
+    if not 0 <= register < REGISTERS_PER_LANE:
+        raise LayoutError(f"register index {register} out of range [0, 8)")
+    return register // ELEMENTS_PER_LANE
+
+
+def registers_of_portion(portion: int) -> tuple[int, int]:
+    """The two register indices addressing a portion (e.g. 3 -> (6, 7))."""
+    if not 0 <= portion < 4:
+        raise LayoutError(f"portion index {portion} out of range [0, 4)")
+    return 2 * portion, 2 * portion + 1
+
+
+def lane_register_element(kind: FragmentKind, lane: int, register: int) -> tuple[int, int]:
+    """Map (lane, register) to the fragment element (row, col) it holds."""
+    if not 0 <= lane < WARP_SIZE:
+        raise LayoutError(f"lane {lane} out of range [0, 32)")
+    p = portion_of_register(register)
+    dr, dc = PORTION_OFFSETS[kind][p]
+    major = lane // 4
+    minor = 2 * (lane % 4) + register % ELEMENTS_PER_LANE
+    if kind.row_major_pairs:
+        return dr + major, dc + minor
+    return dr + minor, dc + major
+
+
+def element_owner(kind: FragmentKind, row: int, col: int) -> tuple[int, int]:
+    """Inverse mapping: which (lane, register) holds element (row, col)."""
+    if not (0 <= row < FRAGMENT_DIM and 0 <= col < FRAGMENT_DIM):
+        raise LayoutError(f"element ({row}, {col}) outside the 16x16 fragment")
+    offsets = PORTION_OFFSETS[kind]
+    p = next(
+        i
+        for i, (dr, dc) in enumerate(offsets)
+        if dr <= row < dr + PORTION_DIM and dc <= col < dc + PORTION_DIM
+    )
+    dr, dc = offsets[p]
+    r, c = row - dr, col - dc
+    if kind.row_major_pairs:
+        major, minor = r, c
+    else:
+        major, minor = c, r
+    lane = major * 4 + minor // 2
+    register = 2 * p + minor % 2
+    return lane, register
+
+
+def _index_maps(kind: FragmentKind) -> tuple[np.ndarray, np.ndarray]:
+    """Precomputed (rows, cols) arrays of shape (32, 8) for a kind."""
+    rows = np.empty((WARP_SIZE, REGISTERS_PER_LANE), dtype=np.int64)
+    cols = np.empty_like(rows)
+    for lane in range(WARP_SIZE):
+        for reg in range(REGISTERS_PER_LANE):
+            rows[lane, reg], cols[lane, reg] = lane_register_element(kind, lane, reg)
+    return rows, cols
+
+
+_MAPS: dict[FragmentKind, tuple[np.ndarray, np.ndarray]] = {k: _index_maps(k) for k in FragmentKind}
+
+
+class Fragment:
+    """One warp's view of a 16x16 tensor-core buffer.
+
+    State is the per-lane register file, shape ``(32, 8)`` — matching how
+    the hardware actually stores fragments.  The 16x16 matrix view is
+    derived through the layout mapping, never stored.
+    """
+
+    def __init__(self, kind: FragmentKind, dtype: np.dtype | type = np.float32):
+        self.kind = kind
+        self.dtype = np.dtype(dtype)
+        self.registers = np.zeros((WARP_SIZE, REGISTERS_PER_LANE), dtype=self.dtype)
+
+    # -- register-level access (the path Spaden uses) ------------------------
+    def write_register(self, lane: int, register: int, value: float) -> None:
+        """``fragment.x[register] = value`` executed by one lane."""
+        lane_register_element(self.kind, lane, register)  # bounds check
+        self.registers[lane, register] = value
+
+    def read_register(self, lane: int, register: int) -> float:
+        lane_register_element(self.kind, lane, register)
+        return self.registers[lane, register].item()
+
+    def warp_write_register(self, register: int, values: np.ndarray) -> None:
+        """All 32 lanes write the same register index in lockstep."""
+        v = np.asarray(values)
+        if v.shape != (WARP_SIZE,):
+            raise LayoutError("warp_write_register expects one value per lane")
+        portion_of_register(register)
+        self.registers[:, register] = v.astype(self.dtype)
+
+    def warp_read_register(self, register: int) -> np.ndarray:
+        portion_of_register(register)
+        return self.registers[:, register].copy()
+
+    def fill(self, value: float) -> None:
+        """``wmma::fill_fragment`` — set every register of every lane."""
+        self.registers[:] = self.dtype.type(value)
+
+    # -- matrix view --------------------------------------------------------------
+    def to_matrix(self) -> np.ndarray:
+        """Materialize the 16x16 element view from the register file."""
+        rows, cols = _MAPS[self.kind]
+        out = np.zeros((FRAGMENT_DIM, FRAGMENT_DIM), dtype=self.dtype)
+        out[rows, cols] = self.registers
+        return out
+
+    def load_matrix(self, matrix: np.ndarray) -> None:
+        """Fill all registers from a 16x16 element view."""
+        m = np.asarray(matrix)
+        if m.shape != (FRAGMENT_DIM, FRAGMENT_DIM):
+            raise LayoutError(f"expected 16x16 matrix, got shape {m.shape}")
+        rows, cols = _MAPS[self.kind]
+        self.registers[:, :] = m[rows, cols].astype(self.dtype)
+
+    def portion(self, portion: int) -> np.ndarray:
+        """Extract one 8x8 portion as a dense array."""
+        dr, dc = PORTION_OFFSETS[self.kind][portion]
+        return self.to_matrix()[dr : dr + PORTION_DIM, dc : dc + PORTION_DIM]
+
+    def set_portion(self, portion: int, block: np.ndarray) -> None:
+        """Write one 8x8 portion through the register mapping."""
+        b = np.asarray(block)
+        if b.shape != (PORTION_DIM, PORTION_DIM):
+            raise LayoutError(f"expected 8x8 block, got {b.shape}")
+        r0, r1 = registers_of_portion(portion)
+        rows, cols = _MAPS[self.kind]
+        dr, dc = PORTION_OFFSETS[self.kind][portion]
+        for reg in (r0, r1):
+            self.registers[:, reg] = b[rows[:, reg] - dr, cols[:, reg] - dc].astype(self.dtype)
+
+    def copy(self) -> "Fragment":
+        out = Fragment(self.kind, self.dtype)
+        out.registers[:] = self.registers
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Fragment {self.kind.value} dtype={self.dtype}>"

@@ -1,0 +1,161 @@
+"""Global-memory model with coalescing-aware transaction counting.
+
+A warp access is described by the byte addresses each active lane touches.
+The model counts the distinct 32-byte sectors those addresses fall in —
+the same rule NVIDIA hardware uses to split a warp's request into DRAM
+transactions.  Fully coalesced float32 loads by 32 lanes touch 4 sectors;
+a stride-N gather touches up to 32.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import SECTOR_BYTES
+from repro.errors import SimulationError
+from repro.gpu.counters import ExecutionStats
+
+__all__ = ["sector_count", "GlobalMemory"]
+
+
+def sector_count(byte_addresses: np.ndarray) -> int:
+    """Number of distinct 32-byte sectors covering the given addresses."""
+    a = np.asarray(byte_addresses, dtype=np.int64)
+    if a.size == 0:
+        return 0
+    return int(np.unique(a // SECTOR_BYTES).size)
+
+
+class GlobalMemory:
+    """A set of named device arrays plus an access-statistics recorder.
+
+    Arrays are registered with a (simulated) base address so that accesses
+    to *different* arrays never share sectors, mirroring separate
+    ``cudaMalloc`` allocations.
+    """
+
+    #: Allocation granularity for simulated base addresses.
+    _ALIGN = 256
+
+    def __init__(self, stats: ExecutionStats | None = None):
+        self.stats = stats if stats is not None else ExecutionStats()
+        self._arrays: dict[str, np.ndarray] = {}
+        self._base: dict[str, int] = {}
+        self._next_base = 0
+
+    # -- allocation ----------------------------------------------------------
+    def register(self, name: str, array: np.ndarray) -> np.ndarray:
+        """Place ``array`` in simulated global memory under ``name``."""
+        if name in self._arrays:
+            raise SimulationError(f"array {name!r} already registered")
+        a = np.ascontiguousarray(array)
+        self._arrays[name] = a
+        self._base[name] = self._next_base
+        self._next_base += (a.nbytes + self._ALIGN - 1) // self._ALIGN * self._ALIGN + self._ALIGN
+        return a
+
+    def array(self, name: str) -> np.ndarray:
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise SimulationError(f"unknown array {name!r}") from None
+
+    # -- warp accesses ------------------------------------------------------------
+    def warp_load(
+        self,
+        name: str,
+        indices: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Gather one element per active lane; count bytes + transactions.
+
+        ``indices`` holds one element index per lane; ``mask`` marks active
+        lanes (inactive lanes contribute neither bytes nor sectors, which
+        is exactly how predicated-off lanes behave on hardware — the
+        mechanism bitBSR decoding exploits to skip zeros).
+        Returns a full-width array with zeros in inactive lanes.
+        """
+        arr = self.array(name)
+        idx = np.asarray(indices, dtype=np.int64)
+        if mask is None:
+            mask = np.ones(idx.shape, dtype=bool)
+        else:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != idx.shape:
+                raise SimulationError("mask and indices shapes differ")
+        active = idx[mask]
+        if active.size:
+            if active.min() < 0 or active.max() >= arr.size:
+                raise SimulationError(
+                    f"out-of-bounds load from {name!r} "
+                    f"(index range [{active.min()}, {active.max()}], size {arr.size})"
+                )
+        itemsize = arr.itemsize
+        addresses = self._base[name] + active * itemsize
+        # hardware fetches cross-sector elements with two transactions
+        end_addresses = addresses + itemsize - 1
+        sectors = sector_count(np.concatenate([addresses, end_addresses]))
+        self.stats.global_load_bytes += int(active.size) * itemsize
+        self.stats.load_transactions += sectors
+        self.stats.warp_instructions += 1
+        out = np.zeros(idx.shape, dtype=arr.dtype)
+        out[mask] = arr[active]
+        return out
+
+    def warp_store(
+        self,
+        name: str,
+        indices: np.ndarray,
+        values: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> None:
+        """Scatter one element per active lane; count bytes + transactions."""
+        arr = self.array(name)
+        idx = np.asarray(indices, dtype=np.int64)
+        vals = np.asarray(values)
+        if mask is None:
+            mask = np.ones(idx.shape, dtype=bool)
+        else:
+            mask = np.asarray(mask, dtype=bool)
+        active = idx[mask]
+        if active.size:
+            if active.min() < 0 or active.max() >= arr.size:
+                raise SimulationError(f"out-of-bounds store to {name!r}")
+            if np.unique(active).size != active.size:
+                raise SimulationError(f"intra-warp write conflict on {name!r}")
+        itemsize = arr.itemsize
+        addresses = self._base[name] + active * itemsize
+        sectors = sector_count(np.concatenate([addresses, addresses + itemsize - 1]))
+        self.stats.global_store_bytes += int(active.size) * itemsize
+        self.stats.store_transactions += sectors
+        self.stats.warp_instructions += 1
+        arr[active] = np.asarray(vals[mask], dtype=arr.dtype)
+
+    def warp_atomic_add(
+        self,
+        name: str,
+        indices: np.ndarray,
+        values: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> None:
+        """Atomic adds (used by COO/edge-centric kernels); conflicts allowed."""
+        arr = self.array(name)
+        idx = np.asarray(indices, dtype=np.int64)
+        vals = np.asarray(values)
+        if mask is None:
+            mask = np.ones(idx.shape, dtype=bool)
+        else:
+            mask = np.asarray(mask, dtype=bool)
+        active = idx[mask]
+        if active.size and (active.min() < 0 or active.max() >= arr.size):
+            raise SimulationError(f"out-of-bounds atomic on {name!r}")
+        itemsize = arr.itemsize
+        addresses = self._base[name] + active * itemsize
+        sectors = sector_count(np.concatenate([addresses, addresses + itemsize - 1]))
+        self.stats.global_load_bytes += int(active.size) * itemsize
+        self.stats.global_store_bytes += int(active.size) * itemsize
+        self.stats.load_transactions += sectors
+        self.stats.store_transactions += sectors
+        self.stats.atomic_ops += int(active.size)
+        self.stats.warp_instructions += 1
+        np.add.at(arr, active, vals[mask].astype(arr.dtype))

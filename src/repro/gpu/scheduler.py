@@ -1,0 +1,80 @@
+"""SM occupancy and grid-scheduling model.
+
+Converts a kernel's warp count and per-warp resource usage into the
+number of concurrently resident warps — the quantity behind the roofline
+model's latency-chain term and the low-occupancy behaviour of Spaden on
+short matrices (few block rows -> few warps -> unhidden latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.gpu.spec import GPUSpec
+
+__all__ = ["KernelResources", "OccupancyReport", "occupancy"]
+
+#: Architectural per-SM limits (Volta through Ada share these).
+MAX_WARPS_PER_SM: int = 48
+MAX_THREADS_PER_SM: int = 1536
+MAX_BLOCKS_PER_SM: int = 24
+REGISTER_FILE_PER_SM: int = 65536
+SHARED_MEMORY_PER_SM: int = 100 * 1024
+
+
+@dataclass(frozen=True)
+class KernelResources:
+    """Per-thread-block resource footprint of a kernel launch."""
+
+    threads_per_block: int = 256
+    registers_per_thread: int = 32
+    shared_bytes_per_block: int = 0
+
+    @property
+    def warps_per_block(self) -> int:
+        return -(-self.threads_per_block // 32)
+
+
+@dataclass(frozen=True)
+class OccupancyReport:
+    """Outcome of the occupancy calculation for one launch."""
+
+    blocks_per_sm: int
+    resident_warps_per_sm: int
+    resident_warps_total: int
+    limiter: str
+    occupancy: float
+
+    def concurrency(self, warps_launched: int) -> int:
+        """Warps actually in flight for a given launch size."""
+        return max(1, min(warps_launched, self.resident_warps_total))
+
+
+def occupancy(resources: KernelResources, gpu: GPUSpec) -> OccupancyReport:
+    """Classic CUDA occupancy calculation: the binding per-SM limit."""
+    if resources.threads_per_block <= 0 or resources.threads_per_block > 1024:
+        raise SimulationError("threads_per_block must be in (0, 1024]")
+    if resources.registers_per_thread <= 0 or resources.registers_per_thread > 255:
+        raise SimulationError("registers_per_thread must be in (0, 255]")
+
+    limits = {
+        "blocks": MAX_BLOCKS_PER_SM,
+        "threads": MAX_THREADS_PER_SM // resources.threads_per_block,
+        "registers": REGISTER_FILE_PER_SM
+        // max(1, resources.registers_per_thread * resources.threads_per_block),
+    }
+    if resources.shared_bytes_per_block > 0:
+        limits["shared"] = SHARED_MEMORY_PER_SM // resources.shared_bytes_per_block
+    blocks = max(0, min(limits.values()))
+    if blocks == 0:
+        raise SimulationError("kernel over-subscribes a single SM")
+    limiter = min(limits, key=limits.get)
+    warps_per_sm = min(MAX_WARPS_PER_SM, blocks * resources.warps_per_block)
+    return OccupancyReport(
+        blocks_per_sm=blocks,
+        resident_warps_per_sm=warps_per_sm,
+        resident_warps_total=warps_per_sm * gpu.sm_count,
+        limiter=limiter,
+        occupancy=warps_per_sm / MAX_WARPS_PER_SM,
+    )

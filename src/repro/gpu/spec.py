@@ -1,0 +1,129 @@
+"""Named GPU specifications used by the performance model.
+
+Numbers are the public datasheet values for the two boards of the paper's
+evaluation (§5.1): NVIDIA V100 (1st-gen tensor cores) and L40 (4th-gen),
+plus A100 for extension experiments.  The roofline model only consumes
+aggregate throughputs, so datasheet precision is sufficient — the paper's
+*relative* results are what we reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUSpec", "get_gpu", "known_gpus", "V100", "L40", "A100"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Aggregate hardware capability of one GPU board."""
+
+    name: str
+    #: Streaming multiprocessors.
+    sm_count: int
+    #: Tensor cores across the chip (paper: L40 568, V100 640).
+    tensor_cores: int
+    #: FP32 CUDA cores across the chip.
+    cuda_cores: int
+    #: Boost clock, GHz.
+    clock_ghz: float
+    #: DRAM bandwidth, GB/s.
+    mem_bandwidth_gbps: float
+    #: Peak FP32 throughput on CUDA cores, TFLOP/s.
+    fp32_tflops: float
+    #: Peak dense tensor-core throughput (FP16 in / FP32 acc), TFLOP/s.
+    tensor_tflops: float
+    #: L2 cache size, bytes.
+    l2_bytes: int
+    #: Fixed kernel-launch latency, microseconds.
+    launch_overhead_us: float
+    #: Fraction of datasheet DRAM bandwidth a tuned SpMV sustains.  SpMV
+    #: streams with short bursts and index-dependent gathers, so sustained
+    #: bandwidth sits well below STREAM-style peak.
+    mem_efficiency: float
+    #: Fraction of peak compute sustained by irregular kernels.
+    compute_efficiency: float
+    #: Effective L2 bandwidth as a multiple of sustained DRAM bandwidth
+    #: for broadcast/partial-sector-heavy access (calibrated; datasheet
+    #: peaks are higher).  V100's HBM2 narrows the L2:DRAM gap less than
+    #: Ada's GDDR6 does.
+    l2_ratio: float = 2.5
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Sustained bandwidth in bytes/second."""
+        return self.mem_bandwidth_gbps * 1e9 * self.mem_efficiency
+
+    @property
+    def effective_fp32(self) -> float:
+        """Sustained FP32 FLOP/s on CUDA cores."""
+        return self.fp32_tflops * 1e12 * self.compute_efficiency
+
+    @property
+    def effective_tensor(self) -> float:
+        """Sustained tensor-core FLOP/s."""
+        return self.tensor_tflops * 1e12 * self.compute_efficiency
+
+
+V100 = GPUSpec(
+    name="V100",
+    sm_count=80,
+    tensor_cores=640,
+    cuda_cores=5120,
+    clock_ghz=1.53,
+    mem_bandwidth_gbps=900.0,
+    fp32_tflops=15.7,
+    tensor_tflops=125.0,
+    l2_bytes=6 * 1024 * 1024,
+    launch_overhead_us=5.0,
+    mem_efficiency=0.78,
+    compute_efficiency=0.55,
+    l2_ratio=4.0,
+)
+
+L40 = GPUSpec(
+    name="L40",
+    sm_count=142,
+    tensor_cores=568,
+    cuda_cores=18176,
+    clock_ghz=2.49,
+    mem_bandwidth_gbps=864.0,
+    fp32_tflops=90.5,
+    tensor_tflops=181.0,
+    l2_bytes=96 * 1024 * 1024,
+    launch_overhead_us=4.0,
+    mem_efficiency=0.82,
+    compute_efficiency=0.60,
+    l2_ratio=2.5,
+)
+
+A100 = GPUSpec(
+    name="A100",
+    sm_count=108,
+    tensor_cores=432,
+    cuda_cores=6912,
+    clock_ghz=1.41,
+    mem_bandwidth_gbps=1555.0,
+    fp32_tflops=19.5,
+    tensor_tflops=312.0,
+    l2_bytes=40 * 1024 * 1024,
+    launch_overhead_us=4.5,
+    mem_efficiency=0.80,
+    compute_efficiency=0.55,
+    l2_ratio=3.0,
+)
+
+_GPUS = {g.name: g for g in (V100, L40, A100)}
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a GPU spec by name (case-insensitive)."""
+    try:
+        return _GPUS[name.upper()]
+    except KeyError:
+        raise KeyError(f"unknown GPU {name!r}; known: {sorted(_GPUS)}") from None
+
+
+def known_gpus() -> list[str]:
+    """Names of all registered GPU specs."""
+    return sorted(_GPUS)

@@ -1,0 +1,93 @@
+"""Lockstep 32-lane warp model.
+
+Kernels in this library are written *warp-synchronously*: every operation
+takes one value per lane (a length-32 array) and an optional active-lane
+mask, exactly mirroring predicated SIMT execution.  A :class:`Warp` binds
+the lane id vector to a :class:`~repro.gpu.memory.GlobalMemory` instance
+and an :class:`~repro.gpu.counters.ExecutionStats` recorder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import WARP_SIZE
+from repro.errors import SimulationError
+from repro.gpu.counters import ExecutionStats
+from repro.gpu.memory import GlobalMemory
+
+__all__ = ["Warp"]
+
+
+class Warp:
+    """One warp of 32 lanes with lockstep semantics."""
+
+    def __init__(self, memory: GlobalMemory, warp_id: int = 0):
+        self.memory = memory
+        self.warp_id = int(warp_id)
+        #: Lane ids 0..31 (``lid`` in the paper's pseudocode).
+        self.lanes = np.arange(WARP_SIZE, dtype=np.int64)
+        self.stats = memory.stats
+        self.stats.warps_launched += 1
+
+    # -- memory ----------------------------------------------------------------
+    def load(self, name: str, indices: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+        """Per-lane gather from a named global array (coalescing-counted)."""
+        return self.memory.warp_load(name, indices, mask)
+
+    def store(self, name: str, indices: np.ndarray, values: np.ndarray, mask: np.ndarray | None = None) -> None:
+        self.memory.warp_store(name, indices, values, mask)
+
+    def atomic_add(self, name: str, indices: np.ndarray, values: np.ndarray, mask: np.ndarray | None = None) -> None:
+        self.memory.warp_atomic_add(name, indices, values, mask)
+
+    # -- intra-warp primitives ---------------------------------------------------
+    def shuffle(self, values: np.ndarray, source_lane: np.ndarray | int) -> np.ndarray:
+        """``__shfl_sync``: each lane reads ``values`` from another lane."""
+        v = self._lanewise(values)
+        src = np.broadcast_to(np.asarray(source_lane, dtype=np.int64), (WARP_SIZE,))
+        if src.min() < 0 or src.max() >= WARP_SIZE:
+            raise SimulationError("shuffle source lane out of range")
+        self.stats.warp_instructions += 1
+        return v[src]
+
+    def shuffle_down(self, values: np.ndarray, delta: int) -> np.ndarray:
+        """``__shfl_down_sync`` with identity fill past the warp edge."""
+        v = self._lanewise(values)
+        src = np.minimum(self.lanes + delta, WARP_SIZE - 1)
+        self.stats.warp_instructions += 1
+        return v[src]
+
+    def ballot(self, predicate: np.ndarray) -> int:
+        """``__ballot_sync``: bitmask of lanes whose predicate holds."""
+        p = self._lanewise(predicate).astype(bool)
+        self.stats.warp_instructions += 1
+        return int(np.sum((1 << self.lanes)[p]))
+
+    def reduce_sum(self, values: np.ndarray) -> float:
+        """Butterfly reduction over the warp (log2(32) = 5 shuffle rounds)."""
+        v = self._lanewise(values).astype(np.float64).copy()
+        for delta in (16, 8, 4, 2, 1):
+            v = v + self.shuffle_down(v, delta)
+        return float(v[0])
+
+    # -- arithmetic accounting -------------------------------------------------------
+    def count_flops(self, per_lane: int, mask: np.ndarray | None = None) -> None:
+        """Record floating-point work done on CUDA cores by this warp."""
+        active = WARP_SIZE if mask is None else int(np.count_nonzero(mask))
+        self.stats.cuda_flops += per_lane * active
+        self.stats.warp_instructions += per_lane
+
+    def count_int_ops(self, per_lane: int, mask: np.ndarray | None = None) -> None:
+        """Record integer/bitwise work (bitmap decode, addressing)."""
+        active = WARP_SIZE if mask is None else int(np.count_nonzero(mask))
+        self.stats.cuda_int_ops += per_lane * active
+        self.stats.warp_instructions += per_lane
+
+    # -- helpers -----------------------------------------------------------------------
+    @staticmethod
+    def _lanewise(values: np.ndarray) -> np.ndarray:
+        v = np.asarray(values)
+        if v.shape != (WARP_SIZE,):
+            raise SimulationError(f"expected one value per lane (shape (32,)), got {v.shape}")
+        return v

@@ -1,0 +1,92 @@
+"""The conventional WMMA API (``wmma::load/store/mma/fill``).
+
+This is the *documented* path the paper contrasts against (§3): data is
+first staged into shared memory, aligned to the fragment layout, and only
+then loaded into registers.  The staging traffic is charged to
+``ExecutionStats.shared_bytes`` so benchmarks can quantify the
+indirection Spaden's register-level writes eliminate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import FRAGMENT_DIM
+from repro.errors import SimulationError
+from repro.gpu.counters import ExecutionStats
+from repro.gpu.fragment import Fragment, FragmentKind
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.mma import MMAUnit, Precision
+
+__all__ = ["fill_fragment", "load_matrix_sync", "store_matrix_sync", "mma_sync"]
+
+
+def fill_fragment(fragment: Fragment, value: float, stats: ExecutionStats | None = None) -> None:
+    """``wmma::fill_fragment`` — one instruction, no memory traffic."""
+    fragment.fill(value)
+    if stats is not None:
+        stats.warp_instructions += 1
+
+
+def load_matrix_sync(
+    fragment: Fragment,
+    memory: GlobalMemory,
+    name: str,
+    offset: int,
+    ldm: int,
+) -> None:
+    """``wmma::load_matrix_sync`` via the conventional shared-memory path.
+
+    Reads a 16x16 tile starting at flat ``offset`` with leading dimension
+    ``ldm`` from the named global array.  All 256 elements are moved —
+    including zeros — first into shared memory, then into registers.
+    """
+    arr = memory.array(name)
+    rows = np.arange(FRAGMENT_DIM, dtype=np.int64)
+    tile_idx = offset + rows[:, None] * ldm + rows[None, :]
+    if tile_idx.min() < 0 or tile_idx.max() >= arr.size:
+        raise SimulationError(f"wmma load tile out of bounds of {name!r}")
+    # global -> shared: 8 coalesced row-pair loads by the warp
+    flat = tile_idx.reshape(8, 32)
+    tile = np.empty((8, 32), dtype=arr.dtype)
+    for chunk in range(8):
+        tile[chunk] = memory.warp_load(name, flat[chunk])
+    stats = memory.stats
+    stats.shared_bytes += int(tile.nbytes)  # shared-memory staging write
+    stats.shared_bytes += int(tile.nbytes)  # ... and the read back out
+    fragment.load_matrix(tile.reshape(FRAGMENT_DIM, FRAGMENT_DIM).astype(np.float32))
+    stats.warp_instructions += 1
+
+
+def store_matrix_sync(
+    memory: GlobalMemory,
+    name: str,
+    offset: int,
+    ldm: int,
+    fragment: Fragment,
+) -> None:
+    """``wmma::store_matrix_sync`` — write all 256 elements back."""
+    arr = memory.array(name)
+    rows = np.arange(FRAGMENT_DIM, dtype=np.int64)
+    tile_idx = offset + rows[:, None] * ldm + rows[None, :]
+    if tile_idx.min() < 0 or tile_idx.max() >= arr.size:
+        raise SimulationError(f"wmma store tile out of bounds of {name!r}")
+    values = fragment.to_matrix().reshape(8, 32)
+    flat = tile_idx.reshape(8, 32)
+    stats = memory.stats
+    stats.shared_bytes += 2 * values.nbytes
+    for chunk in range(8):
+        memory.warp_store(name, flat[chunk], values[chunk])
+    stats.warp_instructions += 1
+
+
+def mma_sync(
+    a: Fragment,
+    b: Fragment,
+    c: Fragment,
+    precision: Precision = Precision.FP16,
+    stats: ExecutionStats | None = None,
+) -> Fragment:
+    """``wmma::mma_sync`` — free-function wrapper over :class:`MMAUnit`."""
+    unit = MMAUnit(precision, stats if stats is not None else ExecutionStats())
+    return unit.mma(a, b, c)

@@ -1,0 +1,214 @@
+"""Kernel interface, registry, and shared traffic-counting helpers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.constants import SECTOR_BYTES
+from repro.errors import KernelError
+from repro.formats.csr import CSRMatrix
+from repro.gpu.counters import ExecutionStats
+
+__all__ = [
+    "KernelProfile",
+    "PreparedOperand",
+    "SpMVKernel",
+    "register_kernel",
+    "get_kernel",
+    "available_kernels",
+    "stream_transactions",
+    "gather_transactions",
+    "grouped_transactions",
+    "touched_sector_bytes",
+]
+
+_REGISTRY: dict[str, type["SpMVKernel"]] = {}
+
+
+def register_kernel(cls: type["SpMVKernel"]) -> type["SpMVKernel"]:
+    """Class decorator registering a kernel under its ``name``."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a name")
+    if cls.name in _REGISTRY and _REGISTRY[cls.name] is not cls:
+        raise ValueError(f"kernel {cls.name!r} already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_kernel(name: str) -> "SpMVKernel":
+    """Instantiate a registered kernel by name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise KernelError(f"unknown kernel {name!r}; known: {sorted(_REGISTRY)}") from None
+
+
+def available_kernels() -> list[str]:
+    """Names of all registered kernels, sorted."""
+    return sorted(_REGISTRY)
+
+
+@dataclass
+class PreparedOperand:
+    """A matrix converted into one kernel's execution format."""
+
+    kernel_name: str
+    #: The kernel-specific storage object (format instance or tuple).
+    data: Any
+    #: Shape of the logical matrix.
+    shape: tuple[int, int]
+    #: Nonzeros of the logical matrix.
+    nnz: int
+    #: Device bytes resident for this representation.
+    device_bytes: int
+    #: Modeled device-side preprocessing time, seconds (Fig. 10a).
+    preprocessing_seconds: float
+    #: Measured host wall time of the conversion, seconds.
+    host_seconds: float = 0.0
+
+    @property
+    def bytes_per_nnz(self) -> float:
+        return self.device_bytes / self.nnz if self.nnz else float("inf")
+
+    @property
+    def preprocessing_ns_per_nnz(self) -> float:
+        return self.preprocessing_seconds * 1e9 / self.nnz if self.nnz else 0.0
+
+
+@dataclass
+class KernelProfile:
+    """Traffic/compute counters of one kernel execution.
+
+    ``stats`` holds L1/L2-level transaction counts (what the warp issues);
+    ``dram_load_bytes``/``dram_store_bytes`` are the after-cache DRAM
+    traffic the profiler computed (streams count once; gathered vectors
+    count their compulsory unique-sector footprint, since every evaluated
+    x vector fits in the L2 of both boards).
+    """
+
+    kernel_name: str
+    stats: ExecutionStats
+    dram_load_bytes: int
+    dram_store_bytes: int
+    #: True for kernels built on the V100-tuned ``mma.m8n8k4`` shape,
+    #: which the PTX ISA documents as substantially slower on later
+    #: architectures (the paper cites this for DASP, §5.2).
+    arch_sensitive_mma: bool = False
+    #: Total *serial dependent iterations* summed over all warps (e.g. a
+    #: Spaden warp's block steps, a BSR warp's blocks).  Feeds the
+    #: latency-chain term: when few warps are resident, these chains
+    #: cannot be overlapped and bound the runtime regardless of bandwidth.
+    serial_steps: int = 0
+    #: Fraction of the GPU's sustained bandwidth this kernel's access
+    #: pattern achieves (1.0 = a modern tuned kernel).  Used for older
+    #: kernels whose scheduling granularity leaves memory slack the
+    #: counters cannot see (LightSpMV's per-row dynamic dispatch).
+    bandwidth_efficiency: float = 1.0
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.dram_load_bytes + self.dram_store_bytes
+
+    @property
+    def transactions(self) -> int:
+        return self.stats.load_transactions + self.stats.store_transactions
+
+
+class SpMVKernel(ABC):
+    """Interface every evaluated SpMV method implements."""
+
+    #: Registry key (e.g. ``"spaden"``, ``"cusparse-csr"``).
+    name: str = ""
+    #: Human-readable label used in benchmark tables.
+    label: str = ""
+    #: Whether the method computes on tensor cores.
+    uses_tensor_cores: bool = False
+
+    @abstractmethod
+    def prepare(self, csr: CSRMatrix) -> PreparedOperand:
+        """Convert a CSR matrix into this kernel's format."""
+
+    @abstractmethod
+    def run(self, prepared: PreparedOperand, x: np.ndarray) -> np.ndarray:
+        """Execute the SpMV numerically; returns float32 y."""
+
+    @abstractmethod
+    def profile(self, prepared: PreparedOperand, x: np.ndarray) -> KernelProfile:
+        """Exact analytic traffic/compute counters for one execution."""
+
+    # -- shared helpers ------------------------------------------------------
+    def _check(self, prepared: PreparedOperand, x: np.ndarray) -> np.ndarray:
+        if prepared.kernel_name != self.name:
+            raise KernelError(
+                f"operand prepared for {prepared.kernel_name!r} passed to {self.name!r}"
+            )
+        x = np.asarray(x)
+        if x.ndim != 1 or x.shape[0] != prepared.shape[1]:
+            raise KernelError(f"x has shape {x.shape}, expected ({prepared.shape[1]},)")
+        return x.astype(np.float32)
+
+
+# -- traffic-counting helpers shared by the analytic profilers ---------------
+
+
+def stream_transactions(count: int, itemsize: int) -> int:
+    """Sectors for a fully coalesced streaming read/write of an array."""
+    if count <= 0:
+        return 0
+    return -(-count * itemsize // SECTOR_BYTES)
+
+
+def gather_transactions(indices: np.ndarray, itemsize: int, group: int = 32) -> int:
+    """Sectors issued when warps gather ``indices`` in groups of ``group``.
+
+    Models one load instruction per group of consecutive lanes: each group
+    costs the number of distinct sectors its addresses fall in.  Exact and
+    vectorized (sort each group, count distinct).
+    """
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.size == 0:
+        return 0
+    sectors = idx * itemsize // SECTOR_BYTES
+    pad = (-sectors.size) % group
+    if pad:
+        # padding duplicates the final sector so it never adds transactions
+        sectors = np.concatenate([sectors, np.full(pad, sectors[-1])])
+    grid = np.sort(sectors.reshape(-1, group), axis=1)
+    distinct = 1 + np.count_nonzero(np.diff(grid, axis=1), axis=1)
+    return int(distinct.sum())
+
+
+def grouped_transactions(group_keys: np.ndarray, element_indices: np.ndarray, itemsize: int) -> int:
+    """Sectors issued when each *group* of lanes is one load instruction.
+
+    ``group_keys[i]`` identifies the warp-instruction that accesses element
+    ``element_indices[i]``; the cost of one instruction is the number of
+    distinct sectors among its addresses, so the total is the count of
+    distinct (group, sector) pairs.  Exact and fully vectorized.
+    """
+    g = np.asarray(group_keys, dtype=np.int64)
+    idx = np.asarray(element_indices, dtype=np.int64)
+    if g.shape != idx.shape:
+        raise KernelError("group keys and indices must align")
+    if g.size == 0:
+        return 0
+    sectors = idx * itemsize // SECTOR_BYTES
+    span = int(sectors.max()) + 1
+    return int(np.unique(g * span + sectors).size)
+
+
+def touched_sector_bytes(indices: np.ndarray, itemsize: int) -> int:
+    """Compulsory DRAM footprint of a gathered array: unique sectors x 32.
+
+    This is the after-cache traffic for an operand that fits in L2 (both
+    boards' L2 holds every evaluated x), i.e. each sector is fetched from
+    DRAM once no matter how many warps re-read it.
+    """
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.size == 0:
+        return 0
+    return int(np.unique(idx * itemsize // SECTOR_BYTES).size) * SECTOR_BYTES

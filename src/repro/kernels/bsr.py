@@ -1,0 +1,151 @@
+"""cuSPARSE-BSR analog: dense 8x8 blocks, one warp per block row.
+
+Perfectly coalesced — a block's 64 float32 values are 256 contiguous
+bytes — but every stored zero travels with the block.  On matrices whose
+blocks are mostly sparse the wasted traffic dominates (Fig. 9b: Spaden
+beats BSR by up to 4.2x there), while on nearly-dense blocks
+(raefsky3, TSOPF) BSR's zero-overhead decode wins (1.2-1.5x over
+Spaden).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.constants import BLOCK_DIM
+from repro.formats.bsr import BSRMatrix
+from repro.formats.csr import CSRMatrix
+from repro.gpu.counters import ExecutionStats
+from repro.kernels.base import (
+    KernelProfile,
+    PreparedOperand,
+    SpMVKernel,
+    grouped_transactions,
+    register_kernel,
+    stream_transactions,
+    touched_sector_bytes,
+)
+from repro.perf.preprocessing import model_preprocessing_seconds
+
+__all__ = ["CuSparseBSRKernel"]
+
+
+@register_kernel
+class CuSparseBSRKernel(SpMVKernel):
+    """Dense 8x8 block SpMV, zeros included (the cuSPARSE BSR analog)."""
+
+    name = "cusparse-bsr"
+    label = "cuSPARSE BSR"
+    uses_tensor_cores = False
+
+    def prepare(self, csr: CSRMatrix) -> PreparedOperand:
+        start = time.perf_counter()
+        bsr = BSRMatrix.from_coo(csr.tocoo(), block_dim=BLOCK_DIM)
+        host = time.perf_counter() - start
+        return PreparedOperand(
+            kernel_name=self.name,
+            data=bsr,
+            shape=csr.shape,
+            nnz=csr.nnz,
+            device_bytes=bsr.nbytes,
+            preprocessing_seconds=model_preprocessing_seconds(
+                "bsr", csr.nnz, csr.nrows, nblocks=bsr.nblocks
+            ),
+            host_seconds=host,
+        )
+
+    def run(self, prepared: PreparedOperand, x: np.ndarray) -> np.ndarray:
+        x = self._check(prepared, x)
+        return prepared.data.matvec(x)
+
+    def simulate(self, prepared: PreparedOperand, x: np.ndarray):
+        """Lane-accurate bsrmv: one warp per block row, 256 B blocks
+        streamed by halves (32 lanes x 2 rounds), dense 8x8 dot products
+        on CUDA cores.  Ground truth for the analytic profile."""
+        from repro.gpu.memory import GlobalMemory
+        from repro.gpu.warp import Warp
+
+        bsr: BSRMatrix = prepared.data
+        x = self._check(prepared, x)
+        memory = GlobalMemory()
+        memory.register("block_row_pointers", bsr.block_row_pointers.astype(np.int32))
+        memory.register("block_cols", bsr.block_cols)
+        memory.register("blocks", bsr.blocks.reshape(-1))
+        xpad = np.zeros(bsr.block_cols_count * BLOCK_DIM, dtype=np.float32)
+        xpad[: x.size] = x
+        memory.register("x", xpad)
+        memory.register("y", np.zeros(bsr.block_rows_count * BLOCK_DIM, dtype=np.float32))
+
+        for brow in range(bsr.block_rows_count):
+            warp = Warp(memory)
+            start = int(memory.warp_load("block_row_pointers", np.full(32, brow))[0])
+            end = int(memory.warp_load("block_row_pointers", np.full(32, brow + 1))[0])
+            acc = np.zeros(BLOCK_DIM, dtype=np.float64)
+            for b in range(start, end):
+                bcol = int(memory.warp_load("block_cols", np.full(32, b))[0])
+                # the 64 float32 block values: two coalesced 32-lane rounds
+                base = b * 64
+                half1 = warp.load("blocks", base + warp.lanes)
+                half2 = warp.load("blocks", base + 32 + warp.lanes)
+                block = np.concatenate([half1, half2]).reshape(BLOCK_DIM, BLOCK_DIM)
+                # x segment: 8 elements read by the first 8 lanes
+                seg = warp.load(
+                    "x", bcol * BLOCK_DIM + (warp.lanes % BLOCK_DIM), mask=warp.lanes < 8
+                )[:8]
+                warp.count_flops(4)  # 2 rounds x (multiply + add) per lane
+                warp.count_int_ops(2)
+                acc += block.astype(np.float64) @ seg.astype(np.float64)
+            warp.store(
+                "y",
+                brow * BLOCK_DIM + warp.lanes % BLOCK_DIM,
+                np.resize(acc.astype(np.float32), 32),
+                mask=warp.lanes < 8,
+            )
+            warp.count_int_ops(1, mask=warp.lanes < 8)
+        return memory.array("y")[: bsr.nrows].copy(), memory.stats
+
+    def profile(self, prepared: PreparedOperand, x: np.ndarray) -> KernelProfile:
+        bsr: BSRMatrix = prepared.data
+        self._check(prepared, x)
+        stats = ExecutionStats()
+        nblocks = bsr.nblocks
+        n = bsr.nrows
+        nbrows = bsr.block_rows_count
+
+        # block values stream coalesced: 256 B = 8 sectors per block
+        tx_blocks = stream_transactions(nblocks * 64, 4)
+        # block column and the two row pointers are broadcast scalar reads
+        tx_bcols = nblocks
+        tx_ptr = 2 * nbrows
+        # x segments: 8 float32 = 32 B, gathered per block column
+        tx_x = grouped_transactions(
+            np.arange(nblocks, dtype=np.int64),
+            bsr.block_cols.astype(np.int64) * BLOCK_DIM,
+            4 * BLOCK_DIM,
+        )
+        tx_y = stream_transactions(nbrows * BLOCK_DIM, 4)
+
+        stats.load_transactions = tx_blocks + tx_bcols + tx_ptr + tx_x
+        stats.store_transactions = tx_y
+        stats.global_load_bytes = (
+            nblocks * (256 + 32 * 4 + 32)  # values + broadcast column + x segment
+            + nbrows * 2 * 32 * 4  # broadcast row pointers
+        )
+        stats.global_store_bytes = nbrows * BLOCK_DIM * 4
+        # the dense 8x8 matvec multiplies zeros too: 2 * 64 flops per block
+        stats.cuda_flops = 2 * 64 * nblocks
+        stats.cuda_int_ops = 2 * 32 * nblocks + 8 * nbrows
+        stats.warps_launched = nbrows
+        stats.warp_instructions = 12 * nblocks
+
+        x_segments = np.unique(bsr.block_cols).astype(np.int64) * BLOCK_DIM
+        dram_load = (
+            nblocks * 260  # blocks + block columns
+            + (nbrows + 1) * 4
+            + touched_sector_bytes(x_segments, 4 * BLOCK_DIM)
+        )
+        return KernelProfile(
+            self.name, stats, dram_load, nbrows * BLOCK_DIM * 4, serial_steps=nblocks
+        )

@@ -1,0 +1,84 @@
+"""COO SpMV kernel — one thread per nonzero with atomic accumulation.
+
+The simplest possible GPU SpMV (§2.1: COO "for its simplicity"): streams
+the triplet arrays perfectly coalesced but pays an atomic add per
+nonzero, which serializes on heavy rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.gpu.counters import ExecutionStats
+from repro.kernels.base import (
+    KernelProfile,
+    PreparedOperand,
+    SpMVKernel,
+    grouped_transactions,
+    register_kernel,
+    stream_transactions,
+    touched_sector_bytes,
+)
+from repro.perf.preprocessing import model_preprocessing_seconds
+
+__all__ = ["COOKernel"]
+
+
+@register_kernel
+class COOKernel(SpMVKernel):
+    """One thread per nonzero, atomic adds into y (the simplest GPU SpMV)."""
+
+    name = "coo"
+    label = "COO (atomic)"
+    uses_tensor_cores = False
+
+    def prepare(self, csr: CSRMatrix) -> PreparedOperand:
+        coo = csr.tocoo()
+        return PreparedOperand(
+            kernel_name=self.name,
+            data=coo,
+            shape=csr.shape,
+            nnz=csr.nnz,
+            device_bytes=coo.nbytes,
+            preprocessing_seconds=model_preprocessing_seconds("csr", csr.nnz, csr.nrows),
+        )
+
+    def run(self, prepared: PreparedOperand, x: np.ndarray) -> np.ndarray:
+        x = self._check(prepared, x)
+        return prepared.data.matvec(x)
+
+    def profile(self, prepared: PreparedOperand, x: np.ndarray) -> KernelProfile:
+        coo: COOMatrix = prepared.data
+        self._check(prepared, x)
+        stats = ExecutionStats()
+        n, nnz = coo.nrows, coo.nnz
+
+        tx_rows = stream_transactions(nnz, 4)
+        tx_cols = stream_transactions(nnz, 4)
+        tx_vals = stream_transactions(nnz, 4)
+        slab = np.arange(nnz, dtype=np.int64) // 32
+        tx_x = grouped_transactions(slab, coo.cols, 4)
+        # atomics: one RMW per nonzero on y (warps of consecutive entries
+        # mostly share a row, so sectors coalesce but the RMWs serialize)
+        tx_y = grouped_transactions(slab, coo.rows, 4)
+
+        stats.load_transactions = tx_rows + tx_cols + tx_vals + tx_x + tx_y
+        stats.store_transactions = tx_y
+        stats.global_load_bytes = nnz * 16
+        stats.global_store_bytes = nnz * 4
+        stats.cuda_flops = 2 * nnz
+        stats.cuda_int_ops = nnz
+        stats.atomic_ops = nnz
+        stats.warps_launched = -(-nnz // 32)
+        stats.warp_instructions = 6 * (nnz // 32 + 1)
+
+        dram_load = nnz * 12 + touched_sector_bytes(np.unique(coo.cols), 4)
+        return KernelProfile(
+            self.name,
+            stats,
+            dram_load,
+            n * 4,
+            serial_steps=stats.warps_launched,
+        )

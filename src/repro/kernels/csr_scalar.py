@@ -1,0 +1,136 @@
+"""Scalar CSR SpMV — Algorithm 1 with one thread per row.
+
+The textbook GPU baseline: trivially parallel over rows, but threads of a
+warp walk rows of different lengths, so loads of ``values`` /
+``col_indices`` by neighbouring lanes are rarely in the same sector and
+the warp idles once short rows finish.  Kept as a reference point and a
+correctness cross-check; the evaluated cuSPARSE baseline is
+:mod:`repro.kernels.csr_vector`.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.gpu.counters import ExecutionStats
+from repro.kernels.base import (
+    KernelProfile,
+    PreparedOperand,
+    SpMVKernel,
+    grouped_transactions,
+    register_kernel,
+    stream_transactions,
+    touched_sector_bytes,
+)
+from repro.perf.preprocessing import model_preprocessing_seconds
+from repro.utils.scan import segment_ids
+
+__all__ = ["CSRScalarKernel"]
+
+
+@register_kernel
+class CSRScalarKernel(SpMVKernel):
+    """Algorithm 1 verbatim: one thread walks one row."""
+
+    name = "csr-scalar"
+    label = "CSR (thread/row)"
+    uses_tensor_cores = False
+
+    def prepare(self, csr: CSRMatrix) -> PreparedOperand:
+        # CSR needs no conversion; only the analysis-pass cost is modeled
+        return PreparedOperand(
+            kernel_name=self.name,
+            data=csr,
+            shape=csr.shape,
+            nnz=csr.nnz,
+            device_bytes=csr.nbytes,
+            preprocessing_seconds=model_preprocessing_seconds("csr", csr.nnz, csr.nrows),
+        )
+
+    def run(self, prepared: PreparedOperand, x: np.ndarray) -> np.ndarray:
+        x = self._check(prepared, x)
+        return prepared.data.matvec(x)
+
+    def simulate(self, prepared: PreparedOperand, x: np.ndarray):
+        """Lane-accurate Algorithm 1: one thread per row, lockstep warps.
+
+        Ground truth for the analytic profile below — the unit tests
+        assert the two agree counter for counter.
+        """
+        from repro.gpu.memory import GlobalMemory
+        from repro.gpu.warp import Warp
+
+        csr: CSRMatrix = prepared.data
+        x = self._check(prepared, x)
+        memory = GlobalMemory()
+        memory.register("row_pointers", csr.row_pointers.astype(np.int32))
+        memory.register("col_indices", csr.col_indices)
+        memory.register("values", csr.values)
+        memory.register("x", x)
+        memory.register("y", np.zeros(csr.nrows, dtype=np.float32))
+        n = csr.nrows
+        for first_row in range(0, n, 32):
+            warp = Warp(memory)
+            rows = np.minimum(first_row + warp.lanes, n - 1)
+            active_rows = (first_row + warp.lanes) < n
+            starts = warp.load("row_pointers", rows, mask=active_rows).astype(np.int64)
+            ends = warp.load("row_pointers", rows + 1, mask=active_rows).astype(np.int64)
+            warp.count_int_ops(2, mask=active_rows)
+            acc = np.zeros(32, dtype=np.float64)
+            lengths = np.where(active_rows, ends - starts, 0)
+            for j in range(int(lengths.max(initial=0))):
+                live = lengths > j
+                idx = np.where(live, starts + j, 0)
+                cols = warp.load("col_indices", idx, mask=live).astype(np.int64)
+                vals = warp.load("values", idx, mask=live)
+                xs = warp.load("x", np.where(live, cols, 0), mask=live)
+                warp.count_flops(2, mask=live)
+                warp.count_int_ops(2, mask=live)
+                acc += np.where(live, vals.astype(np.float64) * xs.astype(np.float64), 0.0)
+            warp.store("y", rows, acc.astype(np.float32), mask=active_rows)
+        return memory.array("y").copy(), memory.stats
+
+    def profile(self, prepared: PreparedOperand, x: np.ndarray) -> KernelProfile:
+        csr: CSRMatrix = prepared.data
+        self._check(prepared, x)
+        stats = ExecutionStats()
+        n = csr.nrows
+        nwarps = -(-n // 32)
+
+        rows = segment_ids(csr.row_pointers)
+        # position of every entry within its row
+        pos = np.arange(csr.nnz, dtype=np.int64) - csr.row_pointers[rows]
+        # one load instruction per (warp of rows, iteration): lane = row % 32
+        group = (rows // 32) * (int(pos.max(initial=0)) + 1) + pos
+        entry_idx = np.arange(csr.nnz, dtype=np.int64)
+        tx_vals = grouped_transactions(group, entry_idx, 4)
+        tx_cols = grouped_transactions(group, entry_idx, 4)
+        tx_x = grouped_transactions(group, csr.col_indices, 4)
+        # row-pointer loads: each warp reads ptr[r] (sector-aligned) and
+        # ptr[r+1] (off by one element, usually spilling a sector)
+        warp_of_row = np.arange(n, dtype=np.int64) // 32
+        tx_ptr = grouped_transactions(warp_of_row, np.arange(n, dtype=np.int64), 4)
+        tx_ptr += grouped_transactions(warp_of_row, np.arange(1, n + 1, dtype=np.int64), 4)
+        tx_y = stream_transactions(n, 4)
+
+        stats.load_transactions = tx_vals + tx_cols + tx_x + tx_ptr
+        stats.store_transactions = tx_y
+        stats.global_load_bytes = csr.nnz * 12 + n * 8
+        stats.global_store_bytes = n * 4
+        stats.cuda_flops = 2 * csr.nnz
+        stats.cuda_int_ops = 2 * csr.nnz + 2 * n  # addressing + loop control
+        stats.warps_launched = nwarps
+        # each warp iterates as long as its longest row
+        lengths = csr.row_lengths()
+        pad = (-lengths.size) % 32
+        if pad:
+            lengths = np.concatenate([lengths, np.zeros(pad, dtype=lengths.dtype)])
+        per_warp_steps = lengths.reshape(-1, 32).max(axis=1)
+        stats.warp_instructions = 5 * int(per_warp_steps.sum()) + n
+
+        dram_load = (tx_vals + tx_cols + tx_x + tx_ptr) * 32
+        return KernelProfile(
+            self.name, stats, dram_load, n * 4, serial_steps=int(per_warp_steps.sum())
+        )

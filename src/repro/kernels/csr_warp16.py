@@ -1,0 +1,163 @@
+"""CSR Warp16 — the uncoalesced ablation baseline of Fig. 8.
+
+Mirrors Spaden's work assignment (16 matrix rows per warp) but on plain
+CSR with CUDA cores: the warp's lanes are statically bound to rows, and
+every lane walks its row(s) sequentially.  Neighbouring lanes therefore
+read elements of *different* rows on each instruction — addresses tens
+to hundreds of bytes apart — so nearly every lane's load lands in its own
+sector.  The paper measures this at 23.18x slower than Spaden, the
+clearest demonstration that the coalesced access pattern, not the tensor
+cores, carries most of the speedup.
+
+Assignment modeled here: warp ``w`` owns rows ``[16w, 16w + 16)``; lanes
+``t`` and ``t + 16`` split row ``16w + t`` into its first and second half
+and iterate element-by-element.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.gpu.counters import ExecutionStats
+from repro.kernels.base import (
+    KernelProfile,
+    PreparedOperand,
+    SpMVKernel,
+    grouped_transactions,
+    register_kernel,
+    stream_transactions,
+    touched_sector_bytes,
+)
+from repro.perf.preprocessing import model_preprocessing_seconds
+from repro.utils.scan import segment_ids
+
+__all__ = ["CSRWarp16Kernel"]
+
+
+@register_kernel
+class CSRWarp16Kernel(SpMVKernel):
+    """16 rows per warp with static lane binding — the uncoalesced Fig. 8 baseline."""
+
+    name = "csr-warp16"
+    label = "CSR Warp16"
+    uses_tensor_cores = False
+
+    def prepare(self, csr: CSRMatrix) -> PreparedOperand:
+        return PreparedOperand(
+            kernel_name=self.name,
+            data=csr,
+            shape=csr.shape,
+            nnz=csr.nnz,
+            device_bytes=csr.nbytes,
+            preprocessing_seconds=model_preprocessing_seconds("csr", csr.nnz, csr.nrows),
+        )
+
+    def run(self, prepared: PreparedOperand, x: np.ndarray) -> np.ndarray:
+        x = self._check(prepared, x)
+        return prepared.data.matvec(x)
+
+    def simulate(self, prepared: PreparedOperand, x: np.ndarray):
+        """Lane-accurate Warp16: warp w owns rows [16w, 16w+16); lanes t
+        and t+16 walk the first/second half of row 16w + t element by
+        element.  Ground truth for the analytic profile."""
+        from repro.gpu.memory import GlobalMemory
+        from repro.gpu.warp import Warp
+
+        csr: CSRMatrix = prepared.data
+        x = self._check(prepared, x)
+        memory = GlobalMemory()
+        memory.register("row_pointers", csr.row_pointers.astype(np.int32))
+        memory.register("col_indices", csr.col_indices)
+        memory.register("values", csr.values)
+        memory.register("x", x)
+        memory.register("y", np.zeros(csr.nrows, dtype=np.float32))
+        n = csr.nrows
+        for first_row in range(0, n, 16):
+            warp = Warp(memory)
+            lane_row = first_row + (warp.lanes % 16)
+            active = lane_row < n
+            rows = np.minimum(lane_row, n - 1)
+            starts = warp.load("row_pointers", rows, mask=active & (warp.lanes < 16)).astype(np.int64)
+            ends = warp.load("row_pointers", rows + 1, mask=active & (warp.lanes < 16)).astype(np.int64)
+            # the second-half lanes receive the bounds by shuffle
+            starts = warp.shuffle(starts, warp.lanes % 16)
+            ends = warp.shuffle(ends, warp.lanes % 16)
+            warp.count_int_ops(3, mask=active & (warp.lanes < 16))
+            lengths = np.where(active, ends - starts, 0)
+            first_half = (lengths + 1) // 2
+            # lane t < 16 walks [start, start+first_half), lane t+16 the rest
+            lane_begin = np.where(warp.lanes < 16, starts, starts + first_half)
+            lane_count = np.where(warp.lanes < 16, first_half, lengths - first_half)
+            acc = np.zeros(32, dtype=np.float64)
+            for step in range(int(lane_count.max(initial=0))):
+                live = lane_count > step
+                idx = np.where(live, lane_begin + step, 0)
+                cols = warp.load("col_indices", idx, mask=live).astype(np.int64)
+                vals = warp.load("values", idx, mask=live)
+                xs = warp.load("x", np.where(live, cols, 0), mask=live)
+                warp.count_flops(2, mask=live)
+                warp.count_int_ops(1, mask=live)
+                acc += np.where(live, vals.astype(np.float64) * xs.astype(np.float64), 0.0)
+            # combine the two half-row sums and store from the low lanes
+            acc = acc + warp.shuffle_down(acc, 16)
+            warp.count_flops(1, mask=active & (warp.lanes < 16))
+            warp.store("y", rows, acc.astype(np.float32), mask=active & (warp.lanes < 16))
+        return memory.array("y").copy(), memory.stats
+
+    def _instruction_groups(self, csr: CSRMatrix) -> np.ndarray:
+        """Group key of the load instruction fetching each CSR entry.
+
+        Lanes step through their half-row in lockstep, so the instruction
+        is identified by (warp, step); the half (lane < 16 or >= 16) does
+        not separate instructions — both halves' lanes issue together.
+        """
+        rows = segment_ids(csr.row_pointers)
+        lengths = csr.row_lengths()[rows]
+        pos = np.arange(csr.nnz, dtype=np.int64) - csr.row_pointers[rows]
+        first_half = (lengths + 1) // 2
+        step = np.where(pos < first_half, pos, pos - first_half)
+        warp = rows // 16
+        max_step = int(step.max(initial=0)) + 1
+        return warp * max_step + step
+
+    def profile(self, prepared: PreparedOperand, x: np.ndarray) -> KernelProfile:
+        csr: CSRMatrix = prepared.data
+        self._check(prepared, x)
+        stats = ExecutionStats()
+        n, nnz = csr.nrows, csr.nnz
+
+        group = self._instruction_groups(csr)
+        entry_idx = np.arange(nnz, dtype=np.int64)
+        tx_vals = grouped_transactions(group, entry_idx, 4)
+        tx_cols = grouped_transactions(group, entry_idx, 4)
+        tx_x = grouped_transactions(group, csr.col_indices, 4)
+        # the low 16 lanes read ptr[r] and ptr[r+1] (off-by-one spill)
+        warp_of_row = np.arange(n, dtype=np.int64) // 16
+        tx_ptr = grouped_transactions(warp_of_row, np.arange(n, dtype=np.int64), 4)
+        tx_ptr += grouped_transactions(warp_of_row, np.arange(1, n + 1, dtype=np.int64), 4)
+        tx_y = stream_transactions(n, 4)
+
+        stats.load_transactions = tx_vals + tx_cols + tx_x + tx_ptr
+        stats.store_transactions = tx_y
+        stats.global_load_bytes = nnz * 12 + n * 8
+        stats.global_store_bytes = n * 4
+        stats.cuda_flops = 2 * nnz + n  # per-entry FMA + half-row combine
+        stats.cuda_int_ops = nnz + 3 * n
+        stats.warps_launched = -(-n // 16)
+        # every warp runs for as many steps as its *longest* half-row —
+        # the imbalance cost of static lane-to-row binding
+        half_steps = -(-csr.row_lengths() // 2)
+        pad = (-half_steps.size) % 16
+        if pad:
+            half_steps = np.concatenate([half_steps, np.zeros(pad, dtype=half_steps.dtype)])
+        per_warp_steps = half_steps.reshape(-1, 16).max(axis=1)
+        stats.warp_instructions = 6 * int(per_warp_steps.sum()) + n
+
+        # each splintered sector's re-reference (the same row's next
+        # element) sits thousands of other warps' accesses away, so the
+        # L1/L2 evict it first: DRAM sees the transactions, not the streams
+        dram_load = (tx_vals + tx_cols + tx_x + tx_ptr) * 32
+        return KernelProfile(
+            self.name, stats, dram_load, n * 4, serial_steps=int(per_warp_steps.sum())
+        )

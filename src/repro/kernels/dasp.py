@@ -1,0 +1,184 @@
+"""DASP analog (Lu & Liu, SC'23): row-bucketed SpMV on tensor cores.
+
+DASP categorizes rows by length into long / medium / short groups, pads
+each row to a multiple of the MMA K-dimension, and feeds row fragments to
+``mma.m8n8k4``-style units — 8 result rows per MMA, half of Spaden's 16
+(§4.3).  Storage keeps the padded values in half precision together with
+32-bit column indices and per-fragment metadata; the padding plus the
+index array is why its footprint (12.25 B/nnz, Fig. 10b) is 4.3x
+Spaden's.
+
+The paper's modified DASP emits float32 like all other methods; note that
+the V100-tuned ``mma.m8n8k4`` path is architecture-specific and slower on
+L40 (§5.2) — captured by a per-GPU efficiency in the tensor-op count.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.gpu.counters import ExecutionStats
+from repro.kernels.base import (
+    KernelProfile,
+    PreparedOperand,
+    SpMVKernel,
+    grouped_transactions,
+    register_kernel,
+    stream_transactions,
+    touched_sector_bytes,
+)
+from repro.perf.preprocessing import model_preprocessing_seconds
+from repro.utils.scan import exclusive_scan, segment_ids
+
+__all__ = ["DASPKernel", "DASPOperand"]
+
+#: MMA K dimension of DASP's ``m8n8k4`` building block.
+MMA_K: int = 4
+#: Rows per DASP MMA fragment.
+MMA_M: int = 8
+#: Row-length thresholds of the long / medium / short categorization.
+LONG_ROW: int = 1024
+SHORT_ROW: int = 8
+
+
+@dataclass
+class DASPOperand:
+    """DASP's padded row-major storage."""
+
+    shape: tuple[int, int]
+    nnz: int
+    #: Row pointers into the padded arrays (rows padded to MMA_K).
+    padded_pointers: np.ndarray
+    #: Padded column indices (int32; padding repeats the row's last column).
+    cols: np.ndarray
+    #: Padded half-precision values (padding slots are zero).
+    values: np.ndarray
+    #: Per-row original lengths.
+    row_lengths: np.ndarray
+    #: Per-row category: 0 short, 1 medium, 2 long.
+    category: np.ndarray
+
+    @property
+    def padded_nnz(self) -> int:
+        return int(self.values.size)
+
+
+def _build_dasp(csr: CSRMatrix) -> DASPOperand:
+    lengths = csr.row_lengths()
+    padded_lengths = -(-lengths // MMA_K) * MMA_K
+    # rows with no entries still occupy a fragment slot row
+    ptr = exclusive_scan(padded_lengths)
+    total = int(ptr[-1])
+    cols = np.zeros(total, dtype=np.int32)
+    vals = np.zeros(total, dtype=np.float16)
+    if csr.nnz:
+        rows = segment_ids(csr.row_pointers)
+        pos = np.arange(csr.nnz, dtype=np.int64) - csr.row_pointers[rows]
+        dest = ptr[rows] + pos
+        cols[dest] = csr.col_indices
+        vals[dest] = csr.values.astype(np.float16)
+        # padding repeats the last valid column to keep gathers in range
+        pad_counts = padded_lengths - lengths
+        pad_rows = np.repeat(np.arange(csr.nrows, dtype=np.int64), pad_counts)
+        if pad_rows.size:
+            intra = np.arange(pad_rows.size, dtype=np.int64) - exclusive_scan(pad_counts)[pad_rows]
+            pad_dest = ptr[pad_rows] + lengths[pad_rows] + intra
+            last_col = np.maximum(csr.row_pointers[pad_rows + 1] - 1, csr.row_pointers[pad_rows])
+            safe = lengths[pad_rows] > 0
+            cols[pad_dest[safe]] = csr.col_indices[last_col[safe]]
+    category = np.where(lengths > LONG_ROW, 2, np.where(lengths > SHORT_ROW, 1, 0)).astype(np.int8)
+    return DASPOperand(
+        shape=csr.shape,
+        nnz=csr.nnz,
+        padded_pointers=ptr,
+        cols=cols,
+        values=vals,
+        row_lengths=lengths,
+        category=category,
+    )
+
+
+@register_kernel
+class DASPKernel(SpMVKernel):
+    """Row-length-bucketed tensor-core SpMV (the DASP SC'23 analog)."""
+
+    name = "dasp"
+    label = "DASP"
+    uses_tensor_cores = True
+
+    def prepare(self, csr: CSRMatrix) -> PreparedOperand:
+        start = time.perf_counter()
+        op = _build_dasp(csr)
+        host = time.perf_counter() - start
+        n = csr.nrows
+        device_bytes = (
+            op.values.nbytes  # fp16 padded values
+            + op.cols.nbytes  # int32 padded columns
+            + (n + 1) * 4  # padded pointers
+            + n * (4 + 1)  # row permutation + category metadata
+            + n * 4  # fp32 staging buffer for the bucketed output
+            + op.padded_nnz * 4  # fp32 value copy for the modified fp32 path
+        )
+        return PreparedOperand(
+            kernel_name=self.name,
+            data=op,
+            shape=csr.shape,
+            nnz=csr.nnz,
+            device_bytes=device_bytes,
+            preprocessing_seconds=model_preprocessing_seconds(
+                "dasp", csr.nnz, csr.nrows, padded_nnz=op.padded_nnz
+            ),
+            host_seconds=host,
+        )
+
+    def run(self, prepared: PreparedOperand, x: np.ndarray) -> np.ndarray:
+        x = self._check(prepared, x)
+        op: DASPOperand = prepared.data
+        # padding slots hold zero values, so they contribute nothing even
+        # though their (repeated) columns are gathered
+        x16 = x.astype(np.float16).astype(np.float32)
+        products = op.values.astype(np.float32) * x16[op.cols]
+        rows = segment_ids(op.padded_pointers)
+        y = np.bincount(rows, weights=products.astype(np.float64), minlength=op.shape[0])
+        return y.astype(np.float32)
+
+    def profile(self, prepared: PreparedOperand, x: np.ndarray) -> KernelProfile:
+        op: DASPOperand = prepared.data
+        self._check(prepared, x)
+        stats = ExecutionStats()
+        n = op.shape[0]
+        padded = op.padded_nnz
+
+        tx_vals = stream_transactions(padded, 2)
+        tx_cols = stream_transactions(padded, 4)
+        slab = np.arange(padded, dtype=np.int64) // 32
+        tx_x = grouped_transactions(slab, op.cols, 2)  # x kept fp16 for frag B
+        tx_ptr = stream_transactions(n + 1, 4)
+        tx_meta = stream_transactions(n, 5)
+        tx_y = stream_transactions(n, 4)
+
+        stats.load_transactions = tx_vals + tx_cols + tx_x + tx_ptr + tx_meta
+        stats.store_transactions = tx_y
+        stats.global_load_bytes = padded * 6 + (n + 1) * 4 + n * 5
+        stats.global_store_bytes = n * 4
+        # every padded K-slab of 8 rows is one m8n8k4 MMA: 8 rows x 4 K
+        stats.mma_ops = -(-padded // (MMA_M * MMA_K))
+        stats.cuda_int_ops = padded + 12 * n  # bucket bookkeeping
+        stats.cuda_flops = 2 * n  # final gather of bucketed outputs
+        stats.warps_launched = -(-n // MMA_M)
+        stats.warp_instructions = 6 * (padded // 32 + 1) + 2 * stats.mma_ops
+
+        dram_load = (
+            padded * 6
+            + (n + 1) * 4
+            + n * 5
+            + touched_sector_bytes(np.unique(op.cols), 2)
+        )
+        return KernelProfile(
+            self.name, stats, dram_load, n * 4,
+            arch_sensitive_mma=True, serial_steps=stats.mma_ops // 8,
+        )

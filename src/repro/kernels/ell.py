@@ -1,0 +1,93 @@
+"""ELL SpMV kernel — the classic regular-grid GPU baseline (§2.1).
+
+One thread per row walking the column-major padded grid: loads are
+perfectly coalesced (lane = row, slot-major iteration), at the cost of
+moving padding for every short row.  Strong on uniform row lengths,
+pathological on skew — the trade HYB repairs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.formats.ell import ELLMatrix
+from repro.gpu.counters import ExecutionStats
+from repro.kernels.base import (
+    KernelProfile,
+    PreparedOperand,
+    SpMVKernel,
+    grouped_transactions,
+    register_kernel,
+    stream_transactions,
+    touched_sector_bytes,
+)
+from repro.perf.preprocessing import CONVERSION_BANDWIDTH
+
+__all__ = ["ELLKernel"]
+
+
+@register_kernel
+class ELLKernel(SpMVKernel):
+    """Padded regular-grid SpMV: coalesced but pays for every padding slot."""
+
+    name = "ell"
+    label = "ELL"
+    uses_tensor_cores = False
+
+    def prepare(self, csr: CSRMatrix) -> PreparedOperand:
+        start = time.perf_counter()
+        ell = ELLMatrix.from_coo(csr.tocoo())
+        host = time.perf_counter() - start
+        # conversion: one gather pass + the padded writes
+        work = 8.0 * csr.nnz + 8.0 * ell.col_indices.size
+        return PreparedOperand(
+            kernel_name=self.name,
+            data=ell,
+            shape=csr.shape,
+            nnz=csr.nnz,
+            device_bytes=ell.nbytes,
+            preprocessing_seconds=work / CONVERSION_BANDWIDTH,
+            host_seconds=host,
+        )
+
+    def run(self, prepared: PreparedOperand, x: np.ndarray) -> np.ndarray:
+        x = self._check(prepared, x)
+        return prepared.data.matvec(x)
+
+    def profile(self, prepared: PreparedOperand, x: np.ndarray) -> KernelProfile:
+        ell: ELLMatrix = prepared.data
+        self._check(prepared, x)
+        stats = ExecutionStats()
+        n = ell.nrows
+        slots = int(ell.col_indices.size)  # n * width, padding included
+
+        # column-major slot grid: warps of 32 consecutive rows stream
+        # each slot column coalesced — every slot travels, pad or not
+        tx_vals = stream_transactions(slots, 4)
+        tx_cols = stream_transactions(slots, 4)
+        valid = ell.col_indices != -1
+        group = (np.nonzero(valid.T.reshape(-1))[0] // 32) if slots else np.zeros(0, np.int64)
+        gathered = ell.col_indices.T.reshape(-1)[valid.T.reshape(-1)] if slots else np.zeros(0, np.int64)
+        tx_x = grouped_transactions(group, gathered, 4)
+        tx_y = stream_transactions(n, 4)
+
+        stats.load_transactions = tx_vals + tx_cols + tx_x
+        stats.store_transactions = tx_y
+        stats.global_load_bytes = slots * 8
+        stats.global_store_bytes = n * 4
+        stats.cuda_flops = 2 * slots  # padding multiplies zeros
+        stats.cuda_int_ops = slots + 2 * n
+        stats.warps_launched = -(-n // 32)
+        stats.warp_instructions = 5 * (slots // 32 + 1)
+
+        dram_load = slots * 8 + touched_sector_bytes(np.unique(gathered), 4)
+        return KernelProfile(
+            self.name,
+            stats,
+            dram_load,
+            n * 4,
+            serial_steps=-(-n // 32) * ell.width,
+        )

@@ -1,0 +1,105 @@
+"""SELL-C-sigma SpMV kernel — the modern sliced-ELL baseline.
+
+One warp per 32-row slice walking its column-major grid: loads are
+perfectly coalesced like ELL's, but each slice pads only to its own
+width, so skewed matrices stop paying for their heaviest row globally.
+Included as part of the format-kernel library the paper's future work
+sketches.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.formats.sell import SELLMatrix
+from repro.gpu.counters import ExecutionStats
+from repro.kernels.base import (
+    KernelProfile,
+    PreparedOperand,
+    SpMVKernel,
+    grouped_transactions,
+    register_kernel,
+    stream_transactions,
+    touched_sector_bytes,
+)
+from repro.perf.preprocessing import CONVERSION_BANDWIDTH
+
+__all__ = ["SELLKernel"]
+
+
+@register_kernel
+class SELLKernel(SpMVKernel):
+    """Sliced-ELL SpMV: per-slice padding, coalesced column-major walks."""
+
+    name = "sell"
+    label = "SELL-C-sigma"
+    uses_tensor_cores = False
+
+    def prepare(self, csr: CSRMatrix) -> PreparedOperand:
+        start = time.perf_counter()
+        sell = SELLMatrix.from_coo(csr.tocoo(), c=32, sigma=256)
+        host = time.perf_counter() - start
+        # conversion: windowed sort of row lengths + one gather pass
+        work = 24.0 * csr.nrows + 16.0 * csr.nnz + 8.0 * sell.col_indices.size
+        return PreparedOperand(
+            kernel_name=self.name,
+            data=sell,
+            shape=csr.shape,
+            nnz=csr.nnz,
+            device_bytes=sell.nbytes,
+            preprocessing_seconds=work / CONVERSION_BANDWIDTH,
+            host_seconds=host,
+        )
+
+    def run(self, prepared: PreparedOperand, x: np.ndarray) -> np.ndarray:
+        x = self._check(prepared, x)
+        return prepared.data.matvec(x)
+
+    def profile(self, prepared: PreparedOperand, x: np.ndarray) -> KernelProfile:
+        sell: SELLMatrix = prepared.data
+        self._check(prepared, x)
+        stats = ExecutionStats()
+        n = sell.nrows
+        slots = int(sell.col_indices.size)
+
+        # per-slice column-major grids stream coalesced (32 lanes = one
+        # slot column), padding included
+        tx_vals = stream_transactions(slots, 4)
+        tx_cols = stream_transactions(slots, 4)
+        valid = sell.col_indices != -1
+        group = np.nonzero(valid)[0] // 32 if slots else np.zeros(0, np.int64)
+        gathered = sell.col_indices[valid].astype(np.int64) if slots else np.zeros(0, np.int64)
+        tx_x = grouped_transactions(group, gathered, 4)
+        tx_meta = stream_transactions(sell.slice_widths.size, 8)
+        # the permuted store scatters back to original row order
+        tx_y = grouped_transactions(
+            np.arange(n, dtype=np.int64) // 32 if n else np.zeros(0, np.int64),
+            sell.permutation.astype(np.int64),
+            4,
+        )
+
+        stats.load_transactions = tx_vals + tx_cols + tx_x + tx_meta
+        stats.store_transactions = tx_y
+        stats.global_load_bytes = slots * 8 + sell.slice_widths.size * 8 + n * 4
+        stats.global_store_bytes = n * 4
+        stats.cuda_flops = 2 * slots
+        stats.cuda_int_ops = slots + 3 * n
+        stats.warps_launched = max(1, sell.slice_widths.size)
+        stats.warp_instructions = 5 * (slots // 32 + 1)
+
+        dram_load = (
+            slots * 8
+            + sell.slice_widths.size * 8
+            + n * 4
+            + touched_sector_bytes(np.unique(gathered), 4)
+        )
+        return KernelProfile(
+            self.name,
+            stats,
+            dram_load,
+            n * 4,
+            serial_steps=int(sell.slice_widths.astype(np.int64).sum()),
+        )

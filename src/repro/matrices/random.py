@@ -1,0 +1,60 @@
+"""Plain random sparse matrices for tests and property-based fuzzing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.formats.coo import COOMatrix
+from repro.matrices.generators import fp16_exact_values
+
+__all__ = ["random_coo", "random_banded"]
+
+
+def random_coo(
+    nrows: int,
+    ncols: int,
+    density: float,
+    seed: int | None = None,
+    fp16_exact: bool = True,
+) -> COOMatrix:
+    """Uniform random sparse matrix with approximately the given density."""
+    if not 0.0 <= density <= 1.0:
+        raise DatasetError("density must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    target = int(round(nrows * ncols * density))
+    if target == 0:
+        return COOMatrix((nrows, ncols), np.zeros(0, np.int32), np.zeros(0, np.int32), np.zeros(0, np.float32))
+    flat = rng.choice(nrows * ncols, size=min(target, nrows * ncols), replace=False)
+    rows = (flat // ncols).astype(np.int32)
+    cols = (flat % ncols).astype(np.int32)
+    if fp16_exact:
+        values = fp16_exact_values(rng, flat.size)
+    else:
+        values = rng.standard_normal(flat.size).astype(np.float32)
+        values[values == 0] = 1.0
+    return COOMatrix((nrows, ncols), rows, cols, values)
+
+
+def random_banded(
+    n: int,
+    bandwidth: int,
+    fill: float = 0.5,
+    seed: int | None = None,
+) -> COOMatrix:
+    """Random banded square matrix (entries within ``|i - j| <= bandwidth``)."""
+    if bandwidth < 0:
+        raise DatasetError("bandwidth must be non-negative")
+    rng = np.random.default_rng(seed)
+    rows_list = []
+    cols_list = []
+    for off in range(-bandwidth, bandwidth + 1):
+        length = n - abs(off)
+        keep = rng.random(length) < fill
+        r = np.flatnonzero(keep) + max(0, -off)
+        rows_list.append(r)
+        cols_list.append(r + off)
+    rows = np.concatenate(rows_list).astype(np.int32)
+    cols = np.concatenate(cols_list).astype(np.int32)
+    values = fp16_exact_values(rng, rows.size)
+    return COOMatrix((n, n), rows, cols, values)

@@ -1,0 +1,63 @@
+"""Matrix structure statistics used by reports and generator validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.analysis import BlockProfile, categorize_blocks
+from repro.formats.bitbsr import BitBSRMatrix
+from repro.formats.csr import CSRMatrix
+
+__all__ = ["MatrixStats", "matrix_stats"]
+
+
+@dataclass(frozen=True)
+class MatrixStats:
+    """Structural summary of one matrix (Table-1 columns and more)."""
+
+    nrow: int
+    ncol: int
+    nnz: int
+    block_nrow: int
+    block_nnz: int
+    nnz_per_row_mean: float
+    nnz_per_row_max: int
+    block_profile: BlockProfile
+
+    @property
+    def mean_block_nnz(self) -> float:
+        return self.nnz / self.block_nnz if self.block_nnz else 0.0
+
+    def table1_row(self, name: str) -> dict[str, int | str]:
+        return {
+            "Matrix": name,
+            "nrow": self.nrow,
+            "nnz": self.nnz,
+            "Bnrow": self.block_nrow,
+            "Bnnz": self.block_nnz,
+        }
+
+
+def matrix_stats(matrix: CSRMatrix | BitBSRMatrix) -> MatrixStats:
+    """Compute the structural summary, converting to bitBSR if needed."""
+    if isinstance(matrix, BitBSRMatrix):
+        bit = matrix
+        csr_lengths = None
+    else:
+        bit = BitBSRMatrix.from_coo(matrix.tocoo())
+        csr_lengths = matrix.row_lengths()
+    if csr_lengths is None:
+        rows, _ = bit.entry_coordinates()
+        csr_lengths = np.bincount(rows, minlength=bit.nrows)
+    return MatrixStats(
+        nrow=bit.nrows,
+        ncol=bit.ncols,
+        nnz=bit.nnz,
+        block_nrow=bit.block_rows_count,
+        block_nnz=bit.nblocks,
+        nnz_per_row_mean=float(csr_lengths.mean()) if csr_lengths.size else 0.0,
+        nnz_per_row_max=int(csr_lengths.max(initial=0)),
+        block_profile=categorize_blocks(bit),
+    )

@@ -1,0 +1,24 @@
+"""Analytic performance model (roofline) and paper-style reporting.
+
+The model converts a kernel's exact traffic/compute counters
+(:class:`repro.kernels.base.KernelProfile`) into a time estimate for a
+named GPU (:mod:`repro.gpu.spec`).  SpMV is bandwidth-bound, so the
+dominant term is DRAM traffic; secondary terms capture L2/L1 transaction
+pressure (what kills uncoalesced kernels), CUDA-core and tensor-core
+compute, atomic serialization and launch overhead.
+"""
+
+from repro.perf.metrics import gflops, speedup_table
+from repro.perf.model import TimeBreakdown, estimate_time
+from repro.perf.preprocessing import model_preprocessing_seconds
+from repro.perf.report import format_table, series_to_rows
+
+__all__ = [
+    "gflops",
+    "speedup_table",
+    "TimeBreakdown",
+    "estimate_time",
+    "model_preprocessing_seconds",
+    "format_table",
+    "series_to_rows",
+]

@@ -1,0 +1,64 @@
+"""Performance metrics: GFLOPS, speedups, geometric means."""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["gflops", "geomean", "speedup_table", "speedups_over"]
+
+
+def gflops(nnz: int, seconds: float) -> float:
+    """SpMV throughput: 2 FLOPs per nonzero over the runtime.
+
+    The standard convention used by the paper's Fig. 6.
+    """
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return 2.0 * nnz / seconds / 1e9
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's aggregate speedup convention)."""
+    vals = [v for v in values]
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def speedups_over(
+    times: Mapping[str, float], baseline: str
+) -> dict[str, float]:
+    """Per-method speedup of ``baseline``'s time over each method's time.
+
+    ``result[m] = times[baseline] / times[m]`` — a value > 1 means method
+    ``m`` is faster than the baseline.
+    """
+    if baseline not in times:
+        raise KeyError(f"baseline {baseline!r} missing from times")
+    base = times[baseline]
+    return {name: base / t for name, t in times.items() if name != baseline}
+
+
+def speedup_table(
+    per_matrix_times: Mapping[str, Mapping[str, float]], target: str
+) -> dict[str, float]:
+    """Geomean speedup of ``target`` over every other method.
+
+    ``per_matrix_times[matrix][method] = seconds``.  Returns
+    ``{method: geomean_m(times[m][method] / times[m][target])}`` — the
+    aggregation behind the paper's "1.63x over cuSPARSE CSR" numbers.
+    """
+    methods = {m for times in per_matrix_times.values() for m in times if m != target}
+    out = {}
+    for method in methods:
+        ratios = [
+            times[method] / times[target]
+            for times in per_matrix_times.values()
+            if method in times and target in times
+        ]
+        if ratios:
+            out[method] = geomean(ratios)
+    return out

@@ -1,0 +1,150 @@
+"""Roofline time model: counters -> seconds on a named GPU.
+
+``time = launch + max(dram, l2, cuda, tensor, atomic, issue)``
+
+* **dram** — after-cache DRAM bytes over sustained bandwidth.  This is
+  the binding constraint for well-coalesced SpMV and the reason bitBSR's
+  traffic reduction translates into speedup.
+* **l2** — all warp transactions (32 B sectors) over L2 bandwidth.  An
+  uncoalesced kernel issues up to 32x the sectors per instruction, which
+  is what makes CSR-Warp16 an order of magnitude slower (Fig. 8) even
+  though its DRAM footprint is ordinary.
+* **cuda / tensor** — scalar FLOPs (plus weighted integer decode work) on
+  CUDA cores; MMA FLOPs on tensor cores.
+* **atomic** — serialized read-modify-write throughput for edge-centric
+  kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import SECTOR_BYTES
+from repro.gpu.spec import GPUSpec
+from repro.kernels.base import KernelProfile
+
+__all__ = [
+    "TimeBreakdown",
+    "estimate_time",
+    "L2_BANDWIDTH_RATIO",
+    "ATOMIC_THROUGHPUT_RATIO",
+    "ISSUE_IPC",
+    "MMA_ARCH_PENALTY",
+]
+
+#: Effective L2 bandwidth as a multiple of DRAM bandwidth.  Datasheet L2
+#: peaks near 4x DRAM, but broadcast- and partial-sector-heavy kernels
+#: (Spaden's per-block scalar reads) sustain well below peak; 2.5x is
+#: calibrated against the paper's measured Spaden-vs-CSR gap.
+L2_BANDWIDTH_RATIO: float = 2.5
+
+#: Global atomic throughput relative to plain store bandwidth.
+ATOMIC_THROUGHPUT_RATIO: float = 0.25
+
+#: Cost weight of an integer/bitwise op relative to an FP32 FLOP.
+INT_OP_WEIGHT: float = 0.5
+
+#: Shared-memory bandwidth relative to DRAM (staging cost of WMMA loads).
+SHARED_BANDWIDTH_RATIO: float = 8.0
+
+#: Warp instructions issued per SM per cycle for the dependency-chained,
+#: low-occupancy code SpMV kernels are made of.  Peak is 4; irregular
+#: decode/gather chains sustain roughly one.
+ISSUE_IPC: float = 1.0
+
+#: Slowdown of the V100-tuned ``mma.m8n8k4`` shape on later architectures
+#: (PTX ISA: the shape "may suffer from substantially reduced
+#: performance on other architectures" — §5.2 cites this for DASP).
+MMA_ARCH_PENALTY: float = 8.0
+
+#: Effective latency of one dependent load -> decode -> consume step,
+#: seconds: an L2 round trip plus dependent arithmetic, divided by the
+#: ~2-3 steps a software-pipelined kernel keeps in flight per warp.
+CHAIN_LATENCY: float = 1.6e-7
+
+#: Dependent chains an SM can keep in flight (limited by warp slots and
+#: outstanding-miss capacity).
+CHAINS_PER_SM: int = 16
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Per-resource time components of one kernel execution (seconds)."""
+
+    launch: float
+    dram: float
+    l2: float
+    cuda: float
+    tensor: float
+    atomic: float
+    shared: float
+    issue: float
+    chain: float
+
+    @property
+    def bound(self) -> str:
+        """Name of the binding resource."""
+        parts = {
+            "dram": self.dram,
+            "l2": self.l2,
+            "cuda": self.cuda,
+            "tensor": self.tensor,
+            "atomic": self.atomic,
+            "shared": self.shared,
+            "issue": self.issue,
+            "chain": self.chain,
+        }
+        return max(parts, key=parts.get)
+
+    @property
+    def total(self) -> float:
+        """Launch plus the slowest overlapped resource."""
+        return self.launch + max(
+            self.dram,
+            self.l2,
+            self.cuda,
+            self.tensor,
+            self.atomic,
+            self.shared,
+            self.issue,
+            self.chain,
+        )
+
+
+def estimate_time(profile: KernelProfile, gpu: GPUSpec) -> TimeBreakdown:
+    """Estimate one kernel execution's runtime on ``gpu``."""
+    s = profile.stats
+    # the per-kernel efficiency derates the whole memory system — a
+    # kernel that cannot keep enough loads in flight starves DRAM and L2
+    # alike
+    bw = gpu.effective_bandwidth * profile.bandwidth_efficiency
+    t_dram = profile.dram_bytes / bw
+    l2_ratio = getattr(gpu, "l2_ratio", L2_BANDWIDTH_RATIO)
+    t_l2 = profile.transactions * SECTOR_BYTES / (bw * l2_ratio)
+    t_cuda = (s.cuda_flops + INT_OP_WEIGHT * s.cuda_int_ops) / gpu.effective_fp32
+    mma_penalty = MMA_ARCH_PENALTY if profile.arch_sensitive_mma and gpu.name != "V100" else 1.0
+    t_tensor = s.mma_ops * 8192 * mma_penalty / gpu.effective_tensor
+    t_atomic = s.atomic_ops * 4 / (bw * ATOMIC_THROUGHPUT_RATIO)
+    t_shared = s.shared_bytes / (bw * SHARED_BANDWIDTH_RATIO)
+    # every warp instruction needs an issue slot, and every memory
+    # transaction needs an LSU slot; a load's first sector rides its
+    # instruction slot, so the two pipelines overlap and the larger one
+    # binds (an uncoalesced kernel is LSU-replay bound, a decode-heavy
+    # kernel is instruction bound)
+    issue_rate = gpu.sm_count * gpu.clock_ghz * 1e9 * ISSUE_IPC
+    t_issue = max(s.warp_instructions, profile.transactions) / issue_rate
+    # dependent per-warp iteration chains: with fewer resident warps than
+    # the chip can interleave, chains execute at latency, not bandwidth
+    concurrency = max(1, min(s.warps_launched, gpu.sm_count * CHAINS_PER_SM))
+    t_chain = profile.serial_steps * CHAIN_LATENCY / concurrency
+    return TimeBreakdown(
+        launch=gpu.launch_overhead_us * 1e-6,
+        dram=t_dram,
+        l2=t_l2,
+        cuda=t_cuda,
+        tensor=t_tensor,
+        atomic=t_atomic,
+        shared=t_shared,
+        issue=t_issue,
+        chain=t_chain,
+    )

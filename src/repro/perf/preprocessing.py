@@ -1,0 +1,68 @@
+"""Preprocessing (format-conversion) cost model — Fig. 10a.
+
+The paper measures device-side conversion cost in nanoseconds per nonzero:
+cuSPARSE BSR 1.21, Spaden 3.31, DASP 4.95, with cuSPARSE CSR's buffer
+setup nearly constant across datasets.  We model each method's conversion
+as the streaming passes a GPU implementation needs (reads + writes per
+nonzero / per block), divided by a single calibrated conversion
+throughput.  Structure drives the per-matrix variation (block counts,
+padding); the shared throughput constant sets the absolute scale.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CONVERSION_BANDWIDTH", "model_preprocessing_seconds"]
+
+#: Effective streaming throughput of format-conversion kernels, bytes/s.
+#: Conversions are scan/sort/scatter pipelines, far below STREAM peak;
+#: this constant is calibrated so modeled costs land in the paper's
+#: measured 1-5 ns/nnz range while preserving the BSR < Spaden < DASP
+#: ordering, which follows from the pass structure below.
+CONVERSION_BANDWIDTH: float = 22e9
+
+#: Fixed buffer-allocation cost of cuSPARSE CSR's preprocessing, seconds.
+CSR_SETUP_SECONDS: float = 2.0e-6
+
+
+def model_preprocessing_seconds(
+    method: str,
+    nnz: int,
+    nrows: int,
+    nblocks: int = 0,
+    padded_nnz: int = 0,
+) -> float:
+    """Modeled device-side conversion time for one method.
+
+    Work accounting (bytes moved per conversion):
+
+    * ``csr`` — cuSPARSE CSR needs no conversion; its preprocessing is an
+      analysis pass over the matrix (8 B/nnz) plus constant buffer
+      allocation — the "for reference" curve of Fig. 10a.
+    * ``bsr`` — one read of the source entries (8 B each: index pair +
+      value) and one scatter write of every dense block (256 B values +
+      4 B column), plus the block-pointer pass.
+    * ``bitbsr`` — Spaden's pipeline: key generation (8 B/nnz), a 4-pass
+      radix sort of 8 B records (64 B/nnz moved), bitmap reduction
+      (8 B/nnz read + 8 B/block write), the offset scan and the packed
+      half-precision value gather (4 B read + 2 B write per nnz).
+    * ``dasp`` — row-length histogram, a 4-pass radix sort of all entries
+      into the bucket-major layout (64 B/nnz), the gather into padded
+      fragments (16 B/nnz read + 6 B per padded slot written) and per-row
+      permutation/metadata passes.
+    """
+    if nnz < 0 or nrows < 0:
+        raise ValueError("sizes must be non-negative")
+    if method == "csr":
+        work = 8.0 * nnz + 4.0 * nrows
+        return CSR_SETUP_SECONDS + work / CONVERSION_BANDWIDTH
+    if method == "bsr":
+        work = 8.0 * nnz + 260.0 * nblocks + 8.0 * nrows
+        return work / CONVERSION_BANDWIDTH
+    if method == "bitbsr":
+        work = (8.0 + 64.0 + 8.0 + 4.0 + 2.0) * nnz + 16.0 * nblocks + 8.0 * nrows
+        return work / CONVERSION_BANDWIDTH
+    if method == "dasp":
+        padded = padded_nnz if padded_nnz else nnz
+        work = (8.0 + 64.0 + 16.0) * nnz + 6.0 * padded + 40.0 * nrows
+        return work / CONVERSION_BANDWIDTH
+    raise ValueError(f"unknown preprocessing method {method!r}")

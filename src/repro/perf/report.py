@@ -1,0 +1,54 @@
+"""Plain-text table formatting for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["format_table", "series_to_rows"]
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    floatfmt: str = ".2f",
+    title: str = "",
+) -> str:
+    """Render dict rows as an aligned monospace table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    cols = list(columns) if columns else list(rows[0].keys())
+
+    def cell(value: Any) -> str:
+        if isinstance(value, float):
+            return format(value, floatfmt)
+        return str(value)
+
+    rendered = [[cell(r.get(c, "")) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in rendered)) for i, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(v.rjust(w) if _numeric(v) else v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _numeric(s: str) -> bool:
+    try:
+        float(s.replace(",", ""))
+        return True
+    except ValueError:
+        return False
+
+
+def series_to_rows(series: Mapping[str, Mapping[str, Any]], index_name: str = "matrix") -> list[dict[str, Any]]:
+    """Convert ``{row_key: {col: val}}`` into a list of table rows."""
+    rows = []
+    for key, values in series.items():
+        row: dict[str, Any] = {index_name: key}
+        row.update(values)
+        rows.append(row)
+    return rows

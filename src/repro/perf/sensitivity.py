@@ -1,0 +1,81 @@
+"""Sensitivity analysis of the roofline model's calibrated constants.
+
+The headline reproduction claims should not hinge on one lucky constant:
+this module re-evaluates a set of kernel profiles while perturbing each
+calibrated parameter and reports how the Spaden-vs-baseline geomeans
+move.  Used by tests to assert the *orderings* are stable under +-20%
+perturbation of every knob.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.gpu.spec import GPUSpec, get_gpu
+from repro.kernels.base import KernelProfile
+from repro.perf import model as _model
+from repro.perf.metrics import speedup_table
+from repro.perf.model import estimate_time
+
+__all__ = ["PERTURBABLE", "SensitivityPoint", "perturbed_constant", "sensitivity_sweep"]
+
+#: Module-level model constants that calibration touched.
+PERTURBABLE: tuple[str, ...] = (
+    "L2_BANDWIDTH_RATIO",
+    "ATOMIC_THROUGHPUT_RATIO",
+    "ISSUE_IPC",
+    "MMA_ARCH_PENALTY",
+    "CHAIN_LATENCY",
+)
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Geomean speedups under one perturbed constant."""
+
+    constant: str
+    factor: float
+    geomeans: Mapping[str, float]
+
+
+@contextmanager
+def perturbed_constant(name: str, factor: float) -> Iterator[None]:
+    """Temporarily scale one model constant by ``factor``."""
+    if name not in PERTURBABLE:
+        raise KeyError(f"{name!r} is not a perturbable constant")
+    original = getattr(_model, name)
+    setattr(_model, name, original * factor)
+    try:
+        yield
+    finally:
+        setattr(_model, name, original)
+
+
+def _geomeans(
+    profiles: Mapping[str, Mapping[str, KernelProfile]],
+    gpu: GPUSpec,
+    target: str,
+) -> dict[str, float]:
+    times = {
+        matrix: {m: estimate_time(p, gpu).total for m, p in per.items()}
+        for matrix, per in profiles.items()
+    }
+    return speedup_table(times, target)
+
+
+def sensitivity_sweep(
+    profiles: Mapping[str, Mapping[str, KernelProfile]],
+    gpu_name: str = "L40",
+    target: str = "spaden",
+    factors: tuple[float, ...] = (0.8, 1.25),
+) -> list[SensitivityPoint]:
+    """Evaluate target-vs-baseline geomeans under each perturbation."""
+    gpu = get_gpu(gpu_name)
+    points = [SensitivityPoint("baseline", 1.0, _geomeans(profiles, gpu, target))]
+    for name in PERTURBABLE:
+        for factor in factors:
+            with perturbed_constant(name, factor):
+                points.append(SensitivityPoint(name, factor, _geomeans(profiles, gpu, target)))
+    return points

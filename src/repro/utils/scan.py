@@ -1,0 +1,44 @@
+"""Prefix-scan helpers used by format builders and kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["exclusive_scan", "inclusive_scan", "segment_ids"]
+
+
+def inclusive_scan(counts: np.ndarray) -> np.ndarray:
+    """Inclusive prefix sum with the input's integer dtype widened to i64."""
+    return np.cumsum(np.asarray(counts, dtype=np.int64))
+
+
+def exclusive_scan(counts: np.ndarray, total: bool = True) -> np.ndarray:
+    """Exclusive prefix sum.
+
+    The paper uses an exclusive scan over per-block nonzero counts to find
+    each block's offset into the packed value array (§4.2).  With
+    ``total=True`` the returned array has ``len(counts) + 1`` entries so it
+    doubles as a CSR-style pointer array.
+    """
+    c = np.asarray(counts, dtype=np.int64)
+    out = np.zeros(c.size + 1, dtype=np.int64)
+    np.cumsum(c, out=out[1:])
+    return out if total else out[:-1]
+
+
+def segment_ids(pointers: np.ndarray) -> np.ndarray:
+    """Expand a CSR-style pointer array into one segment id per element.
+
+    ``segment_ids([0, 2, 2, 5]) == [0, 0, 2, 2, 2]`` — the inverse of
+    building row pointers, used by COO<->CSR conversions and load-balancing
+    kernels (LightSpMV-style binary-search row lookup, vectorized).
+    """
+    ptr = np.asarray(pointers, dtype=np.int64)
+    if ptr.size == 0:
+        raise ValueError("pointer array must be non-empty")
+    nseg = ptr.size - 1
+    total = int(ptr[-1])
+    ids = np.repeat(np.arange(nseg, dtype=np.int64), np.diff(ptr))
+    if ids.size != total:
+        raise ValueError("pointer array is not monotonically consistent")
+    return ids

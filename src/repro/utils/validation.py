@@ -1,0 +1,73 @@
+"""Small argument-validation helpers shared by format constructors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FormatError
+
+__all__ = [
+    "ensure_1d",
+    "ensure_contiguous",
+    "ensure_dtype",
+    "ensure_nonnegative",
+    "ensure_shape",
+    "ensure_sorted",
+]
+
+
+def ensure_1d(array: np.ndarray, name: str) -> np.ndarray:
+    """Require a 1-D array."""
+    a = np.asarray(array)
+    if a.ndim != 1:
+        raise FormatError(f"{name} must be 1-D, got {a.ndim}-D")
+    return a
+
+
+def ensure_dtype(array: np.ndarray, dtype: np.dtype | type, name: str) -> np.ndarray:
+    """Cast to ``dtype``, rejecting lossy integer conversions."""
+    a = np.asarray(array)
+    want = np.dtype(dtype)
+    if a.dtype != want:
+        try:
+            converted = a.astype(want)
+        except (TypeError, ValueError) as exc:
+            raise FormatError(f"{name} cannot be converted to {want}") from exc
+        if np.issubdtype(want, np.integer) and not np.array_equal(converted, a):
+            raise FormatError(f"{name} loses information when cast to {want}")
+        return converted
+    return a
+
+
+def ensure_shape(array: np.ndarray, shape: tuple[int, ...], name: str) -> np.ndarray:
+    """Require an exact shape."""
+    a = np.asarray(array)
+    if a.shape != shape:
+        raise FormatError(f"{name} must have shape {shape}, got {a.shape}")
+    return a
+
+
+def ensure_nonnegative(array: np.ndarray, name: str) -> np.ndarray:
+    """Reject arrays containing negative entries."""
+    a = np.asarray(array)
+    if a.size and a.min() < 0:
+        raise FormatError(f"{name} contains negative entries")
+    return a
+
+
+def ensure_sorted(array: np.ndarray, name: str, strict: bool = False) -> np.ndarray:
+    """Require a (strictly) non-decreasing array."""
+    a = np.asarray(array)
+    if a.size > 1:
+        diffs = np.diff(a)
+        if strict and (diffs <= 0).any():
+            raise FormatError(f"{name} must be strictly increasing")
+        if not strict and (diffs < 0).any():
+            raise FormatError(f"{name} must be non-decreasing")
+    return a
+
+
+def ensure_contiguous(array: np.ndarray, name: str) -> np.ndarray:
+    """Return a C-contiguous view or copy."""
+    a = np.asarray(array)
+    return np.ascontiguousarray(a)

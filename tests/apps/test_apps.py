@@ -1,0 +1,148 @@
+"""Application tests: PageRank / BFS / CG against networkx and scipy."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps.bfs import bfs_levels
+from repro.apps.cg import conjugate_gradient
+from repro.apps.pagerank import pagerank, transition_matrix
+from repro.core.builder import build_bitbsr
+from repro.core.spmv import spaden_spmv
+from repro.gpu.mma import Precision
+from repro.errors import KernelError
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+
+
+@pytest.fixture
+def graph():
+    return nx.gnp_random_graph(60, 0.08, seed=42, directed=True)
+
+
+def adjacency_coo(g: nx.DiGraph) -> COOMatrix:
+    n = g.number_of_nodes()
+    edges = np.array(list(g.edges), dtype=np.int32)
+    if edges.size == 0:
+        edges = np.zeros((0, 2), dtype=np.int32)
+    return COOMatrix((n, n), edges[:, 0], edges[:, 1], np.ones(len(edges), dtype=np.float32))
+
+
+class TestPageRank:
+    def test_matches_networkx(self, graph):
+        adj = adjacency_coo(graph)
+        n = adj.nrows
+        P = transition_matrix(adj)
+        dangling = adj.row_counts() == 0
+        result = pagerank(P.matvec, n, dangling_mask=dangling, tol=1e-10)
+        assert result.converged
+        expected = nx.pagerank(graph, alpha=0.85, tol=1e-12)
+        got = result.ranks / result.ranks.sum()
+        for node, value in expected.items():
+            assert got[node] == pytest.approx(value, abs=2e-4)
+
+    def test_runs_on_spaden(self, graph):
+        """The whole point: PageRank with Spaden in the inner loop."""
+        adj = adjacency_coo(graph)
+        P = transition_matrix(adj)
+        # fp32 bitBSR keeps the stochastic weights exact enough
+        bit = build_bitbsr(P.tocoo(), value_dtype=np.float32).matrix
+        dangling = adj.row_counts() == 0
+        reference = pagerank(P.matvec, adj.nrows, dangling_mask=dangling)
+        via_spaden = pagerank(
+            lambda v: spaden_spmv(bit, v, precision=Precision.FP32),
+            adj.nrows,
+            dangling_mask=dangling,
+        )
+        assert via_spaden.converged
+        assert np.allclose(via_spaden.ranks, reference.ranks, atol=1e-3)
+
+    def test_ranks_sum_to_one(self, graph):
+        adj = adjacency_coo(graph)
+        P = transition_matrix(adj)
+        dangling = adj.row_counts() == 0
+        result = pagerank(P.matvec, adj.nrows, dangling_mask=dangling)
+        assert result.ranks.sum() == pytest.approx(1.0, abs=1e-3)
+
+    def test_damping_bounds(self):
+        with pytest.raises(KernelError):
+            pagerank(lambda v: v, 4, damping=1.5)
+
+    def test_nonsquare_rejected(self):
+        bad = COOMatrix((2, 3), np.zeros(0, np.int32), np.zeros(0, np.int32), np.zeros(0, np.float32))
+        with pytest.raises(KernelError):
+            transition_matrix(bad)
+
+
+class TestBFS:
+    def test_matches_networkx_levels(self, graph):
+        adj = adjacency_coo(graph)
+        at = CSRMatrix.from_coo(adj.transpose())
+        levels = bfs_levels(at.matvec, adj.nrows, source=0)
+        expected = nx.single_source_shortest_path_length(graph, 0)
+        for node in range(adj.nrows):
+            assert levels[node] == expected.get(node, -1)
+
+    def test_runs_on_spaden(self, graph):
+        adj = adjacency_coo(graph)
+        at = adj.transpose()
+        bit = build_bitbsr(at, value_dtype=np.float32).matrix
+        ref = bfs_levels(CSRMatrix.from_coo(at).matvec, adj.nrows, source=0)
+        got = bfs_levels(lambda v: spaden_spmv(bit, v), adj.nrows, source=0)
+        assert np.array_equal(ref, got)
+
+    def test_source_bounds(self):
+        with pytest.raises(KernelError):
+            bfs_levels(lambda v: v, 4, source=9)
+
+    def test_disconnected_marked_unreachable(self):
+        coo = COOMatrix((3, 3), np.array([0], np.int32), np.array([1], np.int32), np.ones(1, np.float32))
+        levels = bfs_levels(CSRMatrix.from_coo(coo.transpose()).matvec, 3, source=0)
+        assert levels.tolist() == [0, 1, -1]
+
+
+class TestCG:
+    @pytest.fixture
+    def spd_system(self, rng):
+        n = 48
+        # diagonally dominant tridiagonal SPD with fp16-exact entries
+        dense = np.zeros((n, n), dtype=np.float32)
+        np.fill_diagonal(dense, 4.0)
+        idx = np.arange(n - 1)
+        dense[idx, idx + 1] = -1.0
+        dense[idx + 1, idx] = -1.0
+        b = rng.standard_normal(n).astype(np.float32)
+        return dense, b
+
+    def test_solves_system(self, spd_system):
+        dense, b = spd_system
+        csr = CSRMatrix.from_coo(COOMatrix.from_dense(dense))
+        result = conjugate_gradient(csr.matvec, b, tol=1e-8)
+        assert result.converged
+        assert np.allclose(dense.astype(np.float64) @ result.x, b, atol=1e-5)
+
+    def test_runs_on_spaden(self, spd_system):
+        dense, b = spd_system
+        bit = build_bitbsr(COOMatrix.from_dense(dense), value_dtype=np.float32).matrix
+        result = conjugate_gradient(
+            lambda v: spaden_spmv(bit, v, precision=Precision.FP32), b, tol=1e-7
+        )
+        assert result.converged
+        assert np.allclose(dense.astype(np.float64) @ result.x, b, atol=1e-4)
+
+    def test_residual_history_decreases(self, spd_system):
+        dense, b = spd_system
+        csr = CSRMatrix.from_coo(COOMatrix.from_dense(dense))
+        result = conjugate_gradient(csr.matvec, b, tol=1e-8)
+        assert result.residual_history[-1] < result.residual_history[0]
+
+    def test_rejects_indefinite(self):
+        dense = -np.eye(8, dtype=np.float32)
+        csr = CSRMatrix.from_coo(COOMatrix.from_dense(dense))
+        with pytest.raises(KernelError):
+            conjugate_gradient(csr.matvec, np.ones(8, dtype=np.float32))
+
+    def test_zero_rhs(self):
+        csr = CSRMatrix.from_coo(COOMatrix.from_dense(np.eye(4, dtype=np.float32)))
+        result = conjugate_gradient(csr.matvec, np.zeros(4))
+        assert result.converged and result.iterations == 0

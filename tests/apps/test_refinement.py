@@ -1,0 +1,88 @@
+"""Mixed-precision iterative refinement tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.refinement import iterative_refinement, jacobi_preconditioner
+from repro.core.builder import build_bitbsr
+from repro.core.spmv import spaden_spmv
+from repro.errors import KernelError
+from repro.formats.coo import COOMatrix
+
+
+@pytest.fixture
+def dominant_system(rng):
+    """A diagonally dominant system with fp16-exact entries."""
+    n = 64
+    dense = np.zeros((n, n), dtype=np.float32)
+    off = (rng.random((n, n)) < 0.1).astype(np.float32) * 0.25
+    np.fill_diagonal(off, 0.0)
+    dense += off
+    np.fill_diagonal(dense, 8.0)
+    x_true = (rng.integers(-16, 17, n) / 8.0).astype(np.float64)
+    b = dense.astype(np.float64) @ x_true
+    return dense, b, x_true
+
+
+def operators(dense):
+    coo = COOMatrix.from_dense(dense)
+    bit = build_bitbsr(coo, value_dtype=np.float16).matrix
+    low = lambda v: spaden_spmv(bit, v)
+    high = lambda v: dense.astype(np.float64) @ np.asarray(v, dtype=np.float64)
+    return coo, low, high
+
+
+class TestRefinement:
+    def test_fp16_operator_reaches_fp64_accuracy(self, dominant_system):
+        """The headline property: fp16 inner sweeps + fp64 residuals
+        converge to ~fp64 solution accuracy."""
+        dense, b, x_true = dominant_system
+        coo, low, high = operators(dense)
+        result = iterative_refinement(low, high, jacobi_preconditioner(coo), b, tol=1e-12)
+        assert result.converged
+        assert np.abs(result.x - x_true).max() < 1e-9
+        assert result.inner_spmv_calls > result.outer_iterations  # fp16 did the work
+
+    def test_low_precision_only_stalls_above_fp16_floor(self, dominant_system, rng):
+        """Counterfactual: using the fp16 operator for the *residual* too
+        caps accuracy — the reason the outer loop must be high precision.
+        (Needs a non-fp16-exact solution, else fp16 evaluation is exact.)"""
+        dense, _, _ = dominant_system
+        x_irr = rng.standard_normal(dense.shape[0])
+        b = dense.astype(np.float64) @ x_irr
+        coo, low, _ = operators(dense)
+        result = iterative_refinement(low, low, jacobi_preconditioner(coo), b, tol=1e-12, max_outer=50)
+        assert not result.converged  # fp16 rounding floors the residual
+
+    def test_converges_monotonically_with_tolerance(self, dominant_system):
+        dense, b, _ = dominant_system
+        coo, low, high = operators(dense)
+        precond = jacobi_preconditioner(coo)
+        loose = iterative_refinement(low, high, precond, b, tol=1e-4)
+        tight = iterative_refinement(low, high, precond, b, tol=1e-11)
+        assert loose.converged and tight.converged
+        assert loose.outer_iterations <= tight.outer_iterations
+
+    def test_missing_diagonal_rejected(self):
+        coo = COOMatrix(
+            (4, 4), np.array([0], np.int32), np.array([1], np.int32), np.array([1.0], np.float32)
+        )
+        with pytest.raises(KernelError):
+            jacobi_preconditioner(coo)
+
+    def test_shape_and_sweeps_validated(self, dominant_system):
+        dense, b, _ = dominant_system
+        _, low, high = operators(dense)
+        with pytest.raises(KernelError):
+            iterative_refinement(low, high, np.ones(3), b)
+        with pytest.raises(KernelError):
+            iterative_refinement(low, high, np.ones(b.size), b, inner_sweeps=0)
+
+    def test_nonconvergence_reported(self, dominant_system):
+        dense, b, _ = dominant_system
+        coo, low, high = operators(dense)
+        result = iterative_refinement(
+            low, high, jacobi_preconditioner(coo), b, tol=1e-14, max_outer=1
+        )
+        assert not result.converged
+        assert result.outer_iterations == 1

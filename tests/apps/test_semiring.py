@@ -1,0 +1,126 @@
+"""Semiring SpMV tests: algebra instances vs independent references."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps.semiring import (
+    MAX_TIMES,
+    MIN_PLUS,
+    OR_AND,
+    PLUS_TIMES,
+    Semiring,
+    semiring_spmv,
+    sssp_bellman_ford,
+)
+from repro.core.builder import build_bitbsr
+from repro.errors import KernelError
+from repro.formats.coo import COOMatrix
+
+from tests.conftest import make_random_dense
+
+
+@pytest.fixture
+def bit_and_dense(rng):
+    dense = np.abs(make_random_dense(rng, 40, 40, 0.15))
+    bit = build_bitbsr(COOMatrix.from_dense(dense), value_dtype=np.float32).matrix
+    return bit, dense
+
+
+class TestSemirings:
+    def test_plus_times_matches_matvec(self, bit_and_dense, rng):
+        bit, dense = bit_and_dense
+        x = rng.standard_normal(40)
+        y = semiring_spmv(bit, x, PLUS_TIMES)
+        assert np.allclose(y, dense.astype(np.float64) @ x, rtol=1e-5, atol=1e-6)
+
+    def test_min_plus(self, bit_and_dense, rng):
+        bit, dense = bit_and_dense
+        x = np.abs(rng.standard_normal(40))
+        y = semiring_spmv(bit, x, MIN_PLUS)
+        expected = np.full(40, np.inf)
+        for i in range(40):
+            cols = np.flatnonzero(dense[i])
+            if cols.size:
+                expected[i] = np.min(dense[i, cols].astype(np.float64) + x[cols])
+        assert np.allclose(y, expected)
+
+    def test_max_times(self, bit_and_dense, rng):
+        bit, dense = bit_and_dense
+        x = np.abs(rng.standard_normal(40)) + 0.1
+        y = semiring_spmv(bit, x, MAX_TIMES)
+        expected = np.full(40, -np.inf)
+        for i in range(40):
+            cols = np.flatnonzero(dense[i])
+            if cols.size:
+                expected[i] = np.max(dense[i, cols].astype(np.float64) * x[cols])
+        assert np.allclose(y, expected)
+
+    def test_or_and_is_reachability_step(self, bit_and_dense):
+        bit, dense = bit_and_dense
+        frontier = np.zeros(40)
+        frontier[:5] = 1.0
+        y = semiring_spmv(bit, frontier, OR_AND)
+        expected = ((dense[:, :5] != 0).any(axis=1)).astype(np.float64)
+        assert np.array_equal(y, expected)
+
+    def test_empty_rows_get_zero_element(self):
+        dense = np.zeros((16, 16), dtype=np.float32)
+        dense[0, 0] = 2.0
+        bit = build_bitbsr(COOMatrix.from_dense(dense), value_dtype=np.float32).matrix
+        y = semiring_spmv(bit, np.ones(16), MIN_PLUS)
+        assert y[0] == 3.0
+        assert np.isinf(y[1:]).all()
+
+    def test_shape_check(self, bit_and_dense):
+        bit, _ = bit_and_dense
+        with pytest.raises(KernelError):
+            semiring_spmv(bit, np.ones(41))
+
+    def test_custom_semiring(self, bit_and_dense, rng):
+        bit, dense = bit_and_dense
+        plus_plus = Semiring("plus-plus", np.add, np.add, 0.0)
+        x = rng.standard_normal(40)
+        y = semiring_spmv(bit, x, plus_plus)
+        mask = dense != 0
+        expected = (dense.astype(np.float64) * mask + x[None, :] * mask).sum(axis=1)
+        assert np.allclose(y[mask.any(axis=1)], expected[mask.any(axis=1)])
+
+
+class TestSSSP:
+    def test_matches_networkx_dijkstra(self, rng):
+        g = nx.gnp_random_graph(40, 0.12, seed=7, directed=True)
+        for u, v in g.edges:
+            g[u][v]["weight"] = float(1 + (u * 7 + v) % 5)
+        n = 40
+        rows, cols, vals = [], [], []
+        for u, v, w in g.edges(data="weight"):
+            # distance relaxes along edges: d[v] = min(d[v], A[v,u] + d[u])
+            rows.append(v)
+            cols.append(u)
+            vals.append(w)
+        coo = COOMatrix(
+            (n, n),
+            np.array(rows, np.int32),
+            np.array(cols, np.int32),
+            np.array(vals, np.float32),
+        )
+        bit = build_bitbsr(coo, value_dtype=np.float32).matrix
+        distances = sssp_bellman_ford(bit, source=0)
+        expected = nx.single_source_dijkstra_path_length(g, 0)
+        for node in range(n):
+            if node in expected:
+                assert distances[node] == pytest.approx(expected[node])
+            else:
+                assert np.isinf(distances[node])
+
+    def test_validation(self, bit_and_dense):
+        bit, _ = bit_and_dense
+        with pytest.raises(KernelError):
+            sssp_bellman_ford(bit, source=400)
+        neg = COOMatrix(
+            (8, 8), np.array([0], np.int32), np.array([1], np.int32), np.array([-1.0], np.float32)
+        )
+        nbit = build_bitbsr(neg, value_dtype=np.float32).matrix
+        with pytest.raises(KernelError):
+            sssp_bellman_ford(nbit, source=0)

@@ -1,0 +1,98 @@
+"""SVM inference and collaborative-filtering app tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.recommender import ItemRecommender
+from repro.apps.svm import LinearSVM, train_reference_svm
+from repro.core.builder import build_bitbsr
+from repro.errors import KernelError
+from repro.formats.coo import COOMatrix
+
+from tests.conftest import make_random_dense
+
+
+def sparse_samples(rng, n_samples, n_features, density=0.2):
+    dense = make_random_dense(rng, n_samples, n_features, density)
+    bit = build_bitbsr(COOMatrix.from_dense(dense), value_dtype=np.float32).matrix
+    return dense, bit
+
+
+class TestSVM:
+    def test_decision_function_matches_dense(self, rng):
+        dense, bit = sparse_samples(rng, 40, 24)
+        svm = LinearSVM(
+            weights=rng.standard_normal((24, 3)).astype(np.float32),
+            bias=rng.standard_normal(3).astype(np.float32),
+        )
+        scores = svm.decision_function(bit)
+        ref = dense.astype(np.float64) @ svm.weights.astype(np.float64) + svm.bias
+        assert np.allclose(scores, ref, rtol=1e-3, atol=1e-3)
+
+    def test_binary_classifier_path(self, rng):
+        dense, bit = sparse_samples(rng, 30, 16)
+        svm = LinearSVM(weights=rng.standard_normal((16, 1)).astype(np.float32), bias=np.zeros(1))
+        labels = svm.predict(bit)
+        ref = (dense @ svm.weights[:, 0] > 0).astype(np.int64)
+        assert np.array_equal(labels, ref)
+
+    def test_trained_svm_separates_blobs(self, rng):
+        """End-to-end: train on two separable blobs, score sparsely."""
+        n, d = 120, 16
+        centers = np.zeros((2, d))
+        centers[0, :4] = 3.0
+        centers[1, 4:8] = 3.0
+        labels = rng.integers(0, 2, n)
+        dense = (centers[labels] + rng.standard_normal((n, d)) * 0.4).astype(np.float32)
+        dense = dense.astype(np.float16).astype(np.float32)  # fp16-exact
+        svm = train_reference_svm(dense, labels, classes=2)
+        bit = build_bitbsr(COOMatrix.from_dense(dense), value_dtype=np.float32).matrix
+        predictions = svm.predict(bit)
+        accuracy = (predictions == labels).mean()
+        assert accuracy > 0.95
+
+    def test_feature_count_checked(self, rng):
+        _, bit = sparse_samples(rng, 20, 16)
+        svm = LinearSVM(weights=np.zeros((17, 2), np.float32), bias=np.zeros(2))
+        with pytest.raises(KernelError):
+            svm.decision_function(bit)
+
+    def test_shape_validation(self):
+        with pytest.raises(KernelError):
+            LinearSVM(weights=np.zeros((4, 2)), bias=np.zeros(3))
+
+
+class TestRecommender:
+    @pytest.fixture
+    def interactions(self, rng):
+        dense = (rng.random((32, 24)) < 0.25).astype(np.float32)
+        return COOMatrix.from_dense(dense)
+
+    def test_scores_match_dense_reference(self, interactions):
+        rec = ItemRecommender(interactions, top_k_similar=24)
+        scores = rec.score_all()
+        R = interactions.todense().astype(np.float64)
+        assert np.allclose(scores, R @ rec._similarity.astype(np.float64), rtol=1e-3, atol=1e-3)
+
+    def test_recommend_excludes_seen(self, interactions):
+        rec = ItemRecommender(interactions)
+        user = 3
+        seen = set(interactions.cols[interactions.rows == user].tolist())
+        picks = rec.recommend(user, count=5)
+        assert not (set(picks.tolist()) & seen)
+
+    def test_recommend_bounds(self, interactions):
+        rec = ItemRecommender(interactions)
+        with pytest.raises(KernelError):
+            rec.recommend(99)
+
+    def test_similarity_diagonal_zero(self, interactions):
+        rec = ItemRecommender(interactions)
+        assert not np.diagonal(rec._similarity).any()
+
+    def test_topk_truncation(self, interactions):
+        dense_rec = ItemRecommender(interactions, top_k_similar=24)
+        sparse_rec = ItemRecommender(interactions, top_k_similar=3)
+        nnz_dense = np.count_nonzero(dense_rec._similarity)
+        nnz_sparse = np.count_nonzero(sparse_rec._similarity)
+        assert nnz_sparse < nnz_dense

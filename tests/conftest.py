@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import COOMatrix
+from repro.matrices.generators import fp16_exact_values
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def make_random_dense(
+    rng: np.random.Generator,
+    nrows: int,
+    ncols: int,
+    density: float = 0.15,
+) -> np.ndarray:
+    """Random dense matrix with fp16-exact nonzero values."""
+    mask = rng.random((nrows, ncols)) < density
+    vals = fp16_exact_values(rng, nrows * ncols).reshape(nrows, ncols)
+    return np.where(mask, vals, 0.0).astype(np.float32)
+
+
+@pytest.fixture
+def small_dense(rng) -> np.ndarray:
+    """A 40x56 random matrix (non-square, non-multiple-of-8 rows)."""
+    return make_random_dense(rng, 40, 56)
+
+
+@pytest.fixture
+def small_coo(small_dense) -> COOMatrix:
+    return COOMatrix.from_dense(small_dense)
+
+
+@pytest.fixture
+def medium_coo(rng) -> COOMatrix:
+    return COOMatrix.from_dense(make_random_dense(rng, 200, 200, 0.05))
+
+
+@pytest.fixture
+def x_small(rng, small_dense) -> np.ndarray:
+    return fp16_exact_values(rng, small_dense.shape[1])
+
+
+@pytest.fixture
+def x_medium(rng) -> np.ndarray:
+    return fp16_exact_values(rng, 200)

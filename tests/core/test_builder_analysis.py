@@ -1,0 +1,80 @@
+"""Builder (Fig. 4) and block-analysis (Fig. 9) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import MEDIUM_MAX, SPARSE_MAX, categorize_blocks
+from repro.core.builder import build_bitbsr
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+
+from tests.conftest import make_random_dense
+
+
+class TestBuilder:
+    def test_report_matches_table1_semantics(self, rng):
+        dense = make_random_dense(rng, 100, 100, 0.1)
+        coo = COOMatrix.from_dense(dense)
+        report = build_bitbsr(coo)
+        assert report.nrow == 100
+        assert report.nnz == coo.nnz
+        assert report.block_nrow == 13  # ceil(100 / 8)
+        assert report.block_nnz == report.matrix.nblocks
+        row = report.table1_row("test")
+        assert row == {"Matrix": "test", "nrow": 100, "nnz": coo.nnz, "Bnrow": 13, "Bnnz": report.matrix.nblocks}
+
+    def test_accepts_csr_input(self, small_coo):
+        report = build_bitbsr(CSRMatrix.from_coo(small_coo))
+        assert report.nnz == small_coo.nnz
+
+    def test_host_cost_recorded(self, small_coo):
+        report = build_bitbsr(small_coo)
+        assert report.host_seconds > 0
+        assert report.host_ns_per_nnz > 0
+
+    def test_mean_block_nnz(self, small_coo):
+        report = build_bitbsr(small_coo)
+        assert report.mean_block_nnz == pytest.approx(report.nnz / report.block_nnz)
+
+
+class TestAnalysis:
+    def test_paper_example_fig4(self):
+        """The highlighted Fig. 4 block: f at (0,0), g/i/j elsewhere."""
+        dense = np.zeros((8, 8), dtype=np.float32)
+        dense[0, 0] = 1.0  # 'f': row0 = 0x01
+        bit = build_bitbsr(COOMatrix.from_dense(dense)).matrix
+        assert int(bit.bitmaps[0]) & 0xFF == 0x01
+
+    def test_category_boundaries(self):
+        """Blocks of exactly 32 / 33 / 48 / 49 nonzeros split correctly."""
+        blocks = []
+        for k in (32, 33, 48, 49):
+            d = np.zeros((8, 8), dtype=np.float32)
+            d.reshape(-1)[:k] = 1.0
+            blocks.append(d)
+        dense = np.zeros((8, 32), dtype=np.float32)
+        for i, b in enumerate(blocks):
+            dense[:, i * 8 : (i + 1) * 8] = b
+        bit = build_bitbsr(COOMatrix.from_dense(dense)).matrix
+        profile = categorize_blocks(bit)
+        assert profile.nblocks == 4
+        assert profile.sparse_blocks == 1   # k = 32
+        assert profile.medium_blocks == 2   # k = 33, 48
+        assert profile.dense_blocks == 1    # k = 49
+
+    def test_ratios_sum_to_one(self, rng):
+        dense = make_random_dense(rng, 80, 80, 0.3)
+        bit = build_bitbsr(COOMatrix.from_dense(dense)).matrix
+        p = categorize_blocks(bit)
+        assert p.sparse_ratio + p.medium_ratio + p.dense_ratio == pytest.approx(1.0)
+        assert 0 < p.fill_ratio <= 1
+
+    def test_constants_match_paper(self):
+        assert SPARSE_MAX == 32
+        assert MEDIUM_MAX == 48
+
+    def test_empty_profile(self):
+        coo = COOMatrix((8, 8), np.zeros(0, np.int32), np.zeros(0, np.int32), np.zeros(0, np.float32))
+        p = categorize_blocks(build_bitbsr(coo).matrix)
+        assert p.nblocks == 0
+        assert p.sparse_ratio == 0.0

@@ -1,0 +1,119 @@
+"""Tests for the §7 extensions: SpMM, SDDMM and the block-size ablation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ablation import block_size_ablation
+from repro.core.builder import build_bitbsr
+from repro.core.sddmm import spaden_sddmm
+from repro.core.spmm import spaden_spmm, spmm_fragment_tiles
+from repro.errors import KernelError
+from repro.formats.coo import COOMatrix
+from repro.gpu.mma import Precision
+from repro.matrices.generators import fp16_exact_values
+
+from tests.conftest import make_random_dense
+
+
+class TestSpMM:
+    def test_matches_dense_reference(self, rng):
+        dense = make_random_dense(rng, 40, 48, 0.2)
+        bit = build_bitbsr(COOMatrix.from_dense(dense)).matrix
+        X = fp16_exact_values(rng, 48 * 5).reshape(48, 5)
+        Y = spaden_spmm(bit, X)
+        ref = dense.astype(np.float64) @ X.astype(np.float64)
+        assert np.allclose(Y, ref, rtol=1e-3, atol=1e-2)
+
+    def test_single_column_equals_spmv(self, rng):
+        from repro.core.spmv import spaden_spmv
+
+        dense = make_random_dense(rng, 32, 32, 0.3)
+        bit = build_bitbsr(COOMatrix.from_dense(dense)).matrix
+        x = fp16_exact_values(rng, 32)
+        assert np.allclose(
+            spaden_spmm(bit, x[:, None])[:, 0], spaden_spmv(bit, x), rtol=1e-5, atol=1e-5
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 20))
+    def test_property_against_dense(self, seed, k):
+        rng = np.random.default_rng(seed)
+        dense = make_random_dense(rng, 24, 30, 0.25)
+        bit = build_bitbsr(COOMatrix.from_dense(dense), value_dtype=np.float32).matrix
+        X = fp16_exact_values(rng, 30 * k).reshape(30, k)
+        Y = spaden_spmm(bit, X, precision=Precision.FP32)
+        assert np.allclose(Y, dense.astype(np.float64) @ X.astype(np.float64), rtol=1e-4, atol=1e-3)
+
+    def test_shape_check(self, rng):
+        bit = build_bitbsr(COOMatrix.from_dense(make_random_dense(rng, 16, 16, 0.3))).matrix
+        with pytest.raises(KernelError):
+            spaden_spmm(bit, np.ones((17, 2), dtype=np.float32))
+
+    def test_fragment_tiles_scale_with_panels(self, rng):
+        bit = build_bitbsr(COOMatrix.from_dense(make_random_dense(rng, 40, 40, 0.2))).matrix
+        t8 = spmm_fragment_tiles(bit, 8)
+        t16 = spmm_fragment_tiles(bit, 16)
+        t1 = spmm_fragment_tiles(bit, 1)
+        assert t1 == t8  # one panel serves up to 8 columns
+        assert t16 == 2 * t8
+        with pytest.raises(KernelError):
+            spmm_fragment_tiles(bit, 0)
+
+
+class TestSDDMM:
+    def test_matches_dense_reference(self, rng):
+        dense = make_random_dense(rng, 32, 40, 0.2)
+        bit = build_bitbsr(COOMatrix.from_dense(dense), value_dtype=np.float32).matrix
+        U = fp16_exact_values(rng, 32 * 4).reshape(32, 4)
+        V = fp16_exact_values(rng, 40 * 4).reshape(40, 4)
+        Z = spaden_sddmm(bit, U, V, precision=Precision.FP32)
+        full = U.astype(np.float64) @ V.astype(np.float64).T
+        mask = (dense != 0)
+        assert np.allclose(Z.todense(), np.where(mask, full, 0.0), rtol=1e-4, atol=1e-3)
+
+    def test_pattern_preserved(self, rng):
+        dense = make_random_dense(rng, 24, 24, 0.3)
+        bit = build_bitbsr(COOMatrix.from_dense(dense)).matrix
+        U = fp16_exact_values(rng, 24 * 3).reshape(24, 3)
+        V = fp16_exact_values(rng, 24 * 3).reshape(24, 3)
+        Z = spaden_sddmm(bit, U, V)
+        assert np.array_equal(Z.bitmaps, bit.bitmaps)
+        assert np.array_equal(Z.block_cols, bit.block_cols)
+        assert Z.nnz == bit.nnz
+
+    def test_shape_checks(self, rng):
+        bit = build_bitbsr(COOMatrix.from_dense(make_random_dense(rng, 16, 16, 0.3))).matrix
+        with pytest.raises(KernelError):
+            spaden_sddmm(bit, np.ones((16, 3)), np.ones((16, 4)))
+        with pytest.raises(KernelError):
+            spaden_sddmm(bit, np.ones((15, 3)), np.ones((16, 3)))
+
+
+class TestBlockSizeAblation:
+    def test_eight_is_the_native_sweet_spot(self, rng):
+        """8x8 is the largest size with a native (<= 64-bit) bitmap —
+        the paper's §4.2 argument."""
+        coo = COOMatrix.from_dense(make_random_dense(rng, 80, 80, 0.15))
+        points = {p.block_dim: p for p in block_size_ablation(coo)}
+        assert points[8].native_bitmap
+        assert not points[16].native_bitmap
+        assert points[2].native_bitmap and points[4].native_bitmap
+
+    def test_fill_ratio_decreases_with_size(self, rng):
+        coo = COOMatrix.from_dense(make_random_dense(rng, 80, 80, 0.1))
+        points = block_size_ablation(coo)
+        fills = [p.fill_ratio for p in points]
+        assert all(a >= b for a, b in zip(fills, fills[1:]))
+
+    def test_small_blocks_pay_more_overhead_per_nnz(self, rng):
+        """On a blocky matrix, 2x2 blocks cost more metadata than 8x8."""
+        from repro.matrices.random import random_banded
+
+        coo = random_banded(256, 24, fill=0.5, seed=9)
+        points = {p.block_dim: p for p in block_size_ablation(coo)}
+        assert points[2].bytes_per_nnz > points[8].bytes_per_nnz
+
+    def test_rejects_bad_dim(self, small_coo):
+        with pytest.raises(KernelError):
+            block_size_ablation(small_coo, block_dims=(0,))

@@ -1,0 +1,113 @@
+"""Algorithm 3/4 tests: pairing on the fragment diagonals and extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.extract import extract_result_vector
+from repro.core.pairing import pair_block_rows
+from repro.core.spmv import register_bitbsr_arrays
+from repro.errors import KernelError
+from repro.formats.bitbsr import BitBSRMatrix
+from repro.formats.coo import COOMatrix
+from repro.gpu.fragment import Fragment, FragmentKind
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.mma import MMAUnit, Precision
+from repro.gpu.warp import Warp
+
+from tests.conftest import make_random_dense
+
+
+def setup(rng, nrows=32, ncols=40, density=0.3):
+    dense = make_random_dense(rng, nrows, ncols, density)
+    bit = BitBSRMatrix.from_coo(COOMatrix.from_dense(dense))
+    mem = GlobalMemory()
+    x = make_random_dense(rng, 1, ncols, 1.0)[0]
+    register_bitbsr_arrays(mem, bit, x)
+    return dense, bit, mem, x
+
+
+class TestPairing:
+    def test_accumulator_diagonal_holds_both_results(self, rng):
+        dense, bit, mem, x = setup(rng)
+        warp = Warp(mem)
+        acc = pair_block_rows(warp, MMAUnit(Precision.FP16, mem.stats), bit, 0, 1)
+        m = acc.to_matrix()
+        ref = dense.astype(np.float64) @ x.astype(np.float64)
+        # column 0 of the top-left portion = y[0:8], of bottom-right = y[8:16]
+        assert np.allclose(m[:8, 0], ref[:8], rtol=1e-3, atol=1e-2)
+        assert np.allclose(m[8:, 8], ref[8:16], rtol=1e-3, atol=1e-2)
+
+    def test_off_diagonal_portions_stay_zero(self, rng):
+        """A and B only populate the diagonal portions, so the MMA result
+        must be block-diagonal."""
+        dense, bit, mem, x = setup(rng)
+        acc = pair_block_rows(Warp(mem), MMAUnit(Precision.FP16, mem.stats), bit, 0, 1)
+        m = acc.to_matrix()
+        assert not m[:8, 8:].any()
+        assert not m[8:, :8].any()
+
+    def test_unpaired_final_row(self, rng):
+        dense, bit, mem, x = setup(rng, nrows=24)  # 3 block rows
+        acc = pair_block_rows(Warp(mem), MMAUnit(Precision.FP16, mem.stats), bit, 2, None)
+        ref = dense.astype(np.float64) @ x.astype(np.float64)
+        assert np.allclose(acc.to_matrix()[:8, 0], ref[16:24], rtol=1e-3, atol=1e-2)
+        assert not acc.to_matrix()[8:, 8:].any()
+
+    def test_imbalanced_rows_zero_fill(self, rng):
+        """When the two paired rows have different block counts, the
+        shorter one's surplus steps must not corrupt its result."""
+        dense = np.zeros((16, 40), dtype=np.float32)
+        dense[0, :] = 1.0  # top block row: 5 blocks
+        dense[9, 0] = 2.0  # bottom block row: 1 block
+        bit = BitBSRMatrix.from_coo(COOMatrix.from_dense(dense))
+        mem = GlobalMemory()
+        x = np.ones(40, dtype=np.float32)
+        register_bitbsr_arrays(mem, bit, x)
+        acc = pair_block_rows(Warp(mem), MMAUnit(Precision.FP16, mem.stats), bit, 0, 1)
+        m = acc.to_matrix()
+        assert m[0, 0] == 40.0
+        assert m[9, 8] == 2.0
+
+    def test_row_bounds(self, rng):
+        _, bit, mem, _ = setup(rng)
+        with pytest.raises(KernelError):
+            pair_block_rows(Warp(mem), MMAUnit(), bit, bit.block_rows_count, None)
+
+    def test_mma_count_is_max_of_row_lengths(self, rng):
+        _, bit, mem, _ = setup(rng)
+        lens = np.diff(bit.block_row_pointers)
+        stats_before = mem.stats.mma_ops
+        pair_block_rows(Warp(mem), MMAUnit(Precision.FP16, mem.stats), bit, 0, 1)
+        assert mem.stats.mma_ops - stats_before == max(int(lens[0]), int(lens[1]))
+
+
+class TestExtraction:
+    def test_predicated_store_of_first_columns(self, rng):
+        mem = GlobalMemory()
+        mem.register("C_values", np.zeros(32, dtype=np.float32))
+        acc = Fragment(FragmentKind.ACCUMULATOR)
+        m = np.zeros((16, 16), dtype=np.float32)
+        m[:8, 0] = np.arange(8)
+        m[8:, 8] = np.arange(8) * 10
+        acc.load_matrix(m)
+        warp = Warp(mem)
+        extract_result_vector(warp, acc, block_row_top=1, block_row_bottom=2)
+        out = mem.array("C_values")
+        assert np.array_equal(out[8:16], np.arange(8))
+        assert np.array_equal(out[16:24], np.arange(8) * 10)
+        assert not out[:8].any()
+
+    def test_each_store_is_one_sector(self, rng):
+        mem = GlobalMemory()
+        mem.register("C_values", np.zeros(16, dtype=np.float32))
+        acc = Fragment(FragmentKind.ACCUMULATOR)
+        warp = Warp(mem)
+        extract_result_vector(warp, acc, 0, 1)
+        assert mem.stats.store_transactions == 2
+        assert mem.stats.global_store_bytes == 64
+
+    def test_requires_accumulator(self, rng):
+        mem = GlobalMemory()
+        mem.register("C_values", np.zeros(16, dtype=np.float32))
+        with pytest.raises(KernelError):
+            extract_result_vector(Warp(mem), Fragment(FragmentKind.MATRIX_A), 0, None)

@@ -1,0 +1,46 @@
+"""Mixed-precision accuracy tests (the §2.2 claim)."""
+
+import numpy as np
+import pytest
+
+from repro.core.precision import precision_study
+from repro.formats.coo import COOMatrix
+from repro.gpu.mma import Precision
+from repro.matrices.generators import fp16_exact_values
+
+from tests.conftest import make_random_dense
+
+
+class TestPrecisionStudy:
+    def test_fp16_exact_inputs_are_lossless(self, rng):
+        """The paper's setting: half-representable values -> fp16 output
+        'without impacting the result's final accuracy'."""
+        dense = make_random_dense(rng, 64, 64, 0.2)  # fp16-exact values
+        coo = COOMatrix.from_dense(dense)
+        x = fp16_exact_values(rng, 64)
+        reports = {r.precision: r for r in precision_study(coo, x)}
+        # sums of fp16-exact products stay in fp32 range; tiny rounding only
+        assert reports[Precision.FP16].max_rel_error < 1e-5
+        assert reports[Precision.FP32].max_rel_error < 1e-6
+
+    def test_general_values_show_precision_ladder(self, rng):
+        """Irrational values: FP16 < TF32 < FP32 accuracy ordering."""
+        dense = make_random_dense(rng, 64, 64, 0.3)
+        mask = dense != 0
+        dense = np.where(mask, rng.standard_normal(dense.shape), 0.0).astype(np.float32)
+        coo = COOMatrix.from_dense(dense)
+        x = rng.standard_normal(64).astype(np.float32)
+        reports = {r.precision: r for r in precision_study(coo, x)}
+        assert (
+            reports[Precision.FP32].max_rel_error
+            <= reports[Precision.TF32].max_rel_error
+            <= reports[Precision.FP16].max_rel_error
+        )
+        # fp16 inputs keep ~10-11 bits, tf32 likewise but without range loss
+        assert reports[Precision.FP16].max_rel_error < 1e-2
+        assert reports[Precision.FP16].equivalent_bits > 6
+
+    def test_empty_matrix(self):
+        coo = COOMatrix((8, 8), np.zeros(0, np.int32), np.zeros(0, np.int32), np.zeros(0, np.float32))
+        reports = precision_study(coo, np.ones(8))
+        assert all(r.max_abs_error == 0.0 for r in reports)

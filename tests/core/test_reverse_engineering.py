@@ -1,0 +1,43 @@
+"""§3 probe tests: the mapping is discovered, not assumed."""
+
+import numpy as np
+import pytest
+
+from repro.constants import REGISTERS_PER_LANE
+from repro.core.reverse_engineering import (
+    probe_fragment_layout,
+    valid_register_range,
+)
+from repro.gpu.fragment import FragmentKind, lane_register_element
+
+
+class TestProbe:
+    def test_register_range_is_eight(self):
+        """The paper's first finding: valid indices are only 0..7."""
+        assert valid_register_range() == REGISTERS_PER_LANE == 8
+
+    @pytest.mark.parametrize("kind", list(FragmentKind))
+    def test_probe_agrees_with_hardware_tables(self, kind):
+        """The probe must rediscover exactly the simulated layout."""
+        layout = probe_fragment_layout(kind)
+        for lane in range(32):
+            for reg in range(8):
+                assert layout.element_of(lane, reg) == lane_register_element(kind, lane, reg)
+
+    def test_accumulator_portion_pairs_match_paper(self):
+        """Fig. 2: x[0,1] top-left ... x[6,7] bottom-right."""
+        layout = probe_fragment_layout(FragmentKind.ACCUMULATOR)
+        assert layout.portion_registers == ((0, 1), (2, 3), (4, 5), (6, 7))
+
+    def test_diagonal_registers_shared_across_kinds(self):
+        """Algorithm 3 writes x[0,1]/x[6,7] in A, B and C fragments alike;
+        the probe confirms those pairs always address the diagonal."""
+        for kind in FragmentKind:
+            layout = probe_fragment_layout(kind)
+            assert layout.portion_registers[0] == (0, 1)
+            assert layout.portion_registers[3] == (6, 7)
+
+    def test_owner_views_cover_warp(self):
+        layout = probe_fragment_layout(FragmentKind.ACCUMULATOR)
+        assert set(np.unique(layout.owner_lane)) == set(range(32))
+        assert set(np.unique(layout.owner_register)) == set(range(8))

@@ -1,0 +1,72 @@
+"""Lane-accurate SpMM pairing kernel tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.builder import build_bitbsr
+from repro.core.spmm import spaden_spmm
+from repro.core.spmm_simulated import spaden_spmm_simulated
+from repro.errors import KernelError
+from repro.formats.coo import COOMatrix
+from repro.matrices.generators import fp16_exact_values
+
+from tests.conftest import make_random_dense
+
+
+class TestSimulatedSpMM:
+    def test_matches_vectorized_and_dense(self, rng):
+        dense = make_random_dense(rng, 32, 40, 0.25)
+        bit = build_bitbsr(COOMatrix.from_dense(dense)).matrix
+        X = fp16_exact_values(rng, 40 * 6).reshape(40, 6)
+        Y_sim, stats = spaden_spmm_simulated(bit, X)
+        Y_fast = spaden_spmm(bit, X)
+        ref = dense.astype(np.float64) @ X.astype(np.float64)
+        assert np.allclose(Y_sim, ref, rtol=1e-3, atol=1e-2)
+        assert np.allclose(Y_sim, Y_fast, rtol=1e-4, atol=1e-3)
+
+    def test_mma_count_is_steps_times_panels(self, rng):
+        dense = make_random_dense(rng, 32, 32, 0.3)
+        bit = build_bitbsr(COOMatrix.from_dense(dense)).matrix
+        lens = np.diff(bit.block_row_pointers)
+        top, bottom = lens[0::2], lens[1::2]
+        if bottom.size < top.size:
+            bottom = np.concatenate([bottom, [0]])
+        steps = int(np.maximum(top, bottom).sum())
+        for k, panels in ((4, 1), (8, 1), (9, 2), (16, 2)):
+            X = fp16_exact_values(rng, 32 * k).reshape(32, k)
+            _, stats = spaden_spmm_simulated(bit, X)
+            assert stats.mma_ops == steps * panels, k
+
+    def test_ragged_panel_edges_zero_filled(self, rng):
+        """k not a multiple of 8: the ragged final panel must not read or
+        write out of bounds, and results stay exact."""
+        dense = make_random_dense(rng, 24, 24, 0.3)
+        bit = build_bitbsr(COOMatrix.from_dense(dense)).matrix
+        X = fp16_exact_values(rng, 24 * 5).reshape(24, 5)
+        Y, _ = spaden_spmm_simulated(bit, X)
+        ref = dense.astype(np.float64) @ X.astype(np.float64)
+        assert Y.shape == (24, 5)
+        assert np.allclose(Y, ref, rtol=1e-3, atol=1e-2)
+
+    def test_odd_block_rows(self, rng):
+        dense = make_random_dense(rng, 24, 16, 0.4)  # 3 block rows
+        bit = build_bitbsr(COOMatrix.from_dense(dense)).matrix
+        X = fp16_exact_values(rng, 16 * 8).reshape(16, 8)
+        Y, _ = spaden_spmm_simulated(bit, X)
+        assert np.allclose(Y, dense.astype(np.float64) @ X.astype(np.float64), rtol=1e-3, atol=1e-2)
+
+    def test_shape_check(self, rng):
+        bit = build_bitbsr(COOMatrix.from_dense(make_random_dense(rng, 16, 16, 0.3))).matrix
+        with pytest.raises(KernelError):
+            spaden_spmm_simulated(bit, np.ones((15, 3), dtype=np.float32))
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 12))
+    def test_property_vs_reference(self, seed, k):
+        rng = np.random.default_rng(seed)
+        dense = make_random_dense(rng, 20, 28, 0.3)
+        bit = build_bitbsr(COOMatrix.from_dense(dense)).matrix
+        X = fp16_exact_values(rng, 28 * k).reshape(28, k)
+        Y, _ = spaden_spmm_simulated(bit, X)
+        assert np.allclose(Y, dense.astype(np.float64) @ X.astype(np.float64), rtol=1e-3, atol=1e-2)

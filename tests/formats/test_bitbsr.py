@@ -1,0 +1,135 @@
+"""bitBSR invariants — the paper's format (§4.2, Fig. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import BLOCK_SIZE
+from repro.errors import FormatError
+from repro.formats.bitbsr import BitBSRMatrix
+from repro.formats.bsr import BSRMatrix
+from repro.formats.coo import COOMatrix
+from repro.utils.bitops import popcount
+
+from tests.conftest import make_random_dense
+
+
+def bit_of(rng, shape=(40, 56), density=0.2):
+    return BitBSRMatrix.from_coo(COOMatrix.from_dense(make_random_dense(rng, *shape, density)))
+
+
+class TestStructuralInvariants:
+    def test_popcount_equals_nnz(self, rng):
+        bit = bit_of(rng)
+        assert int(popcount(bit.bitmaps).sum()) == bit.nnz
+
+    def test_offsets_are_exclusive_scan_of_counts(self, rng):
+        bit = bit_of(rng)
+        counts = popcount(bit.bitmaps).astype(np.int64)
+        assert np.array_equal(np.diff(bit.block_offsets), counts)
+        assert bit.block_offsets[0] == 0
+        assert bit.block_offsets[-1] == bit.nnz
+
+    def test_no_empty_blocks_stored(self, rng):
+        bit = bit_of(rng)
+        assert (bit.bitmaps != 0).all()
+
+    def test_block_cols_sorted_within_rows(self, rng):
+        bit = bit_of(rng)
+        for row in range(bit.block_rows_count):
+            lo, hi = bit.block_row_pointers[row], bit.block_row_pointers[row + 1]
+            cols = bit.block_cols[lo:hi]
+            assert (np.diff(cols) > 0).all()
+
+    def test_values_packed_in_bit_order(self, rng, small_dense):
+        bit = BitBSRMatrix.from_coo(COOMatrix.from_dense(small_dense), value_dtype=np.float32)
+        dense = bit.tobsr().blocks
+        for b in range(bit.nblocks):
+            lo, hi = bit.block_offsets[b], bit.block_offsets[b + 1]
+            flat = dense[b].reshape(-1)
+            assert np.array_equal(bit.values[lo:hi], flat[flat != 0])
+
+    def test_compression_rate_bounds(self, rng):
+        bit = bit_of(rng)
+        rate = bit.compression_rate_vs_coo()
+        assert (rate >= 1).all() and (rate <= BLOCK_SIZE).all()
+
+
+class TestConversions:
+    def test_from_bsr_equals_from_coo(self, small_dense):
+        coo = COOMatrix.from_dense(small_dense)
+        via_coo = BitBSRMatrix.from_coo(coo)
+        via_bsr = BitBSRMatrix.from_bsr(BSRMatrix.from_coo(coo))
+        assert np.array_equal(via_coo.bitmaps, via_bsr.bitmaps)
+        assert np.array_equal(via_coo.block_cols, via_bsr.block_cols)
+        assert np.array_equal(via_coo.values, via_bsr.values)
+
+    def test_tobsr_decodes_exactly(self, small_dense):
+        coo = COOMatrix.from_dense(small_dense)
+        bit = BitBSRMatrix.from_coo(coo, value_dtype=np.float32)
+        assert np.allclose(bit.tobsr().todense(), small_dense)
+
+    def test_entry_coordinates_in_storage_order(self, rng):
+        bit = bit_of(rng)
+        rows, cols = bit.entry_coordinates()
+        assert rows.size == bit.nnz
+        coo = bit.tocoo()
+        assert coo.nnz == bit.nnz
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.sampled_from([0.02, 0.1, 0.5]))
+    def test_dense_roundtrip_property(self, seed, density):
+        rng = np.random.default_rng(seed)
+        dense = make_random_dense(rng, 33, 25, density)
+        bit = BitBSRMatrix.from_coo(COOMatrix.from_dense(dense), value_dtype=np.float32)
+        assert np.allclose(bit.todense(), dense)
+
+
+class TestValidation:
+    def test_rejects_empty_bitmap(self):
+        with pytest.raises(FormatError):
+            BitBSRMatrix(
+                (8, 8),
+                np.array([0, 1]),
+                np.array([0], np.int32),
+                np.array([0], np.uint64),
+                np.zeros(0, np.float16),
+            )
+
+    def test_rejects_count_mismatch(self):
+        with pytest.raises(FormatError):
+            BitBSRMatrix(
+                (8, 8),
+                np.array([0, 1]),
+                np.array([0], np.int32),
+                np.array([3], np.uint64),  # two bits set
+                np.ones(1, np.float16),  # but one value
+            )
+
+    def test_rejects_bad_value_dtype(self):
+        with pytest.raises(FormatError):
+            BitBSRMatrix(
+                (8, 8),
+                np.array([0, 1]),
+                np.array([0], np.int32),
+                np.array([1], np.uint64),
+                np.ones(1, np.float64),
+                value_dtype=np.float64,
+            )
+
+
+class TestMemoryModel:
+    def test_bytes_formula(self, rng):
+        """2 B per nonzero + 16 B per block + pointers (Fig. 10b)."""
+        bit = bit_of(rng)
+        expected = (
+            bit.nnz * 2
+            + bit.nblocks * (8 + 4 + 4)
+            + (bit.block_rows_count + 1) * 4
+        )
+        assert bit.nbytes == expected
+
+    def test_fp16_halves_value_storage(self, small_coo):
+        b16 = BitBSRMatrix.from_coo(small_coo, value_dtype=np.float16)
+        b32 = BitBSRMatrix.from_coo(small_coo, value_dtype=np.float32)
+        assert b32.nbytes - b16.nbytes == 2 * b16.nnz

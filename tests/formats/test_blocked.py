@@ -1,0 +1,117 @@
+"""BSR / bitCOO / ELL / HYB / DIA specific behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.constants import BLOCK_DIM
+from repro.errors import FormatError
+from repro.formats.bitcoo import BitCOOMatrix
+from repro.formats.bsr import BSRMatrix
+from repro.formats.coo import COOMatrix
+from repro.formats.dia import DIAMatrix
+from repro.formats.ell import ELLMatrix
+from repro.formats.hyb import HYBMatrix
+
+from tests.conftest import make_random_dense
+
+
+class TestBSR:
+    def test_block_grid_geometry(self, small_coo):
+        bsr = BSRMatrix.from_coo(small_coo)
+        assert bsr.block_rows_count == -(-small_coo.nrows // BLOCK_DIM)
+        assert bsr.block_cols_count == -(-small_coo.ncols // BLOCK_DIM)
+
+    def test_fill_ratio_counts_zero_padding(self, small_coo):
+        bsr = BSRMatrix.from_coo(small_coo)
+        assert bsr.fill_ratio == pytest.approx(bsr.nnz / (bsr.nblocks * 64))
+        assert 0 < bsr.fill_ratio <= 1
+
+    def test_blocks_match_dense_slices(self, small_dense):
+        bsr = BSRMatrix.from_coo(COOMatrix.from_dense(small_dense))
+        brow = bsr.block_row_of()
+        padded = np.zeros((48, 56), dtype=np.float32)
+        padded[:40] = small_dense
+        for b in range(bsr.nblocks):
+            r0, c0 = brow[b] * 8, bsr.block_cols[b] * 8
+            assert np.array_equal(bsr.blocks[b], padded[r0 : r0 + 8, c0 : c0 + 8])
+
+    def test_custom_block_dim(self, small_coo):
+        bsr = BSRMatrix.from_coo(small_coo, block_dim=4)
+        assert bsr.block_dim == 4
+        assert np.allclose(bsr.todense(), small_coo.todense())
+
+    def test_bsr_stores_zeros_its_weakness(self, rng):
+        """The redundant zero storage bitBSR eliminates (§5.3)."""
+        dense = make_random_dense(rng, 64, 64, 0.05)
+        bsr = BSRMatrix.from_coo(COOMatrix.from_dense(dense))
+        stored = bsr.nblocks * 64
+        assert stored > 2 * bsr.nnz  # mostly padding at this sparsity
+
+
+class TestBitCOO:
+    def test_matches_bitbsr_semantics(self, small_coo, x_small):
+        bc = BitCOOMatrix.from_coo(small_coo)
+        assert np.allclose(bc.matvec(x_small), small_coo.matvec(x_small), rtol=1e-3, atol=1e-3)
+
+    def test_tobitbsr_roundtrip(self, small_coo):
+        bc = BitCOOMatrix.from_coo(small_coo)
+        bit = bc.tobitbsr()
+        assert bit.nnz == bc.nnz
+        assert np.allclose(bit.todense(), small_coo.todense(), rtol=1e-3)
+
+    def test_explicit_coordinates(self, small_coo):
+        bc = BitCOOMatrix.from_coo(small_coo)
+        assert bc.block_rows.size == bc.nblocks
+        assert bc.nbytes > 0
+
+
+class TestELL:
+    def test_width_is_max_row_length(self, small_coo):
+        ell = small_coo.convert("ell")
+        assert ell.width == int(small_coo.row_counts().max())
+
+    def test_padding_ratio(self, small_coo):
+        ell = small_coo.convert("ell")
+        expected = 1 - small_coo.nnz / (small_coo.nrows * ell.width)
+        assert ell.padding_ratio == pytest.approx(expected)
+
+    def test_rejects_nonzero_padding_values(self):
+        with pytest.raises(FormatError):
+            ELLMatrix((1, 4), np.array([[-1]], np.int32), np.array([[2.0]], np.float32))
+
+
+class TestHYB:
+    def test_split_preserves_total(self, medium_coo):
+        hyb = medium_coo.convert("hyb")
+        assert hyb.ell.nnz + hyb.tail.nnz == medium_coo.nnz
+
+    def test_custom_width(self, medium_coo):
+        hyb = HYBMatrix.from_coo(medium_coo, width=2)
+        assert hyb.ell.width == 2
+        assert np.allclose(hyb.todense(), medium_coo.todense())
+
+    def test_ell_fraction_bounds(self, medium_coo):
+        hyb = medium_coo.convert("hyb")
+        assert 0 < hyb.ell_fraction <= 1
+
+
+class TestDIA:
+    def test_banded_matrix_is_compact(self):
+        n = 32
+        dense = np.zeros((n, n), dtype=np.float32)
+        for off in (-1, 0, 2):
+            idx = np.arange(n - abs(off))
+            dense[idx + max(0, -off), idx + max(0, off)] = 5.0 + off
+        dia = DIAMatrix.from_coo(COOMatrix.from_dense(dense))
+        assert dia.ndiags == 3
+        assert sorted(dia.offsets.tolist()) == [-1, 0, 2]
+        assert np.allclose(dia.todense(), dense)
+
+    def test_refuses_scatter_explosion(self, rng):
+        DIAMatrix.MAX_DIAGONALS, saved = 4, DIAMatrix.MAX_DIAGONALS
+        try:
+            dense = make_random_dense(rng, 30, 30, 0.5)
+            with pytest.raises(FormatError):
+                DIAMatrix.from_coo(COOMatrix.from_dense(dense))
+        finally:
+            DIAMatrix.MAX_DIAGONALS = saved

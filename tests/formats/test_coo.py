@@ -1,0 +1,75 @@
+"""COO-specific behaviour: canonicalization, duplicates, validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats.coo import COOMatrix
+
+
+class TestCanonicalization:
+    def test_duplicates_are_summed(self):
+        coo = COOMatrix(
+            (3, 3),
+            np.array([0, 0, 1], dtype=np.int32),
+            np.array([1, 1, 2], dtype=np.int32),
+            np.array([2.0, 3.0, 4.0], dtype=np.float32),
+        )
+        assert coo.nnz == 2
+        assert coo.todense()[0, 1] == 5.0
+
+    def test_explicit_zeros_dropped(self):
+        coo = COOMatrix(
+            (2, 2),
+            np.array([0, 1], dtype=np.int32),
+            np.array([0, 1], dtype=np.int32),
+            np.array([0.0, 1.0], dtype=np.float32),
+        )
+        assert coo.nnz == 1
+
+    def test_cancelling_duplicates_dropped(self):
+        coo = COOMatrix(
+            (2, 2),
+            np.array([0, 0], dtype=np.int32),
+            np.array([0, 0], dtype=np.int32),
+            np.array([2.0, -2.0], dtype=np.float32),
+        )
+        assert coo.nnz == 0
+
+    def test_entries_sorted_row_major(self, small_coo):
+        keys = small_coo.rows.astype(np.int64) * small_coo.ncols + small_coo.cols
+        assert (np.diff(keys) > 0).all()
+
+
+class TestValidation:
+    def test_row_out_of_range(self):
+        with pytest.raises(FormatError):
+            COOMatrix((2, 2), np.array([2], np.int32), np.array([0], np.int32), np.array([1.0], np.float32))
+
+    def test_col_out_of_range(self):
+        with pytest.raises(FormatError):
+            COOMatrix((2, 2), np.array([0], np.int32), np.array([5], np.int32), np.array([1.0], np.float32))
+
+    def test_negative_index(self):
+        with pytest.raises(FormatError):
+            COOMatrix((2, 2), np.array([-1], np.int32), np.array([0], np.int32), np.array([1.0], np.float32))
+
+    def test_length_mismatch(self):
+        with pytest.raises(FormatError):
+            COOMatrix((2, 2), np.array([0], np.int32), np.array([0, 1], np.int32), np.array([1.0], np.float32))
+
+
+class TestOperations:
+    def test_transpose(self, small_coo, small_dense):
+        assert np.array_equal(small_coo.transpose().todense(), small_dense.T)
+
+    def test_row_counts(self, small_coo, small_dense):
+        assert np.array_equal(small_coo.row_counts(), (small_dense != 0).sum(axis=1))
+
+    def test_density(self, small_coo, small_dense):
+        expected = (small_dense != 0).sum() / small_dense.size
+        assert small_coo.density == pytest.approx(expected)
+
+    def test_matvec_shape_check(self, small_coo):
+        with pytest.raises(FormatError):
+            small_coo.matvec(np.ones(small_coo.ncols + 1))

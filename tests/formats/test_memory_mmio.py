@@ -1,0 +1,105 @@
+"""Footprint reporting and MatrixMarket I/O tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import convert, format_footprint
+from repro.formats.memory import compare_footprints
+from repro.formats.mmio import read_matrix_market, write_matrix_market
+
+
+class TestFootprint:
+    def test_report_fields_sum_to_total(self, small_coo):
+        report = format_footprint(small_coo)
+        assert report.total_bytes == sum(report.breakdown().values())
+        assert report.nnz == small_coo.nnz
+        assert report.bytes_per_nnz == pytest.approx(report.total_bytes / small_coo.nnz)
+
+    def test_compare_footprints_convention(self, small_coo):
+        """result[other] > 1 means 'other' uses more memory than baseline
+        — the paper's 'Spaden saves 2.83x over CSR' convention."""
+        reports = [
+            format_footprint(convert(small_coo, name)) for name in ("bitbsr", "csr", "bsr")
+        ]
+        savings = compare_footprints(reports, "bitbsr")
+        assert savings["csr"] > 1
+        assert savings["bsr"] > savings["csr"]
+
+    def test_compare_unknown_baseline(self, small_coo):
+        with pytest.raises(KeyError):
+            compare_footprints([format_footprint(small_coo)], "csr")
+
+    def test_str_rendering(self, small_coo):
+        text = str(format_footprint(small_coo))
+        assert "coo" in text and "B/nnz" in text
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, small_coo, tmp_path):
+        path = tmp_path / "m.mtx"
+        write_matrix_market(small_coo, path, comment="roundtrip test")
+        back = read_matrix_market(path)
+        assert np.allclose(back.todense(), small_coo.todense(), rtol=1e-5)
+
+    def test_symmetric_expansion(self):
+        text = """%%MatrixMarket matrix coordinate real symmetric
+3 3 2
+1 1 2.0
+3 1 5.0
+"""
+        m = read_matrix_market(io.StringIO(text))
+        d = m.todense()
+        assert d[0, 0] == 2.0
+        assert d[2, 0] == 5.0 and d[0, 2] == 5.0
+        assert m.nnz == 3
+
+    def test_pattern_values_are_unit(self):
+        text = """%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+"""
+        m = read_matrix_market(io.StringIO(text))
+        assert np.array_equal(np.sort(m.values), [1.0, 1.0])
+
+    def test_comment_lines_skipped(self):
+        text = """%%MatrixMarket matrix coordinate real general
+% a comment
+% another
+2 2 1
+1 1 3.5
+"""
+        m = read_matrix_market(io.StringIO(text))
+        assert m.todense()[0, 0] == pytest.approx(3.5)
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            "not a header\n1 1 0\n",
+            "%%MatrixMarket matrix array real general\n1 1 0\n",
+            "%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n1 1 0\n",
+        ],
+    )
+    def test_rejects_unsupported(self, header):
+        with pytest.raises(FormatError):
+            read_matrix_market(io.StringIO(header))
+
+    def test_rejects_count_mismatch(self):
+        text = """%%MatrixMarket matrix coordinate real general
+2 2 3
+1 1 1.0
+"""
+        with pytest.raises(FormatError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_rejects_missing_value_column(self):
+        text = """%%MatrixMarket matrix coordinate real general
+2 2 1
+1 1
+"""
+        with pytest.raises(FormatError):
+            read_matrix_market(io.StringIO(text))

@@ -1,0 +1,70 @@
+"""Cross-format round-trip properties: every format preserves the matrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.formats import available_formats, convert
+from repro.formats.coo import COOMatrix
+
+from tests.conftest import make_random_dense
+
+
+@st.composite
+def dense_matrices(draw):
+    nrows = draw(st.integers(1, 40))
+    ncols = draw(st.integers(1, 40))
+    seed = draw(st.integers(0, 2**31 - 1))
+    density = draw(st.sampled_from([0.0, 0.05, 0.2, 0.6]))
+    rng = np.random.default_rng(seed)
+    return make_random_dense(rng, nrows, ncols, density)
+
+
+@pytest.mark.parametrize("name", sorted(set(available_formats())))
+def test_roundtrip_small(name, small_dense):
+    coo = COOMatrix.from_dense(small_dense)
+    m = convert(coo, name)
+    assert np.allclose(m.todense(), small_dense, rtol=1e-3, atol=1e-6)
+    assert m.nnz == coo.nnz
+
+
+@pytest.mark.parametrize("name", sorted(set(available_formats())))
+def test_matvec_matches_dense(name, small_dense, x_small):
+    coo = COOMatrix.from_dense(small_dense)
+    m = convert(coo, name)
+    ref = small_dense.astype(np.float64) @ x_small.astype(np.float64)
+    got = m.matvec(x_small)
+    # bitmap formats store fp16 values; inputs are fp16-exact so only
+    # accumulation order differs
+    assert np.allclose(got, ref, rtol=1e-4, atol=1e-3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(dense_matrices())
+def test_all_formats_preserve_dense(dense):
+    coo = COOMatrix.from_dense(dense)
+    for name in available_formats():
+        m = convert(coo, name)
+        assert np.allclose(m.todense(), dense, rtol=1e-3, atol=1e-6), name
+
+
+@settings(max_examples=25, deadline=None)
+@given(dense_matrices())
+def test_conversions_commute_through_any_format(dense):
+    """coo -> F -> coo is the identity on canonical COO, for every F."""
+    coo = COOMatrix.from_dense(dense)
+    for name in available_formats():
+        back = convert(coo, name).tocoo()
+        assert back.shape == coo.shape
+        assert np.array_equal(back.rows, coo.rows), name
+        assert np.array_equal(back.cols, coo.cols), name
+        assert np.allclose(back.values, coo.values, rtol=1e-3), name
+
+
+def test_empty_matrix_supported_everywhere():
+    coo = COOMatrix((7, 9), np.zeros(0, np.int32), np.zeros(0, np.int32), np.zeros(0, np.float32))
+    x = np.ones(9, dtype=np.float32)
+    for name in available_formats():
+        m = convert(coo, name)
+        assert m.nnz == 0
+        assert np.array_equal(m.matvec(x), np.zeros(7, dtype=np.float32)), name

@@ -1,0 +1,73 @@
+"""SELL-C-sigma format tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FormatError
+from repro.formats.coo import COOMatrix
+from repro.formats.ell import ELLMatrix
+from repro.formats.sell import SELLMatrix
+
+from tests.conftest import make_random_dense
+
+
+class TestSELL:
+    def test_roundtrip(self, small_coo, small_dense):
+        sell = SELLMatrix.from_coo(small_coo, c=8, sigma=16)
+        assert np.allclose(sell.todense(), small_dense)
+        assert sell.nnz == small_coo.nnz
+
+    def test_matvec(self, small_coo, small_dense, x_small):
+        sell = SELLMatrix.from_coo(small_coo, c=8, sigma=16)
+        ref = small_dense.astype(np.float64) @ x_small.astype(np.float64)
+        assert np.allclose(sell.matvec(x_small), ref, rtol=1e-4, atol=1e-4)
+
+    def test_padding_never_worse_than_ell(self, rng):
+        """The whole point of slicing: padding bounded by per-slice max."""
+        # skewed row lengths: one heavy row per 64
+        dense = make_random_dense(rng, 128, 128, 0.02)
+        dense[::64, :] = 1.0
+        coo = COOMatrix.from_dense(dense)
+        ell = ELLMatrix.from_coo(coo)
+        sell = SELLMatrix.from_coo(coo, c=8, sigma=128)
+        assert sell.col_indices.size < ell.col_indices.size
+        assert sell.padding_ratio < ell.padding_ratio
+
+    def test_sigma_sorting_reduces_padding(self, rng):
+        dense = make_random_dense(rng, 256, 64, 0.05)
+        dense[::16, :] = 1.0  # heavy rows scattered through the window
+        coo = COOMatrix.from_dense(dense)
+        unsorted = SELLMatrix.from_coo(coo, c=16, sigma=1)  # no sorting
+        sorted_ = SELLMatrix.from_coo(coo, c=16, sigma=256)
+        assert sorted_.col_indices.size <= unsorted.col_indices.size
+
+    def test_permutation_is_bijection(self, medium_coo):
+        sell = SELLMatrix.from_coo(medium_coo, c=32, sigma=64)
+        assert np.sort(sell.permutation).tolist() == list(range(medium_coo.nrows))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.sampled_from([1, 4, 8, 32]),
+        st.sampled_from([1, 16, 256]),
+    )
+    def test_property_roundtrip(self, seed, c, sigma):
+        rng = np.random.default_rng(seed)
+        dense = make_random_dense(rng, int(rng.integers(1, 60)), int(rng.integers(1, 60)), 0.2)
+        coo = COOMatrix.from_dense(dense)
+        sell = SELLMatrix.from_coo(coo, c=c, sigma=sigma)
+        assert np.allclose(sell.todense(), dense)
+
+    def test_validation(self, small_coo):
+        with pytest.raises(FormatError):
+            SELLMatrix.from_coo(small_coo, c=0)
+        with pytest.raises(FormatError):
+            SELLMatrix.from_coo(small_coo, sigma=0)
+
+    def test_registered_format(self, small_coo, small_dense):
+        from repro.formats import available_formats, convert
+
+        assert "sell" in available_formats()
+        m = convert(small_coo, "sell")
+        assert np.allclose(m.todense(), small_dense)

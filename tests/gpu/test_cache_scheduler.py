@@ -1,0 +1,98 @@
+"""L2 cache simulator and occupancy model tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.cache import CacheStats, SetAssociativeCache, replay_hit_rate
+from repro.gpu.scheduler import (
+    KernelResources,
+    MAX_WARPS_PER_SM,
+    occupancy,
+)
+from repro.gpu.spec import get_gpu
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        c = SetAssociativeCache(1024, ways=2)
+        assert not c.access(5)
+        assert c.access(5)
+        assert c.stats.hits == 1 and c.stats.misses == 1
+
+    def test_capacity_eviction(self):
+        c = SetAssociativeCache(32 * 4, ways=4)  # 4 lines, 1 set
+        for sector in range(5):
+            c.access(sector)
+        assert c.stats.evictions == 1
+        assert not c.access(0)  # LRU victim was sector 0
+
+    def test_lru_order(self):
+        c = SetAssociativeCache(32 * 2, ways=2)  # one set, two ways
+        c.access(0)
+        c.access(1)
+        c.access(0)  # refresh 0 -> 1 is now LRU
+        c.access(2)  # evicts 1
+        assert c.access(0)
+        assert not c.access(1)
+
+    def test_streaming_has_no_reuse(self):
+        stats = replay_hit_rate(np.arange(0, 32 * 1000, 32), capacity_bytes=1024)
+        assert stats.hit_rate == 0.0
+        assert stats.miss_bytes == 1000 * 32
+
+    def test_working_set_within_capacity_hits(self):
+        trace = np.tile(np.arange(0, 32 * 8, 32), 100)
+        stats = replay_hit_rate(trace, capacity_bytes=32 * 64)
+        assert stats.hit_rate > 0.98
+
+    def test_invalid_configuration(self):
+        with pytest.raises(SimulationError):
+            SetAssociativeCache(0)
+        with pytest.raises(SimulationError):
+            SetAssociativeCache(32, ways=4)
+
+    def test_validates_roofline_assumption_x_fits_l2(self):
+        """The model's key assumption: a Table-1-sized x re-gathered by
+        many warps stays L2-resident on both boards."""
+        rng = np.random.default_rng(0)
+        x_elements = 350_000  # F1-scale x vector, float32
+        trace = rng.integers(0, x_elements, 200_000) * 4
+        for gpu_name in ("L40", "V100"):
+            l2 = get_gpu(gpu_name).l2_bytes
+            stats = replay_hit_rate(trace, capacity_bytes=l2)
+            # beyond cold misses, essentially everything hits
+            cold = x_elements * 4 / 32
+            assert stats.misses < 2.0 * cold, gpu_name
+
+
+class TestOccupancy:
+    def test_default_kernel_fills_sm(self):
+        report = occupancy(KernelResources(), get_gpu("L40"))
+        assert report.resident_warps_per_sm == MAX_WARPS_PER_SM
+        assert report.occupancy == 1.0
+
+    def test_register_pressure_limits(self):
+        heavy = KernelResources(threads_per_block=256, registers_per_thread=128)
+        report = occupancy(heavy, get_gpu("L40"))
+        assert report.limiter == "registers"
+        assert report.occupancy < 1.0
+
+    def test_shared_memory_limits(self):
+        shared_hog = KernelResources(shared_bytes_per_block=64 * 1024)
+        report = occupancy(shared_hog, get_gpu("V100"))
+        assert report.limiter == "shared"
+        assert report.blocks_per_sm == 1
+
+    def test_concurrency_caps_at_launch_size(self):
+        report = occupancy(KernelResources(), get_gpu("L40"))
+        assert report.concurrency(10) == 10
+        assert report.concurrency(10**9) == report.resident_warps_total
+
+    def test_oversubscription_rejected(self):
+        with pytest.raises(SimulationError):
+            occupancy(KernelResources(threads_per_block=2048), get_gpu("L40"))
+        with pytest.raises(SimulationError):
+            occupancy(
+                KernelResources(shared_bytes_per_block=200 * 1024), get_gpu("L40")
+            )

@@ -1,0 +1,48 @@
+"""ExecutionStats accounting tests."""
+
+import pytest
+
+from repro.gpu.counters import ExecutionStats
+
+
+class TestStats:
+    def test_merge_accumulates_everything(self):
+        a = ExecutionStats(global_load_bytes=10, mma_ops=1, warps_launched=2)
+        b = ExecutionStats(global_load_bytes=5, cuda_flops=7)
+        a.merge(b)
+        assert a.global_load_bytes == 15
+        assert a.mma_ops == 1
+        assert a.cuda_flops == 7
+        assert a.warps_launched == 2
+
+    def test_scaled(self):
+        s = ExecutionStats(global_load_bytes=10, load_transactions=3)
+        t = s.scaled(2.5)
+        assert t.global_load_bytes == 25
+        assert t.load_transactions == 8  # rounded
+        assert s.global_load_bytes == 10  # original untouched
+
+    def test_copy_independent(self):
+        s = ExecutionStats(mma_ops=4)
+        c = s.copy()
+        c.mma_ops = 9
+        assert s.mma_ops == 4
+
+    def test_dram_bytes_is_sector_based(self):
+        s = ExecutionStats(load_transactions=3, store_transactions=2)
+        assert s.dram_bytes == 5 * 32
+
+    def test_total_flops_counts_mma(self):
+        s = ExecutionStats(cuda_flops=100, mma_ops=2)
+        assert s.total_flops == 100 + 2 * 8192
+
+    def test_load_efficiency(self):
+        s = ExecutionStats(global_load_bytes=64, load_transactions=4)
+        assert s.load_efficiency == pytest.approx(0.5)
+        assert ExecutionStats().load_efficiency == 1.0
+
+    def test_as_dict_roundtrip(self):
+        s = ExecutionStats(atomic_ops=3)
+        d = s.as_dict()
+        assert d["atomic_ops"] == 3
+        assert set(d) >= {"global_load_bytes", "mma_ops", "warps_launched"}

@@ -1,0 +1,149 @@
+"""Fragment layout invariants — the simulated hardware of §3/Fig. 1-2."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constants import FRAGMENT_DIM, REGISTERS_PER_LANE, WARP_SIZE
+from repro.errors import LayoutError
+from repro.gpu.fragment import (
+    Fragment,
+    FragmentKind,
+    element_owner,
+    lane_register_element,
+    portion_of_register,
+    registers_of_portion,
+)
+
+KINDS = list(FragmentKind)
+
+
+class TestMapping:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_bijection(self, kind):
+        """Every (lane, register) owns exactly one element and vice versa."""
+        seen = {}
+        for lane in range(WARP_SIZE):
+            for reg in range(REGISTERS_PER_LANE):
+                rc = lane_register_element(kind, lane, reg)
+                assert rc not in seen
+                seen[rc] = (lane, reg)
+                assert element_owner(kind, *rc) == (lane, reg)
+        assert len(seen) == FRAGMENT_DIM * FRAGMENT_DIM
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_lane_owns_consecutive_pair(self, kind):
+        """Fig. 1: one thread controls two consecutive elements."""
+        for lane in range(WARP_SIZE):
+            for portion in range(4):
+                r0, r1 = registers_of_portion(portion)
+                a = lane_register_element(kind, lane, r0)
+                b = lane_register_element(kind, lane, r1)
+                if kind.row_major_pairs:
+                    assert a[0] == b[0] and b[1] == a[1] + 1
+                else:
+                    assert a[1] == b[1] and b[0] == a[0] + 1
+
+    def test_diagonal_portions_use_paper_registers(self):
+        """x[0,1] address the top-left and x[6,7] the bottom-right portion
+        in *every* operand layout — the property Algorithm 3 needs."""
+        for kind in KINDS:
+            for reg in (0, 1):
+                r, c = lane_register_element(kind, 5, reg)
+                assert r < 8 and c < 8
+            for reg in (6, 7):
+                r, c = lane_register_element(kind, 5, reg)
+                assert r >= 8 and c >= 8
+
+    def test_accumulator_matches_fig2(self):
+        """Writing x[i] = i reproduces the exact Fig. 2 layout."""
+        frag = Fragment(FragmentKind.ACCUMULATOR)
+        for reg in range(REGISTERS_PER_LANE):
+            frag.warp_write_register(reg, np.full(WARP_SIZE, float(reg)))
+        m = frag.to_matrix()
+        assert np.array_equal(np.unique(m[:8, :8]), [0, 1])
+        assert np.array_equal(np.unique(m[:8, 8:]), [2, 3])
+        assert np.array_equal(np.unique(m[8:, :8]), [4, 5])
+        assert np.array_equal(np.unique(m[8:, 8:]), [6, 7])
+        # within a portion, pairs alternate along rows
+        assert m[0, 0] == 0 and m[0, 1] == 1 and m[0, 2] == 0
+
+    def test_accumulator_lane_layout_matches_fig1(self):
+        """Lane l owns row l//4, columns 2(l%4), 2(l%4)+1 of each portion."""
+        for lane in range(WARP_SIZE):
+            r, c = lane_register_element(FragmentKind.ACCUMULATOR, lane, 0)
+            assert r == lane // 4
+            assert c == 2 * (lane % 4)
+
+    def test_b_operand_is_column_major(self):
+        """§4.3: 'the vector is arranged vertically (in column-major
+        order)' — lane pairs advance down a column."""
+        r0, c0 = lane_register_element(FragmentKind.MATRIX_B, 0, 0)
+        r1, c1 = lane_register_element(FragmentKind.MATRIX_B, 0, 1)
+        assert c0 == c1 and r1 == r0 + 1
+
+    def test_bounds(self):
+        with pytest.raises(LayoutError):
+            lane_register_element(FragmentKind.ACCUMULATOR, 32, 0)
+        with pytest.raises(LayoutError):
+            lane_register_element(FragmentKind.ACCUMULATOR, 0, 8)
+        with pytest.raises(LayoutError):
+            element_owner(FragmentKind.ACCUMULATOR, 16, 0)
+        with pytest.raises(LayoutError):
+            portion_of_register(-1)
+        with pytest.raises(LayoutError):
+            registers_of_portion(4)
+
+
+class TestFragmentState:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_load_store_roundtrip(self, kind, rng):
+        m = rng.standard_normal((16, 16)).astype(np.float32)
+        frag = Fragment(kind)
+        frag.load_matrix(m)
+        assert np.array_equal(frag.to_matrix(), m)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("portion", range(4))
+    def test_portion_roundtrip(self, kind, portion, rng):
+        block = rng.standard_normal((8, 8)).astype(np.float32)
+        frag = Fragment(kind)
+        frag.set_portion(portion, block)
+        assert np.array_equal(frag.portion(portion), block)
+        # other portions untouched
+        for other in range(4):
+            if other != portion:
+                assert not frag.portion(other).any()
+
+    def test_register_write_lands_at_mapped_element(self, rng):
+        frag = Fragment(FragmentKind.ACCUMULATOR)
+        frag.write_register(13, 5, 42.0)
+        r, c = lane_register_element(FragmentKind.ACCUMULATOR, 13, 5)
+        assert frag.to_matrix()[r, c] == 42.0
+        assert frag.read_register(13, 5) == 42.0
+
+    def test_fill(self):
+        frag = Fragment(FragmentKind.MATRIX_A)
+        frag.fill(3.0)
+        assert (frag.to_matrix() == 3.0).all()
+
+    def test_warp_write_requires_full_warp(self):
+        frag = Fragment(FragmentKind.MATRIX_A)
+        with pytest.raises(LayoutError):
+            frag.warp_write_register(0, np.zeros(31))
+
+    @given(st.integers(0, 2**31 - 1))
+    def test_roundtrip_property(self, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.integers(-100, 100, (16, 16)).astype(np.float32)
+        for kind in KINDS:
+            frag = Fragment(kind)
+            frag.load_matrix(m)
+            assert np.array_equal(frag.to_matrix(), m)
+
+    def test_copy_is_independent(self):
+        a = Fragment(FragmentKind.ACCUMULATOR)
+        a.fill(1.0)
+        b = a.copy()
+        b.fill(2.0)
+        assert (a.to_matrix() == 1.0).all()

@@ -1,0 +1,126 @@
+"""Coalescing analyzer and global-memory model tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.gpu.memory import GlobalMemory, sector_count
+from repro.gpu.warp import Warp
+
+
+def fresh_warp(n=1024, dtype=np.float32):
+    mem = GlobalMemory()
+    mem.register("x", np.arange(n, dtype=dtype))
+    mem.register("y", np.zeros(n, dtype=np.float32))
+    return mem, Warp(mem)
+
+
+class TestSectorCount:
+    def test_empty(self):
+        assert sector_count(np.array([])) == 0
+
+    def test_single_sector(self):
+        assert sector_count(np.arange(32)) == 1
+
+    def test_boundary(self):
+        assert sector_count(np.array([31, 32])) == 2
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=64))
+    def test_matches_set_arithmetic(self, addresses):
+        expected = len({a // 32 for a in addresses})
+        assert sector_count(np.array(addresses)) == expected
+
+
+class TestCoalescing:
+    def test_fully_coalesced_float32(self):
+        mem, w = fresh_warp()
+        w.load("x", w.lanes)
+        assert mem.stats.load_transactions == 4  # 32 lanes x 4 B = 4 sectors
+
+    def test_broadcast_is_one_transaction(self):
+        mem, w = fresh_warp()
+        w.load("x", np.full(32, 7))
+        assert mem.stats.load_transactions == 1
+
+    def test_strided_is_worst_case(self):
+        mem, w = fresh_warp()
+        w.load("x", w.lanes * 8)  # 32 B apart: one sector per lane
+        assert mem.stats.load_transactions == 32
+
+    def test_masked_lanes_cost_nothing(self):
+        """Predicated-off lanes skip both bytes and sectors — the
+        mechanism Spaden's zero-skipping decode exploits."""
+        mem, w = fresh_warp()
+        mask = w.lanes < 8
+        w.load("x", w.lanes, mask=mask)
+        assert mem.stats.load_transactions == 1
+        assert mem.stats.global_load_bytes == 8 * 4
+
+    def test_all_masked_costs_nothing(self):
+        mem, w = fresh_warp()
+        w.load("x", w.lanes, mask=np.zeros(32, bool))
+        assert mem.stats.load_transactions == 0
+
+    def test_different_arrays_never_share_sectors(self):
+        mem = GlobalMemory()
+        mem.register("a", np.zeros(2, np.float32))
+        mem.register("b", np.zeros(2, np.float32))
+        w = Warp(mem)
+        w.load("a", np.zeros(32, np.int64))
+        w.load("b", np.zeros(32, np.int64))
+        assert mem.stats.load_transactions == 2
+
+
+class TestAccessSemantics:
+    def test_load_returns_values_with_mask_zeros(self):
+        mem, w = fresh_warp()
+        out = w.load("x", w.lanes, mask=w.lanes % 2 == 0)
+        assert np.array_equal(out[::2], np.arange(0, 32, 2, dtype=np.float32))
+        assert (out[1::2] == 0).all()
+
+    def test_store_then_load(self):
+        mem, w = fresh_warp()
+        w.store("y", w.lanes, np.arange(32, dtype=np.float32) * 2)
+        assert np.array_equal(mem.array("y")[:32], np.arange(32) * 2)
+        assert mem.stats.store_transactions == 4
+
+    def test_store_conflict_detected(self):
+        mem, w = fresh_warp()
+        with pytest.raises(SimulationError):
+            w.store("y", np.zeros(32, np.int64), np.ones(32, np.float32))
+
+    def test_atomic_add_allows_conflicts(self):
+        mem, w = fresh_warp()
+        w.atomic_add("y", np.zeros(32, np.int64), np.ones(32, np.float32))
+        assert mem.array("y")[0] == 32.0
+        assert mem.stats.atomic_ops == 32
+
+    def test_out_of_bounds_load_raises(self):
+        mem, w = fresh_warp(8)
+        with pytest.raises(SimulationError):
+            w.load("x", np.full(32, 99))
+
+    def test_out_of_bounds_store_raises(self):
+        mem, w = fresh_warp(8)
+        with pytest.raises(SimulationError):
+            w.store("y", np.full(32, 99), np.ones(32, np.float32))
+
+    def test_duplicate_registration_rejected(self):
+        mem = GlobalMemory()
+        mem.register("a", np.zeros(2))
+        with pytest.raises(SimulationError):
+            mem.register("a", np.zeros(2))
+
+    def test_unknown_array_rejected(self):
+        mem = GlobalMemory()
+        with pytest.raises(SimulationError):
+            mem.array("missing")
+
+    def test_fp16_loads_half_the_sectors(self):
+        mem = GlobalMemory()
+        mem.register("h", np.arange(64, dtype=np.float16))
+        w = Warp(mem)
+        w.load("h", w.lanes)
+        assert mem.stats.load_transactions == 2  # 64 B of fp16
+        assert mem.stats.global_load_bytes == 64

@@ -1,0 +1,116 @@
+"""MMA unit semantics: shapes, precisions, accumulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.gpu.counters import ExecutionStats
+from repro.gpu.fragment import Fragment, FragmentKind
+from repro.gpu.mma import MMAUnit, Precision, to_tf32
+
+
+def frags(a_matrix, b_matrix, c_matrix=None):
+    a = Fragment(FragmentKind.MATRIX_A)
+    b = Fragment(FragmentKind.MATRIX_B)
+    c = Fragment(FragmentKind.ACCUMULATOR)
+    a.load_matrix(a_matrix)
+    b.load_matrix(b_matrix)
+    if c_matrix is not None:
+        c.load_matrix(c_matrix)
+    return a, b, c
+
+
+class TestMMA:
+    def test_fp32_matches_numpy(self, rng):
+        A = rng.standard_normal((16, 16)).astype(np.float32)
+        B = rng.standard_normal((16, 16)).astype(np.float32)
+        C = rng.standard_normal((16, 16)).astype(np.float32)
+        d = MMAUnit(Precision.FP32).mma(*frags(A, B, C))
+        assert np.allclose(d.to_matrix(), A @ B + C, atol=1e-4)
+
+    def test_fp16_rounds_inputs(self, rng):
+        A = rng.standard_normal((16, 16)).astype(np.float32)
+        B = rng.standard_normal((16, 16)).astype(np.float32)
+        d = MMAUnit(Precision.FP16).mma(*frags(A, B))
+        ref = A.astype(np.float16).astype(np.float32) @ B.astype(np.float16).astype(np.float32)
+        assert np.allclose(d.to_matrix(), ref, atol=1e-4)
+
+    def test_fp16_exact_values_give_exact_result(self, rng):
+        A = rng.integers(-8, 8, (16, 16)).astype(np.float32)
+        B = rng.integers(-8, 8, (16, 16)).astype(np.float32)
+        d = MMAUnit(Precision.FP16).mma(*frags(A, B))
+        assert np.array_equal(d.to_matrix(), (A @ B).astype(np.float32))
+
+    def test_operand_kind_enforced(self):
+        a = Fragment(FragmentKind.MATRIX_A)
+        b = Fragment(FragmentKind.MATRIX_B)
+        c = Fragment(FragmentKind.ACCUMULATOR)
+        unit = MMAUnit()
+        with pytest.raises(SimulationError):
+            unit.mma(b, b, c)
+        with pytest.raises(SimulationError):
+            unit.mma(a, a, c)
+        with pytest.raises(SimulationError):
+            unit.mma(a, b, a)
+
+    def test_counts_ops(self):
+        stats = ExecutionStats()
+        unit = MMAUnit(Precision.FP32, stats=stats)
+        unit.mma(*frags(np.eye(16, dtype=np.float32), np.eye(16, dtype=np.float32)))
+        assert stats.mma_ops == 1
+
+    def test_accumulation_chains(self, rng):
+        """C += A_i @ B_i over several iterations (Algorithm 3's loop)."""
+        unit = MMAUnit(Precision.FP32)
+        acc = Fragment(FragmentKind.ACCUMULATOR)
+        total = np.zeros((16, 16), dtype=np.float32)
+        for i in range(4):
+            A = rng.integers(-4, 4, (16, 16)).astype(np.float32)
+            B = rng.integers(-4, 4, (16, 16)).astype(np.float32)
+            a, b, _ = frags(A, B)
+            acc = unit.mma(a, b, acc)
+            total = total + A @ B
+        assert np.allclose(acc.to_matrix(), total)
+
+    def test_matmul_dense_tiling(self, rng):
+        A = rng.integers(-4, 4, (32, 48)).astype(np.float32)
+        B = rng.integers(-4, 4, (48, 16)).astype(np.float32)
+        unit = MMAUnit(Precision.FP32)
+        assert np.allclose(unit.matmul_dense(A, B), A @ B)
+        assert unit.stats.mma_ops == (32 // 16) * (16 // 16) * (48 // 16)
+
+    def test_matmul_dense_rejects_unaligned(self):
+        with pytest.raises(SimulationError):
+            MMAUnit().matmul_dense(np.zeros((10, 16)), np.zeros((16, 16)))
+
+
+class TestTF32:
+    def test_keeps_10_mantissa_bits(self):
+        assert to_tf32(np.float32(1.0)) == 1.0
+        # 1 + 2^-11 rounds away under a 10-bit mantissa
+        assert to_tf32(np.float32(1.0 + 2**-11)) in (1.0, np.float32(1.0 + 2**-10))
+
+    def test_idempotent(self, rng):
+        x = rng.standard_normal(1000).astype(np.float32)
+        once = to_tf32(x)
+        assert np.array_equal(to_tf32(once), once)
+
+    @given(
+        st.floats(
+            min_value=np.float32(-1e20),
+            max_value=np.float32(1e20),
+            width=32,
+            allow_nan=False,
+        )
+    )
+    def test_relative_error_bounded(self, value):
+        out = float(to_tf32(np.float32(value)))
+        # subnormals lose relative precision under mantissa truncation,
+        # exactly as on hardware
+        if abs(value) >= 2**-126:
+            assert abs(out - value) <= abs(value) * 2**-10
+
+    def test_exactly_representable_fixed(self):
+        for v in (0.0, 0.5, -2.0, 1024.0, 0.375):
+            assert to_tf32(np.float32(v)) == v

@@ -1,0 +1,68 @@
+"""Warp primitive tests: shuffles, ballot, reductions, op accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.warp import Warp
+
+
+@pytest.fixture
+def warp():
+    return Warp(GlobalMemory())
+
+
+class TestShuffle:
+    def test_identity(self, warp):
+        v = np.arange(32, dtype=np.float64)
+        assert np.array_equal(warp.shuffle(v, warp.lanes), v)
+
+    def test_broadcast_from_lane(self, warp):
+        v = np.arange(32, dtype=np.float64)
+        assert (warp.shuffle(v, 5) == 5).all()
+
+    def test_shuffle_down(self, warp):
+        v = np.arange(32, dtype=np.float64)
+        out = warp.shuffle_down(v, 16)
+        assert np.array_equal(out[:16], v[16:])
+        assert np.array_equal(out[16:], np.full(16, 31.0))
+
+    def test_source_bounds(self, warp):
+        with pytest.raises(SimulationError):
+            warp.shuffle(np.zeros(32), 32)
+
+    def test_shape_enforced(self, warp):
+        with pytest.raises(SimulationError):
+            warp.shuffle(np.zeros(16), 0)
+
+
+class TestBallotReduce:
+    def test_ballot(self, warp):
+        mask = warp.ballot(warp.lanes < 4)
+        assert mask == 0b1111
+
+    def test_ballot_empty(self, warp):
+        assert warp.ballot(np.zeros(32, bool)) == 0
+
+    @given(st.lists(st.integers(-100, 100), min_size=32, max_size=32))
+    def test_reduce_sum_matches_numpy(self, values):
+        warp = Warp(GlobalMemory())
+        assert warp.reduce_sum(np.array(values, dtype=np.float64)) == float(sum(values))
+
+
+class TestAccounting:
+    def test_flops_respect_mask(self, warp):
+        warp.count_flops(3, mask=warp.lanes < 10)
+        assert warp.stats.cuda_flops == 30
+
+    def test_int_ops_full_warp(self, warp):
+        warp.count_int_ops(2)
+        assert warp.stats.cuda_int_ops == 64
+
+    def test_warps_launched_increments(self):
+        mem = GlobalMemory()
+        Warp(mem, warp_id=0)
+        Warp(mem, warp_id=1)
+        assert mem.stats.warps_launched == 2

@@ -1,0 +1,97 @@
+"""Conventional WMMA API tests — the shared-memory path Spaden skips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.counters import ExecutionStats
+from repro.gpu.fragment import Fragment, FragmentKind
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.mma import Precision
+from repro.gpu.wmma import fill_fragment, load_matrix_sync, mma_sync, store_matrix_sync
+
+
+@pytest.fixture
+def tile_memory(rng):
+    mem = GlobalMemory()
+    data = rng.integers(-8, 8, (32, 32)).astype(np.float32)
+    mem.register("m", data.reshape(-1))
+    mem.register("out", np.zeros(32 * 32, dtype=np.float32))
+    return mem, data
+
+
+class TestLoadStore:
+    def test_load_reads_tile(self, tile_memory):
+        mem, data = tile_memory
+        frag = Fragment(FragmentKind.MATRIX_A)
+        load_matrix_sync(frag, mem, "m", offset=0, ldm=32)
+        assert np.array_equal(frag.to_matrix(), data[:16, :16])
+
+    def test_load_with_offset(self, tile_memory):
+        mem, data = tile_memory
+        frag = Fragment(FragmentKind.MATRIX_A)
+        load_matrix_sync(frag, mem, "m", offset=16 * 32 + 16, ldm=32)
+        assert np.array_equal(frag.to_matrix(), data[16:, 16:])
+
+    def test_store_roundtrip(self, tile_memory):
+        mem, data = tile_memory
+        frag = Fragment(FragmentKind.ACCUMULATOR)
+        frag.load_matrix(data[:16, :16])
+        store_matrix_sync(mem, "out", offset=0, ldm=32, fragment=frag)
+        out = mem.array("out").reshape(32, 32)
+        assert np.array_equal(out[:16, :16], data[:16, :16])
+
+    def test_conventional_path_charges_shared_memory(self, tile_memory):
+        """The indirection cost §3 describes: 256 elements staged through
+        shared memory in each direction."""
+        mem, _ = tile_memory
+        frag = Fragment(FragmentKind.MATRIX_A)
+        load_matrix_sync(frag, mem, "m", offset=0, ldm=32)
+        assert mem.stats.shared_bytes == 2 * 256 * 4
+        # all 256 elements moved from global memory, zeros included
+        assert mem.stats.global_load_bytes == 256 * 4
+
+    def test_out_of_bounds_rejected(self, tile_memory):
+        mem, _ = tile_memory
+        frag = Fragment(FragmentKind.MATRIX_A)
+        with pytest.raises(SimulationError):
+            load_matrix_sync(frag, mem, "m", offset=32 * 32 - 8, ldm=32)
+
+
+class TestMmaSync:
+    def test_wrapper_matches_numpy(self, rng):
+        A = rng.integers(-4, 4, (16, 16)).astype(np.float32)
+        B = rng.integers(-4, 4, (16, 16)).astype(np.float32)
+        a, b = Fragment(FragmentKind.MATRIX_A), Fragment(FragmentKind.MATRIX_B)
+        c = Fragment(FragmentKind.ACCUMULATOR)
+        a.load_matrix(A)
+        b.load_matrix(B)
+        stats = ExecutionStats()
+        fill_fragment(c, 0.0, stats)
+        d = mma_sync(a, b, c, precision=Precision.FP32, stats=stats)
+        assert np.allclose(d.to_matrix(), A @ B)
+        assert stats.mma_ops == 1
+
+
+class TestSpec:
+    def test_known_gpus(self):
+        from repro.gpu.spec import get_gpu, known_gpus
+
+        assert {"L40", "V100"} <= set(known_gpus())
+        l40 = get_gpu("l40")
+        assert l40.tensor_cores == 568  # paper §5.1
+        assert get_gpu("V100").tensor_cores == 640
+
+    def test_unknown_gpu(self):
+        from repro.gpu.spec import get_gpu
+
+        with pytest.raises(KeyError):
+            get_gpu("H100x")
+
+    def test_effective_rates_positive(self):
+        from repro.gpu.spec import get_gpu
+
+        for name in ("L40", "V100", "A100"):
+            g = get_gpu(name)
+            assert 0 < g.effective_bandwidth < g.mem_bandwidth_gbps * 1e9
+            assert 0 < g.effective_tensor

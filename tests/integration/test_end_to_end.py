@@ -1,0 +1,106 @@
+"""Integration tests: the full pipeline from dataset to figures."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    EVALUATED_METHODS,
+    FIG8_METHODS,
+    load_suite,
+    modeled_times,
+    profile_suite,
+)
+from repro.core.analysis import categorize_blocks
+from repro.kernels import get_kernel
+from repro.perf.metrics import gflops, speedup_table
+
+SCALE = 0.02
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    return load_suite(scale=SCALE, names=["raefsky3", "consph", "Si41Ge41H72", "TSOPF"])
+
+
+@pytest.fixture(scope="module")
+def tiny_profiles(tiny_suite, tmp_path_factory, monkeypatch_module=None):
+    import repro.bench.harness as harness
+
+    # isolate the on-disk cache
+    harness._CACHE_DIR = tmp_path_factory.mktemp("bench_cache")
+    return profile_suite(tiny_suite, EVALUATED_METHODS, SCALE)
+
+
+class TestPipeline:
+    def test_all_methods_numerically_agree_on_suite(self, tiny_suite):
+        for name, g in tiny_suite.items():
+            x = g.dense_vector()
+            ref = g.csr.matvec(x)
+            for method in EVALUATED_METHODS:
+                kernel = get_kernel(method)
+                y = kernel.run(kernel.prepare(g.csr), x)
+                rel = np.abs(y - ref).max() / max(1.0, np.abs(ref).max())
+                assert rel < 1e-3, (name, method, rel)
+
+    def test_modeled_times_are_finite_and_ordered(self, tiny_profiles):
+        for gpu in ("L40", "V100"):
+            times = modeled_times(tiny_profiles, gpu)
+            for name, per_method in times.items():
+                for method, t in per_method.items():
+                    assert np.isfinite(t) and t > 0, (gpu, name, method)
+
+    def test_speedup_table_runs(self, tiny_profiles):
+        times = modeled_times(tiny_profiles, "L40")
+        su = speedup_table(times, "spaden")
+        assert set(su) == set(EVALUATED_METHODS) - {"spaden"}
+
+    def test_gflops_in_plausible_gpu_range(self, tiny_profiles, tiny_suite):
+        """Modeled SpMV throughput must land in the regime real GPUs
+        show: between 1 and 1000 GFLOPS."""
+        times = modeled_times(tiny_profiles, "L40")
+        for name, per_method in times.items():
+            nnz = tiny_suite[name].nnz
+            for method, t in per_method.items():
+                g = gflops(nnz, t)
+                assert 0.5 < g < 1500, (name, method, g)
+
+    def test_profile_cache_roundtrip(self, tiny_suite, tmp_path):
+        import repro.bench.harness as harness
+
+        old = harness._CACHE_DIR
+        harness._CACHE_DIR = tmp_path / "cache"
+        try:
+            p1 = profile_suite(tiny_suite, ("spaden",), SCALE)
+            p2 = profile_suite(tiny_suite, ("spaden",), SCALE)  # from cache
+            for name in tiny_suite:
+                assert (
+                    p1[name]["spaden"].stats.as_dict()
+                    == p2[name]["spaden"].stats.as_dict()
+                )
+        finally:
+            harness._CACHE_DIR = old
+
+    def test_structure_signals_survive_pipeline(self, tiny_suite):
+        """Fig. 9a categories propagate from generator -> bitBSR -> stats."""
+        dense_heavy = categorize_blocks(tiny_suite["raefsky3"].bitbsr)
+        sparse_heavy = categorize_blocks(tiny_suite["Si41Ge41H72"].bitbsr)
+        assert dense_heavy.dense_ratio > 0.9
+        assert sparse_heavy.sparse_ratio > 0.9
+
+
+class TestSimulatorAgainstSuite:
+    def test_spaden_simulation_on_real_structure(self):
+        """Lane-level simulation on a (very small) Table-1 analog."""
+        suite = load_suite(scale=0.004, names=["consph"])
+        g = suite["consph"]
+        x = g.dense_vector()
+        kernel = get_kernel("spaden")
+        prep = kernel.prepare(g.csr)
+        y_sim, stats = kernel.simulate(prep, x)
+        y_fast = kernel.run(prep, x)
+        ref = g.csr.matvec(x)
+        assert np.allclose(y_sim, y_fast, rtol=1e-4, atol=1e-3)
+        assert np.allclose(y_sim, ref, rtol=1e-3, atol=1e-2)
+        profile = kernel.profile(prep, x)
+        assert profile.stats.mma_ops == stats.mma_ops
+        assert profile.stats.load_transactions == stats.load_transactions

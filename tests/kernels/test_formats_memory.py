@@ -1,0 +1,97 @@
+"""Per-kernel storage footprints reproduce the Fig. 10b orderings."""
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.kernels import get_kernel
+from repro.matrices.generators import fp16_exact_values
+from repro.matrices.random import random_banded
+
+from tests.conftest import make_random_dense
+
+
+@pytest.fixture
+def typical_csr(rng):
+    """A matrix in Spaden's effective scope: banded, nnz/nrow > 32,
+    mostly *sparse* blocks (the regime where BSR's zero padding hurts)."""
+    coo = random_banded(512, 48, fill=0.35, seed=7)
+    return CSRMatrix.from_coo(coo)
+
+
+class TestFig10bOrdering:
+    def test_memory_ordering_matches_paper(self, typical_csr):
+        """Spaden < CSR < DASP < BSR bytes/nnz on blocky matrices."""
+        x = None
+        sizes = {}
+        for name in ("spaden", "cusparse-csr", "dasp", "cusparse-bsr"):
+            kernel = get_kernel(name)
+            prep = kernel.prepare(typical_csr)
+            sizes[name] = prep.bytes_per_nnz
+        assert sizes["spaden"] < sizes["cusparse-csr"] < sizes["dasp"] < sizes["cusparse-bsr"]
+
+    def test_spaden_memory_saving_magnitude(self, typical_csr):
+        """Paper: ~2.83x saving over cuSPARSE CSR on blocky matrices."""
+        spaden = get_kernel("spaden").prepare(typical_csr)
+        csr = get_kernel("cusparse-csr").prepare(typical_csr)
+        saving = csr.device_bytes / spaden.device_bytes
+        assert 1.8 < saving < 4.0
+
+    def test_spaden_bytes_per_nnz_near_paper(self, typical_csr):
+        """Paper: 2.85 B/nnz average over its dataset."""
+        prep = get_kernel("spaden").prepare(typical_csr)
+        assert 2.0 < prep.bytes_per_nnz < 4.5
+
+    def test_csr_bytes_per_nnz_near_paper(self, typical_csr):
+        """Paper: 8.06 B/nnz."""
+        prep = get_kernel("cusparse-csr").prepare(typical_csr)
+        assert 7.5 < prep.bytes_per_nnz < 9.0
+
+
+class TestFig10aOrdering:
+    def test_preprocessing_ordering(self, typical_csr):
+        """BSR < Spaden < DASP conversion cost per nnz (Fig. 10a)."""
+        costs = {}
+        for name in ("cusparse-bsr", "spaden", "dasp"):
+            prep = get_kernel(name).prepare(typical_csr)
+            costs[name] = prep.preprocessing_ns_per_nnz
+        assert costs["cusparse-bsr"] < costs["spaden"] < costs["dasp"]
+
+    def test_magnitudes_in_paper_range(self, typical_csr):
+        """Paper: BSR 1.21, Spaden 3.31, DASP 4.95 ns/nnz."""
+        for name, (lo, hi) in {
+            "cusparse-bsr": (0.3, 3.0),
+            "spaden": (2.0, 6.0),
+            "dasp": (3.0, 8.0),
+        }.items():
+            prep = get_kernel(name).prepare(typical_csr)
+            assert lo < prep.preprocessing_ns_per_nnz < hi, name
+
+    def test_csr_preprocessing_is_cheapest(self, typical_csr):
+        csr = get_kernel("cusparse-csr").prepare(typical_csr)
+        spaden = get_kernel("spaden").prepare(typical_csr)
+        assert csr.preprocessing_seconds < spaden.preprocessing_seconds
+
+
+class TestDASPOperand:
+    def test_padding_is_multiple_of_k(self, typical_csr):
+        prep = get_kernel("dasp").prepare(typical_csr)
+        op = prep.data
+        assert (np.diff(op.padded_pointers) % 4 == 0).all()
+        assert op.padded_nnz >= typical_csr.nnz
+
+    def test_padding_values_are_zero(self, rng):
+        dense = make_random_dense(rng, 40, 40, 0.1)
+        csr = CSRMatrix.from_coo(COOMatrix.from_dense(dense))
+        prep = get_kernel("dasp").prepare(csr)
+        op = prep.data
+        assert float(np.abs(op.values.astype(np.float64)).sum()) == pytest.approx(
+            float(np.abs(csr.values.astype(np.float64)).sum()), rel=1e-3
+        )
+
+    def test_padding_columns_stay_in_range(self, rng):
+        dense = make_random_dense(rng, 40, 40, 0.1)
+        csr = CSRMatrix.from_coo(COOMatrix.from_dense(dense))
+        op = get_kernel("dasp").prepare(csr).data
+        assert op.cols.min() >= 0 and op.cols.max() < 40

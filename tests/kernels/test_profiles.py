@@ -1,0 +1,118 @@
+"""Analytic profile validity: exact vs simulator for Spaden, sanity
+bounds for every kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.kernels import available_kernels, get_kernel
+from repro.kernels.base import gather_transactions, grouped_transactions, stream_transactions, touched_sector_bytes
+from repro.matrices.generators import fp16_exact_values
+
+from tests.conftest import make_random_dense
+
+COMPARED_FIELDS = (
+    "global_load_bytes",
+    "global_store_bytes",
+    "load_transactions",
+    "store_transactions",
+    "cuda_flops",
+    "cuda_int_ops",
+    "mma_ops",
+    "warps_launched",
+)
+
+
+class TestSpadenAnalyticExactness:
+    """The flagship property: the analytic profile equals the
+    lane-level simulator's measured counters, field for field."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.sampled_from([0.03, 0.15, 0.45]),
+        st.integers(8, 70),
+        st.integers(8, 70),
+    )
+    def test_profile_equals_simulation(self, seed, density, nrows, ncols):
+        rng = np.random.default_rng(seed)
+        dense = make_random_dense(rng, nrows, ncols, density)
+        csr = CSRMatrix.from_coo(COOMatrix.from_dense(dense))
+        x = fp16_exact_values(rng, ncols)
+        kernel = get_kernel("spaden")
+        prep = kernel.prepare(csr)
+        profile = kernel.profile(prep, x)
+        _, simulated = kernel.simulate(prep, x)
+        for field in COMPARED_FIELDS:
+            assert getattr(profile.stats, field) == getattr(simulated, field), field
+
+    def test_no_tc_variant_shares_memory_side(self, rng):
+        csr = CSRMatrix.from_coo(COOMatrix.from_dense(make_random_dense(rng, 48, 48, 0.2)))
+        x = fp16_exact_values(rng, 48)
+        spaden = get_kernel("spaden")
+        notc = get_kernel("spaden-no-tc")
+        p1 = spaden.profile(spaden.prepare(csr), x)
+        p2 = notc.profile(notc.prepare(csr), x)
+        assert p1.dram_bytes == p2.dram_bytes
+        assert p1.stats.load_transactions == p2.stats.load_transactions
+        assert p2.stats.mma_ops == 0 and p1.stats.mma_ops > 0
+        assert p2.stats.cuda_flops > 0 and p1.stats.cuda_flops == 0
+
+
+@pytest.mark.parametrize("name", available_kernels())
+class TestProfileSanity:
+    def test_bounds(self, name, rng):
+        csr = CSRMatrix.from_coo(COOMatrix.from_dense(make_random_dense(rng, 64, 64, 0.1)))
+        x = fp16_exact_values(rng, 64)
+        kernel = get_kernel(name)
+        prep = kernel.prepare(csr)
+        p = kernel.profile(prep, x)
+        s = p.stats
+        # a transaction moves at most 32 useful bytes
+        assert s.global_load_bytes <= s.load_transactions * 32 * 32  # broadcasts replicate
+        assert s.load_transactions >= s.global_load_bytes / (32 * 32)
+        assert p.dram_load_bytes > 0
+        assert p.dram_store_bytes > 0
+        assert s.warps_launched > 0
+        assert s.warp_instructions > 0
+        # every kernel must at least read each nonzero's value once
+        assert p.dram_load_bytes >= csr.nnz * 2
+
+    def test_flops_account_for_all_nonzeros(self, name, rng):
+        csr = CSRMatrix.from_coo(COOMatrix.from_dense(make_random_dense(rng, 64, 64, 0.1)))
+        x = fp16_exact_values(rng, 64)
+        kernel = get_kernel(name)
+        p = kernel.profile(kernel.prepare(csr), x)
+        # 2 flops per nnz, on whichever engine executes them
+        assert p.stats.total_flops >= 2 * csr.nnz
+
+
+class TestTrafficHelpers:
+    def test_stream(self):
+        assert stream_transactions(8, 4) == 1
+        assert stream_transactions(9, 4) == 2
+        assert stream_transactions(0, 4) == 0
+
+    def test_gather_coalesced(self):
+        assert gather_transactions(np.arange(32), 4) == 4
+
+    def test_gather_scattered(self):
+        assert gather_transactions(np.arange(32) * 8, 4) == 32
+
+    def test_gather_padding_never_adds(self):
+        # 33 elements: one full group + one singleton
+        assert gather_transactions(np.arange(33), 4) == 4 + 1
+
+    @given(st.lists(st.integers(0, 2000), min_size=1, max_size=100))
+    def test_grouped_matches_bruteforce(self, indices):
+        idx = np.array(indices, dtype=np.int64)
+        groups = np.arange(idx.size) // 32
+        expected = len({(g, i * 4 // 32) for g, i in zip(groups, idx)})
+        assert grouped_transactions(groups, idx, 4) == expected
+
+    def test_touched_sector_bytes(self):
+        assert touched_sector_bytes(np.array([0, 1, 7]), 4) == 32
+        assert touched_sector_bytes(np.array([0, 8]), 4) == 64
+        assert touched_sector_bytes(np.array([]), 4) == 0

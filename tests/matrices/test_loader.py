@@ -1,0 +1,57 @@
+"""SuiteSparse loader tests (real-file path exercised via tmp files)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.formats.mmio import write_matrix_market
+from repro.matrices.loader import load_matrix, suitesparse_dir
+from repro.matrices.random import random_coo
+from repro.matrices.registry import get_spec
+
+
+class TestLoader:
+    def test_synthetic_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SUITESPARSE_DIR", raising=False)
+        loaded = load_matrix("raefsky3", scale=0.02)
+        assert loaded.source == "synthetic"
+        assert loaded.path is None
+        assert loaded.coo.nnz > 0
+
+    def test_real_file_preferred(self, monkeypatch, tmp_path):
+        spec = get_spec("raefsky3")
+        fake = random_coo(spec.nrow, spec.nrow, 1e-5, seed=3)
+        write_matrix_market(fake, tmp_path / "raefsky3.mtx")
+        monkeypatch.setenv("REPRO_SUITESPARSE_DIR", str(tmp_path))
+        loaded = load_matrix("raefsky3")
+        assert loaded.source == "suitesparse"
+        assert loaded.path == tmp_path / "raefsky3.mtx"
+        assert loaded.coo.nnz == fake.nnz
+
+    def test_stem_mapping(self, monkeypatch, tmp_path):
+        spec = get_spec("conf5")
+        fake = random_coo(spec.nrow, spec.nrow, 1e-6, seed=4)
+        write_matrix_market(fake, tmp_path / "conf5_4-8x8-05.mtx")
+        monkeypatch.setenv("REPRO_SUITESPARSE_DIR", str(tmp_path))
+        assert load_matrix("conf5").source == "suitesparse"
+
+    def test_dimension_mismatch_rejected(self, monkeypatch, tmp_path):
+        fake = random_coo(10, 10, 0.2, seed=5)
+        write_matrix_market(fake, tmp_path / "raefsky3.mtx")
+        monkeypatch.setenv("REPRO_SUITESPARSE_DIR", str(tmp_path))
+        with pytest.raises(DatasetError):
+            load_matrix("raefsky3")
+
+    def test_missing_file_falls_back(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SUITESPARSE_DIR", str(tmp_path))
+        assert load_matrix("cant", scale=0.02).source == "synthetic"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DatasetError):
+            load_matrix("not-a-matrix")
+
+    def test_suitesparse_dir_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SUITESPARSE_DIR", raising=False)
+        assert suitesparse_dir() is None
+        monkeypatch.setenv("REPRO_SUITESPARSE_DIR", "/data")
+        assert str(suitesparse_dir()) == "/data"

@@ -1,0 +1,59 @@
+"""R-MAT generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.matrices.rmat import rmat_graph
+
+
+class TestRMAT:
+    def test_shape_and_size(self):
+        g = rmat_graph(8, edge_factor=8, seed=1)
+        assert g.shape == (256, 256)
+        assert 0 < g.nnz <= 8 * 256
+
+    def test_pattern_weights_are_unit(self):
+        g = rmat_graph(7, seed=2)
+        assert set(np.unique(g.values)) == {1.0}
+
+    def test_weighted_values_positive_fp16_exact(self):
+        g = rmat_graph(7, seed=3, weighted=True)
+        assert (g.values > 0).all()
+        assert np.array_equal(g.values, g.values.astype(np.float16).astype(np.float32))
+
+    def test_skewed_degree_distribution(self):
+        """a >> b,c,d concentrates edges on low vertex ids (hub skew)."""
+        g = rmat_graph(10, edge_factor=16, seed=4)
+        degrees = np.bincount(g.rows, minlength=1024)
+        top = np.sort(degrees)[::-1]
+        # the top 10% of vertices hold well over half the edges
+        assert top[:102].sum() > 0.4 * g.nnz
+
+    def test_uniform_probabilities_are_not_skewed(self):
+        g = rmat_graph(10, edge_factor=16, a=0.25, b=0.25, c=0.25, seed=5)
+        degrees = np.bincount(g.rows, minlength=1024)
+        top = np.sort(degrees)[::-1]
+        assert top[:102].sum() < 0.3 * g.nnz
+
+    def test_reproducible(self):
+        a = rmat_graph(7, seed=9)
+        b = rmat_graph(7, seed=9)
+        assert np.array_equal(a.rows, b.rows) and np.array_equal(a.cols, b.cols)
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            rmat_graph(0)
+        with pytest.raises(DatasetError):
+            rmat_graph(5, a=0.9, b=0.2, c=0.2)
+
+    def test_feeds_spmv_pipeline(self):
+        from repro.core.builder import build_bitbsr
+        from repro.core.spmv import spaden_spmv
+
+        g = rmat_graph(9, seed=11, weighted=True)
+        bit = build_bitbsr(g).matrix
+        x = np.ones(g.ncols, dtype=np.float32)
+        y = spaden_spmv(bit, x)
+        ref = g.matvec(x)
+        assert np.allclose(y, ref, rtol=1e-3, atol=1e-2)

@@ -1,0 +1,91 @@
+"""Metrics, preprocessing model, and report formatting tests."""
+
+import math
+
+import pytest
+
+from repro.perf.metrics import geomean, gflops, speedup_table, speedups_over
+from repro.perf.preprocessing import model_preprocessing_seconds
+from repro.perf.report import format_table, series_to_rows
+
+
+class TestMetrics:
+    def test_gflops_definition(self):
+        # 2 flops per nnz
+        assert gflops(500_000_000, 1.0) == pytest.approx(1.0)
+
+    def test_gflops_rejects_nonpositive_time(self):
+        with pytest.raises(ValueError):
+            gflops(10, 0.0)
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_speedups_over(self):
+        out = speedups_over({"a": 2.0, "b": 1.0}, "a")
+        assert out == {"b": 2.0}
+
+    def test_speedup_table_geomean(self):
+        times = {
+            "m1": {"spaden": 1.0, "csr": 2.0},
+            "m2": {"spaden": 1.0, "csr": 8.0},
+        }
+        out = speedup_table(times, "spaden")
+        assert out["csr"] == pytest.approx(4.0)
+
+    def test_speedup_table_skips_missing(self):
+        times = {"m1": {"spaden": 1.0, "csr": 3.0}, "m2": {"spaden": 1.0}}
+        assert speedup_table(times, "spaden")["csr"] == pytest.approx(3.0)
+
+
+class TestPreprocessingModel:
+    def test_ordering_at_typical_density(self):
+        nnz, nrows = 10_000_000, 300_000
+        nblocks = nnz // 25
+        csr = model_preprocessing_seconds("csr", nnz, nrows)
+        bsr = model_preprocessing_seconds("bsr", nnz, nrows, nblocks=nblocks)
+        bit = model_preprocessing_seconds("bitbsr", nnz, nrows, nblocks=nblocks)
+        dasp = model_preprocessing_seconds("dasp", nnz, nrows, padded_nnz=int(nnz * 1.3))
+        assert csr < bsr < bit < dasp
+
+    def test_paper_magnitudes(self):
+        """ns/nnz should land near the measured 1.21 / 3.31 / 4.95."""
+        nnz, nrows = 10_000_000, 300_000
+        bsr = model_preprocessing_seconds("bsr", nnz, nrows, nblocks=nnz // 25) * 1e9 / nnz
+        bit = model_preprocessing_seconds("bitbsr", nnz, nrows, nblocks=nnz // 25) * 1e9 / nnz
+        dasp = model_preprocessing_seconds("dasp", nnz, nrows, padded_nnz=int(nnz * 1.3)) * 1e9 / nnz
+        assert 0.4 < bsr < 2.5
+        assert 2.0 < bit < 5.0
+        assert 3.0 < dasp < 8.0
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            model_preprocessing_seconds("ell", 10, 10)
+
+    def test_negative_sizes(self):
+        with pytest.raises(ValueError):
+            model_preprocessing_seconds("csr", -1, 0)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [{"m": "a", "v": 1.5}, {"m": "bb", "v": 10.25}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "m" in lines[1] and "v" in lines[1]
+        assert "1.50" in text and "10.25" in text
+
+    def test_format_table_empty(self):
+        assert "(empty)" in format_table([])
+
+    def test_series_to_rows(self):
+        rows = series_to_rows({"a": {"x": 1}}, index_name="mat")
+        assert rows == [{"mat": "a", "x": 1}]

@@ -1,0 +1,81 @@
+"""Roofline model unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.counters import ExecutionStats
+from repro.gpu.spec import get_gpu
+from repro.kernels.base import KernelProfile
+from repro.perf.model import MMA_ARCH_PENALTY, TimeBreakdown, estimate_time
+
+
+def profile_with(**kwargs) -> KernelProfile:
+    stats = ExecutionStats()
+    for key in ("cuda_flops", "cuda_int_ops", "mma_ops", "warps_launched",
+                "warp_instructions", "atomic_ops", "shared_bytes",
+                "load_transactions", "store_transactions"):
+        if key in kwargs:
+            setattr(stats, key, kwargs.pop(key))
+    return KernelProfile(
+        "test",
+        stats,
+        kwargs.pop("dram_load_bytes", 0),
+        kwargs.pop("dram_store_bytes", 0),
+        **kwargs,
+    )
+
+
+L40 = get_gpu("L40")
+V100 = get_gpu("V100")
+
+
+class TestTerms:
+    def test_dram_term(self):
+        p = profile_with(dram_load_bytes=708_000_000, warps_launched=10**6)
+        tb = estimate_time(p, L40)
+        assert tb.dram == pytest.approx(708e6 / L40.effective_bandwidth)
+        assert tb.bound == "dram"
+
+    def test_bandwidth_efficiency_derates(self):
+        p1 = profile_with(dram_load_bytes=10**8)
+        p2 = profile_with(dram_load_bytes=10**8, bandwidth_efficiency=0.5)
+        assert estimate_time(p2, L40).dram == pytest.approx(2 * estimate_time(p1, L40).dram)
+
+    def test_l2_term_punishes_transactions(self):
+        p = profile_with(load_transactions=10**8)
+        tb = estimate_time(p, L40)
+        assert tb.l2 > 0
+        assert tb.bound in ("l2", "issue")
+
+    def test_tensor_term_and_arch_penalty(self):
+        p_plain = profile_with(mma_ops=10**6)
+        p_sensitive = profile_with(mma_ops=10**6, arch_sensitive_mma=True)
+        on_l40 = estimate_time(p_sensitive, L40).tensor
+        assert on_l40 == pytest.approx(MMA_ARCH_PENALTY * estimate_time(p_plain, L40).tensor)
+        # no penalty on the architecture the shape was tuned for
+        assert estimate_time(p_sensitive, V100).tensor == pytest.approx(
+            estimate_time(p_plain, V100).tensor
+        )
+
+    def test_chain_term_scales_inverse_with_warps(self):
+        few = profile_with(warps_launched=100, serial_steps=10**5)
+        many = profile_with(warps_launched=10**6, serial_steps=10**5)
+        assert estimate_time(few, L40).chain > estimate_time(many, L40).chain
+
+    def test_atomic_term(self):
+        p = profile_with(atomic_ops=10**7)
+        assert estimate_time(p, L40).atomic > 0
+
+    def test_launch_floor(self):
+        p = profile_with()
+        tb = estimate_time(p, L40)
+        assert tb.total >= L40.launch_overhead_us * 1e-6
+
+    def test_total_is_launch_plus_max(self):
+        p = profile_with(dram_load_bytes=10**9, cuda_flops=10)
+        tb = estimate_time(p, L40)
+        assert tb.total == pytest.approx(tb.launch + tb.dram)
+
+    def test_v100_slower_issue_rate(self):
+        p = profile_with(warp_instructions=10**8)
+        assert estimate_time(p, V100).issue > estimate_time(p, L40).issue

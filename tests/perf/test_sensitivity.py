@@ -1,0 +1,60 @@
+"""Model-constant sensitivity tests: orderings survive perturbation."""
+
+import pytest
+
+from repro.bench import profile_suite, load_suite
+from repro.perf.sensitivity import (
+    PERTURBABLE,
+    perturbed_constant,
+    sensitivity_sweep,
+)
+from repro.perf import model as perf_model
+
+SCALE = 0.03
+METHODS = ("spaden", "cusparse-csr", "cusparse-bsr", "gunrock")
+
+
+@pytest.fixture(scope="module")
+def small_profiles(tmp_path_factory):
+    import repro.bench.harness as harness
+
+    harness._CACHE_DIR = tmp_path_factory.mktemp("cache")
+    suite = load_suite(SCALE, names=["consph", "Si41Ge41H72", "pwtk"])
+    return profile_suite(suite, METHODS, SCALE)
+
+
+class TestSensitivity:
+    def test_perturbation_restores_constant(self):
+        original = perf_model.L2_BANDWIDTH_RATIO
+        with perturbed_constant("L2_BANDWIDTH_RATIO", 2.0):
+            assert perf_model.L2_BANDWIDTH_RATIO == original * 2.0
+        assert perf_model.L2_BANDWIDTH_RATIO == original
+
+    def test_unknown_constant_rejected(self):
+        with pytest.raises(KeyError):
+            with perturbed_constant("GRAVITY", 2.0):
+                pass
+
+    def test_geomeans_stable_under_20pct(self, small_profiles):
+        """Every +-20-25% perturbation of every calibrated constant moves
+        the Spaden-vs-baseline geomeans by less than ~35% — the headline
+        conclusions do not hinge on a single knob."""
+        points = sensitivity_sweep(small_profiles, "L40", factors=(0.8, 1.25))
+        assert len(points) == 1 + 2 * len(PERTURBABLE)
+        baseline = points[0].geomeans
+        for point in points[1:]:
+            for method, geomean in point.geomeans.items():
+                drift = geomean / baseline[method]
+                assert 0.65 < drift < 1.55, (point.constant, point.factor, method, drift)
+
+    def test_relative_ordering_stable(self, small_profiles):
+        """BSR stays the slower baseline and Gunrock the slowest under
+        every perturbation (the Fig. 6/7 ordering claims)."""
+        for point in sensitivity_sweep(small_profiles, "L40", factors=(0.8, 1.25)):
+            g = point.geomeans
+            assert g["gunrock"] > g["cusparse-csr"], point
+            assert g["cusparse-bsr"] > g["cusparse-csr"], point
+
+    def test_baseline_point_first(self, small_profiles):
+        points = sensitivity_sweep(small_profiles, "L40")
+        assert points[0].constant == "baseline"

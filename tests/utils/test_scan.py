@@ -1,0 +1,50 @@
+"""Tests for prefix scans and segment expansion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.scan import exclusive_scan, inclusive_scan, segment_ids
+
+COUNTS = st.lists(st.integers(0, 50), min_size=0, max_size=40)
+
+
+class TestExclusiveScan:
+    def test_example(self):
+        assert exclusive_scan([2, 0, 3]).tolist() == [0, 2, 2, 5]
+
+    def test_without_total(self):
+        assert exclusive_scan([2, 0, 3], total=False).tolist() == [0, 2, 2]
+
+    def test_empty(self):
+        assert exclusive_scan([]).tolist() == [0]
+
+    @given(COUNTS)
+    def test_matches_cumsum(self, counts):
+        out = exclusive_scan(counts)
+        assert out[0] == 0
+        assert out[-1] == sum(counts)
+        assert np.array_equal(np.diff(out), counts)
+
+
+class TestInclusiveScan:
+    @given(COUNTS.filter(lambda c: len(c) > 0))
+    def test_matches_cumsum(self, counts):
+        assert inclusive_scan(counts).tolist() == np.cumsum(counts).tolist()
+
+
+class TestSegmentIds:
+    def test_example(self):
+        assert segment_ids([0, 2, 2, 5]).tolist() == [0, 0, 2, 2, 2]
+
+    def test_empty_pointer_rejected(self):
+        with pytest.raises(ValueError):
+            segment_ids([])
+
+    @given(COUNTS)
+    def test_inverse_of_pointers(self, counts):
+        ptr = exclusive_scan(counts)
+        ids = segment_ids(ptr)
+        assert ids.size == sum(counts)
+        rebuilt = np.bincount(ids, minlength=len(counts)) if ids.size else np.zeros(len(counts))
+        assert np.array_equal(rebuilt[: len(counts)], counts)

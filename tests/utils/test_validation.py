@@ -1,0 +1,64 @@
+"""Tests for argument-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.utils.validation import (
+    ensure_1d,
+    ensure_dtype,
+    ensure_nonnegative,
+    ensure_shape,
+    ensure_sorted,
+)
+
+
+class TestEnsure1D:
+    def test_passes(self):
+        assert ensure_1d(np.arange(3), "a").tolist() == [0, 1, 2]
+
+    def test_rejects_2d(self):
+        with pytest.raises(FormatError):
+            ensure_1d(np.zeros((2, 2)), "a")
+
+
+class TestEnsureDtype:
+    def test_safe_cast(self):
+        out = ensure_dtype(np.array([1, 2], dtype=np.int64), np.int32, "a")
+        assert out.dtype == np.int32
+
+    def test_rejects_lossy_int_cast(self):
+        with pytest.raises(FormatError):
+            ensure_dtype(np.array([2**40]), np.int32, "a")
+
+    def test_float_cast_allowed(self):
+        out = ensure_dtype(np.array([1.5], dtype=np.float64), np.float32, "a")
+        assert out.dtype == np.float32
+
+
+class TestEnsureShape:
+    def test_rejects_mismatch(self):
+        with pytest.raises(FormatError):
+            ensure_shape(np.zeros(3), (4,), "a")
+
+
+class TestEnsureNonnegative:
+    def test_rejects_negative(self):
+        with pytest.raises(FormatError):
+            ensure_nonnegative(np.array([1, -1]), "a")
+
+    def test_empty_ok(self):
+        ensure_nonnegative(np.array([]), "a")
+
+
+class TestEnsureSorted:
+    def test_non_decreasing_ok(self):
+        ensure_sorted(np.array([0, 0, 1]), "a")
+
+    def test_strict_rejects_ties(self):
+        with pytest.raises(FormatError):
+            ensure_sorted(np.array([0, 0, 1]), "a", strict=True)
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(FormatError):
+            ensure_sorted(np.array([1, 0]), "a")
