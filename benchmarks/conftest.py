@@ -6,9 +6,18 @@ from pathlib import Path
 
 import pytest
 
-from repro.bench import bench_scale, load_suite
+from repro.bench import bench_scale, load_suite, prune_bench_cache
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _healthy_bench_cache():
+    """Evict corrupt or old-build cache entries before any profiling runs."""
+    removed = prune_bench_cache()
+    if removed:
+        print(f"\n[bench cache: pruned {removed} stale/corrupt entries]")
+    yield
 
 
 @pytest.fixture(scope="session")

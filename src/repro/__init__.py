@@ -9,7 +9,9 @@ Public entry points:
 * :mod:`repro.kernels` — Spaden and all evaluated baselines,
 * :mod:`repro.perf` — the roofline performance model (V100 / L40),
 * :mod:`repro.matrices` — Table-1 synthetic dataset analogs,
-* :mod:`repro.apps` — PageRank / BFS / CG built on the SpMV API.
+* :mod:`repro.apps` — PageRank / BFS / CG built on the SpMV API,
+* :mod:`repro.robustness` — fault injection, deep format verification,
+  and graceful-degradation kernel dispatch.
 """
 
 __version__ = "1.0.0"

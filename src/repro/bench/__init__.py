@@ -7,6 +7,7 @@ from repro.bench.harness import (
     load_suite,
     modeled_times,
     profile_suite,
+    prune_bench_cache,
 )
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "load_suite",
     "modeled_times",
     "profile_suite",
+    "prune_bench_cache",
 ]

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import warnings
 from pathlib import Path
 
 from repro.gpu.spec import get_gpu
@@ -30,6 +31,7 @@ __all__ = [
     "EVALUATED_METHODS",
     "FIG8_METHODS",
     "bench_scale",
+    "prune_bench_cache",
     "load_suite",
     "profile_suite",
     "modeled_times",
@@ -50,6 +52,11 @@ FIG8_METHODS: tuple[str, ...] = ("spaden", "spaden-no-tc", "cusparse-bsr", "csr-
 
 _CACHE_DIR = Path(os.environ.get("REPRO_BENCH_CACHE", ".bench_cache"))
 
+#: Bump whenever :class:`KernelProfile` / :class:`ExecutionStats` change
+#: shape, so caches written by an older build are discarded instead of
+#: deserializing into objects missing the new fields.
+_CACHE_VERSION = 2
+
 
 def bench_scale() -> float:
     """Scale factor for the Table-1 analogs (env ``REPRO_SCALE``)."""
@@ -65,19 +72,72 @@ def load_suite(
     return {name: generate_matrix(name, scale=scale) for name in names}
 
 
+def _load_cached(path: Path) -> KernelProfile | None:
+    """Deserialize one cache entry defensively.
+
+    Any anomaly — truncated/corrupt bytes, a payload from a different
+    build (version mismatch), or an unexpected object shape — is
+    reported as a :class:`UserWarning` and treated as a miss; the entry
+    is deleted and the profile recomputed.  A damaged cache must never
+    crash a benchmark run.
+    """
+    try:
+        payload = pickle.loads(path.read_bytes())
+    except Exception as exc:
+        warnings.warn(
+            f"discarding corrupt bench cache entry {path.name}: "
+            f"{type(exc).__name__}: {exc}",
+            stacklevel=3,
+        )
+        return None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != _CACHE_VERSION
+        or not isinstance(payload.get("profile"), KernelProfile)
+    ):
+        got = payload.get("version") if isinstance(payload, dict) else type(payload).__name__
+        warnings.warn(
+            f"discarding stale bench cache entry {path.name} "
+            f"(cache version {got!r}, expected {_CACHE_VERSION})",
+            stacklevel=3,
+        )
+        return None
+    return payload["profile"]
+
+
+def prune_bench_cache() -> int:
+    """Delete unreadable or stale entries from the cache; returns count.
+
+    Safe to call when the directory does not exist.  Used by the
+    benchmark suite's session setup so a cache poisoned by an aborted
+    write or an older build heals itself.
+    """
+    removed = 0
+    if not _CACHE_DIR.is_dir():
+        return removed
+    for path in sorted(_CACHE_DIR.glob("*.pkl")):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            stale = _load_cached(path) is None
+        if stale:
+            path.unlink(missing_ok=True)
+            removed += 1
+    return removed
+
+
 def _cached_profile(matrix: GeneratedMatrix, method: str, scale: float) -> KernelProfile:
     key = f"{matrix.name}-{scale}-{method}.pkl"
     path = _CACHE_DIR / key
     if path.exists():
-        try:
-            return pickle.loads(path.read_bytes())
-        except Exception:
-            path.unlink()
+        profile = _load_cached(path)
+        if profile is not None:
+            return profile
+        path.unlink(missing_ok=True)
     kernel = get_kernel(method)
     prepared = kernel.prepare(matrix.csr)
     profile = kernel.profile(prepared, matrix.dense_vector())
     _CACHE_DIR.mkdir(exist_ok=True)
-    path.write_bytes(pickle.dumps(profile))
+    path.write_bytes(pickle.dumps({"version": _CACHE_VERSION, "profile": profile}))
     return profile
 
 

@@ -63,11 +63,15 @@ def spaden_spmv_simulated(
     bitbsr: BitBSRMatrix,
     x: np.ndarray,
     precision: Precision | None = None,
+    check_overflow: bool = False,
 ) -> tuple[np.ndarray, ExecutionStats]:
     """Run Spaden end-to-end on the simulator; returns (y, exact stats).
 
     One warp per pair of consecutive block rows (Fig. 5); the final warp
-    of an odd-height matrix leaves its bottom-right portion empty.
+    of an odd-height matrix leaves its bottom-right portion empty.  With
+    ``check_overflow`` the MMA unit raises
+    :class:`~repro.errors.NumericalError` (with the lane/register
+    coordinate) as soon as an accumulator register goes non-finite.
     """
     x = np.asarray(x)
     if x.ndim != 1 or x.shape[0] != bitbsr.ncols:
@@ -81,7 +85,7 @@ def spaden_spmv_simulated(
     for top in range(0, nbrows, 2):
         bottom = top + 1 if top + 1 < nbrows else None
         warp = Warp(memory, warp_id=top // 2)
-        mma_unit = MMAUnit(precision, stats=memory.stats)
+        mma_unit = MMAUnit(precision, stats=memory.stats, check_overflow=check_overflow)
         acc = pair_block_rows(warp, mma_unit, bitbsr, top, bottom)
         extract_result_vector(warp, acc, top, bottom)
 

@@ -12,6 +12,78 @@ class FormatError(ReproError):
     out-of-range indices, mismatched array lengths, ...)."""
 
 
+class VerificationError(FormatError):
+    """Deep verification of a stored matrix failed.
+
+    Raised by :meth:`repro.formats.base.SparseMatrix.verify` when an
+    invariant that holds at construction time has been violated afterwards
+    (bit rot, an injected fault, a buggy in-place transformation).  The
+    structured attributes let callers — notably the graceful-degradation
+    dispatcher in :mod:`repro.robustness.dispatch` — log *where* a matrix
+    broke without parsing the message:
+
+    * ``format_name`` — registry name of the offending format,
+    * ``check``       — short identifier of the violated invariant
+      (e.g. ``"pointer-monotonicity"``, ``"bitmap-popcount"``),
+    * ``coord``       — the block/row/element coordinate of the first
+      violation, as a tuple (or ``None`` when the failure is global).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        format_name: str | None = None,
+        check: str | None = None,
+        coord: tuple | None = None,
+    ):
+        super().__init__(message)
+        self.format_name = format_name
+        self.check = check
+        self.coord = coord
+
+
+class PointerMonotonicityError(VerificationError):
+    """A CSR-style pointer array decreases; ``coord`` holds the first
+    (block) row whose pointer runs backwards."""
+
+
+class IndexRangeError(VerificationError):
+    """A stored column/row index escapes the matrix (or block grid);
+    ``coord`` locates the offending entry."""
+
+
+class BitmapPopcountError(VerificationError):
+    """The popcount of the stored bitmaps disagrees with the number of
+    packed values — the central bitBSR invariant (§4.2)."""
+
+
+class OffsetScanError(VerificationError):
+    """A block-offset array is not the exclusive scan of the per-block
+    nonzero counts, or a pointer frame has the wrong size/endpoints."""
+
+
+class EmptyBlockError(VerificationError):
+    """A stored block's bitmap is all-zero; bitBSR forbids empty blocks."""
+
+
+class NonFiniteValueError(VerificationError):
+    """A stored value is NaN or infinite; ``coord`` is the (row, col) of
+    the first non-finite entry."""
+
+
+class NumericalError(ReproError):
+    """A computation left the representable range of its precision.
+
+    Raised when fp16 storage or the (simulated) tensor-core pipeline
+    saturates or overflows — e.g. a finite float32 input rounds to
+    ``inf`` in half precision, or an MMA accumulator register goes
+    non-finite.  The graceful-degradation dispatcher treats this as a
+    signal to retry on a wider-precision (CUDA-core) kernel rather than
+    return a poisoned ``y``.
+    """
+
+
 class ConversionError(ReproError):
     """A format conversion is impossible or was given inconsistent input."""
 

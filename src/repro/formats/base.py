@@ -8,7 +8,14 @@ from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
-from repro.errors import ConversionError, FormatError
+from repro.errors import (
+    ConversionError,
+    FormatError,
+    IndexRangeError,
+    NonFiniteValueError,
+    PointerMonotonicityError,
+    OffsetScanError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.formats.coo import COOMatrix
@@ -135,6 +142,106 @@ class SparseMatrix(ABC):
                 f"operand has shape {x.shape}, expected ({self.ncols},)"
             )
         return np.ascontiguousarray(x, dtype=np.float32)
+
+    # -- verification -----------------------------------------------------
+    def verify(self, deep: bool = False) -> "SparseMatrix":
+        """Re-check the format's structural invariants; returns ``self``.
+
+        Constructors validate their inputs once, but the storage arrays
+        are mutable — a flipped bitmap bit, a truncated pointer array or
+        a NaN written into ``values`` afterwards silently breaks every
+        kernel built on the instance.  ``verify()`` re-runs the cheap
+        O(1) frame checks; ``verify(deep=True)`` additionally scans every
+        array: pointer monotonicity, index ranges, bitmap-popcount/nnz
+        agreement, offset-scan consistency and NaN/Inf detection.
+
+        Violations raise :class:`~repro.errors.VerificationError`
+        subclasses carrying the format name, the violated check and the
+        block/row coordinate of the first failure.
+        """
+        self._verify_shallow()
+        if deep:
+            self._verify_deep()
+        return self
+
+    def _verify_shallow(self) -> None:
+        """O(1) frame checks (array sizes, endpoints). Overridable."""
+        if self.nnz < 0:  # pragma: no cover - defensive
+            raise OffsetScanError(
+                f"{self.format_name}: negative nnz {self.nnz}",
+                format_name=self.format_name, check="nnz",
+            )
+
+    def _verify_deep(self) -> None:
+        """Full array scans; every concrete format overrides this."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement deep verification"
+        )
+
+    # -- verification helpers (shared by the per-format deep verifiers) ---
+    def _check_finite(self, values: np.ndarray, what: str, coords=None) -> None:
+        """Raise :class:`NonFiniteValueError` at the first NaN/Inf.
+
+        ``coords`` maps the flat position of the bad entry to a logical
+        coordinate — either a callable ``pos -> tuple`` or ``None`` (the
+        flat position itself is reported).
+        """
+        v = np.asarray(values)
+        finite = np.isfinite(v.astype(np.float64, copy=False)) if v.size else None
+        if v.size and not finite.all():
+            pos = tuple(int(p) for p in np.argwhere(~finite)[0])
+            flat = pos[0] if len(pos) == 1 else pos
+            coord = coords(flat) if callable(coords) else flat
+            if not isinstance(coord, tuple):
+                coord = (coord,)
+            bad = v[pos if len(pos) > 1 else pos[0]]
+            raise NonFiniteValueError(
+                f"{self.format_name}: non-finite value {bad!r} in {what} at {coord}",
+                format_name=self.format_name, check="finite-values", coord=coord,
+            )
+
+    def _check_monotone(self, ptr: np.ndarray, what: str) -> None:
+        """Raise :class:`PointerMonotonicityError` at the first decrease."""
+        p = np.asarray(ptr)
+        if p.size and np.any(np.diff(p) < 0):
+            row = int(np.argmax(np.diff(p) < 0))
+            raise PointerMonotonicityError(
+                f"{self.format_name}: {what} decreases at segment {row} "
+                f"({int(p[row])} -> {int(p[row + 1])})",
+                format_name=self.format_name, check="pointer-monotonicity", coord=(row,),
+            )
+
+    def _check_pointer_frame(self, ptr: np.ndarray, segments: int, items: int, what: str) -> None:
+        """Size/endpoint checks for a CSR-style pointer array."""
+        p = np.asarray(ptr)
+        if p.size != segments + 1:
+            raise OffsetScanError(
+                f"{self.format_name}: {what} has {p.size} entries, expected {segments + 1}",
+                format_name=self.format_name, check="pointer-frame", coord=None,
+            )
+        if p.size and (p[0] != 0 or p[-1] != items):
+            raise OffsetScanError(
+                f"{self.format_name}: {what} endpoints ({int(p[0])}, {int(p[-1])}) "
+                f"inconsistent with {items} stored items",
+                format_name=self.format_name, check="pointer-frame", coord=None,
+            )
+
+    def _check_index_range(self, idx: np.ndarray, upper: int, what: str, coords=None) -> None:
+        """Raise :class:`IndexRangeError` at the first index outside [0, upper)."""
+        i = np.asarray(idx)
+        if i.size == 0:
+            return
+        bad = (i < 0) | (i >= upper)
+        if bad.any():
+            pos = int(np.argwhere(bad.reshape(-1))[0][0])
+            coord = coords(pos) if callable(coords) else (pos,)
+            if not isinstance(coord, tuple):
+                coord = (coord,)
+            raise IndexRangeError(
+                f"{self.format_name}: {what} {int(i.reshape(-1)[pos])} out of range "
+                f"[0, {upper}) at {coord}",
+                format_name=self.format_name, check="index-range", coord=coord,
+            )
 
     # -- memory accounting ------------------------------------------------
     @abstractmethod

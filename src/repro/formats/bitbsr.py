@@ -22,7 +22,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.constants import BLOCK_DIM, BLOCK_SIZE
-from repro.errors import FormatError
+from repro.errors import BitmapPopcountError, EmptyBlockError, FormatError, OffsetScanError
 from repro.formats.base import ArrayField, SparseMatrix, register_format
 from repro.formats.bsr import BSRMatrix, block_coordinates
 from repro.formats.coo import COOMatrix
@@ -199,6 +199,62 @@ class BitBSRMatrix(SparseMatrix):
         y = np.zeros(self.nrows, dtype=np.float64)
         np.add.at(y, rows, self.values.astype(np.float64) * x[cols])
         return y.astype(np.float32)
+
+    # -- verification -----------------------------------------------------------
+    def _verify_shallow(self) -> None:
+        super()._verify_shallow()
+        self._check_pointer_frame(
+            self.block_row_pointers, self.block_rows_count, self.block_cols.size, "block_row_pointers"
+        )
+        if self.bitmaps.size != self.block_cols.size:
+            raise FormatError("one bitmap per stored block required")
+        if self.block_offsets.size != self.nblocks + 1:
+            raise OffsetScanError(
+                f"bitbsr: block_offsets has {self.block_offsets.size} entries, "
+                f"expected {self.nblocks + 1}",
+                format_name=self.format_name, check="offset-frame",
+            )
+
+    def _block_coord(self, block: int) -> tuple[int, int]:
+        """(block_row, block_col) of stored block ``block``."""
+        brow = int(np.searchsorted(self.block_row_pointers, block, side="right") - 1)
+        return brow, int(self.block_cols[block])
+
+    def _verify_deep(self) -> None:
+        self._check_monotone(self.block_row_pointers, "block_row_pointers")
+        self._check_index_range(
+            self.block_cols, self.block_cols_count, "block column index",
+            coords=self._block_coord,
+        )
+        if self.nblocks:
+            empty = self.bitmaps == 0
+            if empty.any():
+                block = int(np.argmax(empty))
+                raise EmptyBlockError(
+                    f"bitbsr: stored block {self._block_coord(block)} has an all-zero bitmap",
+                    format_name=self.format_name, check="empty-block",
+                    coord=self._block_coord(block),
+                )
+        counts = popcount(self.bitmaps).astype(np.int64)
+        if int(counts.sum()) != self.values.size:
+            raise BitmapPopcountError(
+                f"bitbsr: popcount of bitmaps ({int(counts.sum())}) != "
+                f"number of packed values ({self.values.size})",
+                format_name=self.format_name, check="bitmap-popcount",
+            )
+        scanned = exclusive_scan(counts)
+        if self.block_offsets.shape != scanned.shape or np.any(self.block_offsets != scanned):
+            block = int(np.argmax(self.block_offsets != scanned))
+            raise OffsetScanError(
+                f"bitbsr: block_offsets diverges from the exclusive popcount scan "
+                f"at block {block} ({int(self.block_offsets[block])} != {int(scanned[block])})",
+                format_name=self.format_name, check="offset-scan", coord=(block,),
+            )
+        rows, cols = self.entry_coordinates()
+        self._check_finite(
+            self.values, "packed values",
+            coords=lambda pos: (int(rows[pos]), int(cols[pos])),
+        )
 
     # -- analysis / accounting ----------------------------------------------------
     def compression_rate_vs_coo(self) -> np.ndarray:

@@ -14,7 +14,13 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.errors import FormatError
+from repro.errors import (
+    BitmapPopcountError,
+    EmptyBlockError,
+    FormatError,
+    OffsetScanError,
+    VerificationError,
+)
 from repro.formats.base import ArrayField, SparseMatrix, register_format
 from repro.formats.coo import COOMatrix
 from repro.utils.bitops import popcount
@@ -167,6 +173,66 @@ class GenericBitBSRMatrix(SparseMatrix):
         y = np.zeros(self.nrows, dtype=np.float64)
         np.add.at(y, rows, self.values.astype(np.float64) * x[cols])
         return y.astype(np.float32)
+
+    # -- verification ---------------------------------------------------------------
+    def _verify_shallow(self) -> None:
+        super()._verify_shallow()
+        self._check_pointer_frame(
+            self.block_row_pointers, self.block_rows_count, self.block_cols.size, "block_row_pointers"
+        )
+        if self.bitmaps.shape != (self.block_cols.size, self.words):
+            raise FormatError(f"bitmaps must have shape (nblocks, {self.words})")
+
+    def _verify_deep(self) -> None:
+        self._check_monotone(self.block_row_pointers, "block_row_pointers")
+        brow_of = segment_ids(self.block_row_pointers) if self.nblocks else np.zeros(0, np.int64)
+        at = lambda b: (int(brow_of[b]), int(self.block_cols[b]))
+        self._check_index_range(
+            self.block_cols, self.block_cols_count, "block column index",
+            coords=lambda pos: at(pos),
+        )
+        d = self.block_dim
+        if self.nblocks:
+            # bits beyond d*d must stay zero in the last bitmap word
+            tail_bits = self.words * 64 - d * d
+            if tail_bits:
+                tail_mask = ~_U64(0) << _U64(64 - tail_bits)
+                dirty = (self.bitmaps[:, -1] & tail_mask) != 0
+                if dirty.any():
+                    block = int(np.argmax(dirty))
+                    raise VerificationError(
+                        f"bitbsr-generic: padding bits beyond {d}x{d} set in block {at(block)}",
+                        format_name=self.format_name, check="bitmap-padding", coord=at(block),
+                    )
+            counts = popcount(self.bitmaps).sum(axis=1).astype(np.int64)
+            empty = counts == 0
+            if empty.any():
+                block = int(np.argmax(empty))
+                raise EmptyBlockError(
+                    f"bitbsr-generic: stored block {at(block)} has an all-zero bitmap",
+                    format_name=self.format_name, check="empty-block", coord=at(block),
+                )
+        else:
+            counts = np.zeros(0, np.int64)
+        if int(counts.sum()) != self.values.size:
+            raise BitmapPopcountError(
+                f"bitbsr-generic: popcount of bitmaps ({int(counts.sum())}) != "
+                f"number of packed values ({self.values.size})",
+                format_name=self.format_name, check="bitmap-popcount",
+            )
+        scanned = exclusive_scan(counts)
+        if self.block_offsets.shape != scanned.shape or np.any(self.block_offsets != scanned):
+            block = int(np.argmax(self.block_offsets != scanned))
+            raise OffsetScanError(
+                f"bitbsr-generic: block_offsets diverges from the exclusive popcount scan "
+                f"at block {block}",
+                format_name=self.format_name, check="offset-scan", coord=(block,),
+            )
+        rows, cols = self.entry_coordinates()
+        self._check_finite(
+            self.values, "packed values",
+            coords=lambda pos: (int(rows[pos]), int(cols[pos])),
+        )
 
     # -- accounting --------------------------------------------------------------------
     def storage_fields(self) -> Iterator[ArrayField]:

@@ -14,7 +14,13 @@ from typing import Iterator
 import numpy as np
 
 from repro.constants import BLOCK_DIM, BLOCK_SIZE
-from repro.errors import FormatError
+from repro.errors import (
+    BitmapPopcountError,
+    EmptyBlockError,
+    FormatError,
+    OffsetScanError,
+    VerificationError,
+)
 from repro.formats.base import ArrayField, SparseMatrix, register_format
 from repro.formats.bitbsr import BitBSRMatrix
 from repro.formats.coo import COOMatrix
@@ -122,6 +128,55 @@ class BitCOOMatrix(SparseMatrix):
 
     def tocoo(self) -> COOMatrix:
         return self.tobitbsr().tocoo()
+
+    # -- verification -----------------------------------------------------------
+    def _verify_shallow(self) -> None:
+        super()._verify_shallow()
+        if not (self.block_rows.size == self.block_cols.size == self.bitmaps.size):
+            raise FormatError("block coordinate/bitmap arrays must align")
+        if self.block_offsets.size != self.nblocks + 1:
+            raise OffsetScanError(
+                f"bitcoo: block_offsets has {self.block_offsets.size} entries, "
+                f"expected {self.nblocks + 1}",
+                format_name=self.format_name, check="offset-frame",
+            )
+
+    def _verify_deep(self) -> None:
+        at = lambda pos: (int(self.block_rows[pos]), int(self.block_cols[pos]))
+        self._check_index_range(self.block_rows, self.block_rows_count, "block row", coords=at)
+        self._check_index_range(self.block_cols, self.block_cols_count, "block column", coords=at)
+        if self.nblocks:
+            empty = self.bitmaps == 0
+            if empty.any():
+                block = int(np.argmax(empty))
+                raise EmptyBlockError(
+                    f"bitcoo: stored block {at(block)} has an all-zero bitmap",
+                    format_name=self.format_name, check="empty-block", coord=at(block),
+                )
+            keys = self.block_rows.astype(np.int64) * self.block_cols_count + self.block_cols
+            if np.unique(keys).size != keys.size:
+                dup = int(np.argmax(np.diff(np.sort(keys)) == 0))
+                raise VerificationError(
+                    "bitcoo: duplicate block coordinates present",
+                    format_name=self.format_name, check="duplicate-block", coord=(dup,),
+                )
+        counts = popcount(self.bitmaps).astype(np.int64)
+        if int(counts.sum()) != self.values.size:
+            raise BitmapPopcountError(
+                f"bitcoo: popcount of bitmaps ({int(counts.sum())}) != "
+                f"number of packed values ({self.values.size})",
+                format_name=self.format_name, check="bitmap-popcount",
+            )
+        scanned = exclusive_scan(counts)
+        if self.block_offsets.shape != scanned.shape or np.any(self.block_offsets != scanned):
+            block = int(np.argmax(self.block_offsets != scanned))
+            raise OffsetScanError(
+                f"bitcoo: block_offsets diverges from the exclusive popcount scan at block {block}",
+                format_name=self.format_name, check="offset-scan", coord=(block,),
+            )
+        self._check_finite(self.values, "packed values", coords=lambda pos: at(
+            int(np.searchsorted(scanned, pos, side="right") - 1)
+        ))
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
         return self.tobitbsr().matvec(x)

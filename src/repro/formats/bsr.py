@@ -129,6 +129,30 @@ class BSRMatrix(SparseMatrix):
             self.blocks[bidx, lr, lc],
         )
 
+    # -- verification ------------------------------------------------------------
+    def _verify_shallow(self) -> None:
+        super()._verify_shallow()
+        self._check_pointer_frame(
+            self.block_row_pointers, self.block_rows_count, self.block_cols.size, "block_row_pointers"
+        )
+        if self.blocks.shape != (self.block_cols.size, self.block_dim, self.block_dim):
+            raise FormatError("blocks must have shape (nblocks, bd, bd)")
+
+    def _verify_deep(self) -> None:
+        self._check_monotone(self.block_row_pointers, "block_row_pointers")
+        brow_of = self.block_row_of() if self.nblocks else np.zeros(0, np.int64)
+        self._check_index_range(
+            self.block_cols, self.block_cols_count, "block column index",
+            coords=lambda pos: (int(brow_of[pos]), int(self.block_cols[pos])),
+        )
+        self._check_finite(
+            self.blocks, "blocks",
+            coords=lambda pos: (
+                int(brow_of[pos[0]]) * self.block_dim + pos[1],
+                int(self.block_cols[pos[0]]) * self.block_dim + pos[2],
+            ),
+        )
+
     # -- computation ----------------------------------------------------------------
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """Block-wise SpMV: one dense (bd x bd) @ (bd,) product per block."""

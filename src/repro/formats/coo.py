@@ -87,6 +87,21 @@ class COOMatrix(SparseMatrix):
         np.add.at(y, self.rows, self.values * x[self.cols])
         return y
 
+    # -- verification -----------------------------------------------------------
+    def _verify_shallow(self) -> None:
+        super()._verify_shallow()
+        if not (self.rows.size == self.cols.size == self.values.size):
+            raise FormatError("rows, cols and values must have equal length")
+
+    def _verify_deep(self) -> None:
+        at = lambda pos: (int(self.rows[pos]), int(self.cols[pos]))
+        self._check_index_range(self.rows, self.nrows, "row index", coords=at)
+        self._check_index_range(self.cols, self.ncols, "column index", coords=at)
+        # canonical COO is sorted by (row, col) with no duplicates
+        keys = self.rows.astype(np.int64) * self.ncols + self.cols.astype(np.int64)
+        self._check_monotone(keys, "entry order (row, col)")
+        self._check_finite(self.values, "values", coords=at)
+
     def storage_fields(self) -> Iterator[ArrayField]:
         yield self._field("rows", self.rows)
         yield self._field("cols", self.cols)

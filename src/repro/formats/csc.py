@@ -65,6 +65,19 @@ class CSCMatrix(SparseMatrix):
     def nnz(self) -> int:
         return int(self.values.size)
 
+    # -- verification -----------------------------------------------------------
+    def _verify_shallow(self) -> None:
+        super()._verify_shallow()
+        self._check_pointer_frame(self.col_pointers, self.ncols, self.row_indices.size, "col_pointers")
+        if self.row_indices.size != self.values.size:
+            raise FormatError("row_indices and values must have equal length")
+
+    def _verify_deep(self) -> None:
+        self._check_monotone(self.col_pointers, "col_pointers")
+        at = lambda pos: (int(self.row_indices[pos]), int(np.searchsorted(self.col_pointers, pos, side="right") - 1))
+        self._check_index_range(self.row_indices, self.nrows, "row index", coords=at)
+        self._check_finite(self.values, "values", coords=at)
+
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """Scatter-style SpMV: each column contributes ``values * x[j]``."""
         x = self._check_matvec_operand(x)

@@ -100,6 +100,19 @@ class CSRMatrix(SparseMatrix):
             y[nonempty] = sums.astype(np.float32)
         return y
 
+    # -- verification ---------------------------------------------------------
+    def _verify_shallow(self) -> None:
+        super()._verify_shallow()
+        self._check_pointer_frame(self.row_pointers, self.nrows, self.col_indices.size, "row_pointers")
+        if self.col_indices.size != self.values.size:
+            raise FormatError("col_indices and values must have equal length")
+
+    def _verify_deep(self) -> None:
+        self._check_monotone(self.row_pointers, "row_pointers")
+        row_of = lambda pos: (int(np.searchsorted(self.row_pointers, pos, side="right") - 1), int(self.col_indices[pos]))
+        self._check_index_range(self.col_indices, self.ncols, "column index", coords=row_of)
+        self._check_finite(self.values, "values", coords=row_of)
+
     def row_slice(self, row: int) -> tuple[np.ndarray, np.ndarray]:
         """(col_indices, values) of one row — used by scalar kernels."""
         lo, hi = int(self.row_pointers[row]), int(self.row_pointers[row + 1])

@@ -76,6 +76,33 @@ class DIAMatrix(SparseMatrix):
     def ndiags(self) -> int:
         return int(self.offsets.size)
 
+    # -- verification -------------------------------------------------------------
+    def _verify_shallow(self) -> None:
+        super()._verify_shallow()
+        if self.data.shape != (self.offsets.size, self.nrows):
+            raise FormatError("data must have shape (ndiags, nrows)")
+
+    def _verify_deep(self) -> None:
+        from repro.errors import IndexRangeError, VerificationError
+
+        if self.offsets.size != np.unique(self.offsets).size:
+            raise VerificationError(
+                "dia: duplicate diagonal offsets",
+                format_name=self.format_name, check="duplicate-diagonal",
+            )
+        bad = (self.offsets <= -self.nrows) | (self.offsets >= self.ncols)
+        if bad.any():
+            lane = int(np.argmax(bad))
+            raise IndexRangeError(
+                f"dia: diagonal offset {int(self.offsets[lane])} outside "
+                f"({-self.nrows}, {self.ncols}) at lane {lane}",
+                format_name=self.format_name, check="index-range", coord=(lane,),
+            )
+        self._check_finite(
+            self.data, "data",
+            coords=lambda pos: (pos[1], pos[1] + int(self.offsets[pos[0]])),
+        )
+
     def matvec(self, x: np.ndarray) -> np.ndarray:
         x = self._check_matvec_operand(x)
         y = np.zeros(self.nrows, dtype=np.float64)

@@ -82,6 +82,39 @@ class ELLMatrix(SparseMatrix):
     def nnz(self) -> int:
         return int(np.count_nonzero(self.col_indices != PAD))
 
+    # -- verification ---------------------------------------------------------
+    def _verify_shallow(self) -> None:
+        super()._verify_shallow()
+        if self.col_indices.shape != self.values.shape:
+            raise FormatError("index and value grids must have equal shape")
+        if self.col_indices.shape[0] != self.nrows:
+            raise FormatError("ELL grids must have nrows rows")
+
+    def _verify_deep(self) -> None:
+        from repro.errors import IndexRangeError, VerificationError
+
+        valid = self.col_indices != PAD
+        bad = valid & ((self.col_indices < 0) | (self.col_indices >= self.ncols))
+        if bad.any():
+            r, slot = (int(v) for v in np.argwhere(bad)[0])
+            raise IndexRangeError(
+                f"ell: column index {int(self.col_indices[r, slot])} out of range "
+                f"[0, {self.ncols}) at row {r}, slot {slot}",
+                format_name=self.format_name, check="index-range",
+                coord=(r, int(self.col_indices[r, slot])),
+            )
+        dirty_pad = ~valid & (self.values != 0)
+        if dirty_pad.any():
+            r, slot = (int(v) for v in np.argwhere(dirty_pad)[0])
+            raise VerificationError(
+                f"ell: padding slot ({r}, {slot}) holds a nonzero value",
+                format_name=self.format_name, check="padding-zero", coord=(r, slot),
+            )
+        self._check_finite(
+            self.values, "values",
+            coords=lambda pos: (pos[0], int(self.col_indices[pos])),
+        )
+
     @property
     def padding_ratio(self) -> float:
         """Fraction of stored slots that are padding."""

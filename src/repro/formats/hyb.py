@@ -80,6 +80,17 @@ class HYBMatrix(SparseMatrix):
         """Fraction of nonzeros captured by the regular ELL part."""
         return self.ell.nnz / self.nnz if self.nnz else 0.0
 
+    # -- verification -----------------------------------------------------------
+    def _verify_shallow(self) -> None:
+        super()._verify_shallow()
+        if self.ell.shape != self.tail.shape:
+            raise FormatError("ELL and COO parts must share a shape")
+
+    def _verify_deep(self) -> None:
+        # both halves carry their own invariants; verify each in turn
+        self.ell.verify(deep=True)
+        self.tail.verify(deep=True)
+
     def matvec(self, x: np.ndarray) -> np.ndarray:
         x = self._check_matvec_operand(x)
         return self.ell.matvec(x) + self.tail.matvec(x)

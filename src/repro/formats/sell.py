@@ -144,6 +144,47 @@ class SELLMatrix(SparseMatrix):
         total = self.col_indices.size
         return 1.0 - self.nnz / total if total else 0.0
 
+    # -- verification ------------------------------------------------------------
+    def _verify_shallow(self) -> None:
+        super()._verify_shallow()
+        nslices = -(-self.nrows // self.c) if self.nrows else 0
+        if self.permutation.size != self.nrows:
+            raise FormatError("permutation must cover every row")
+        if self.slice_widths.size != nslices or self.slice_pointers.size != nslices + 1:
+            raise FormatError("slice arrays inconsistent with row count")
+        expected = int(np.sum(self.slice_widths.astype(np.int64) * self.c))
+        if self.col_indices.size != expected or self.values.size != expected:
+            raise FormatError("packed grids inconsistent with slice widths")
+
+    def _verify_deep(self) -> None:
+        from repro.errors import VerificationError
+
+        if np.sort(self.permutation).tolist() != list(range(self.nrows)):
+            raise VerificationError(
+                "sell: permutation is not a bijection on rows",
+                format_name=self.format_name, check="permutation-bijection",
+            )
+        self._check_monotone(self.slice_pointers, "slice_pointers")
+        scanned = np.concatenate(([0], np.cumsum(self.slice_widths.astype(np.int64) * self.c)))
+        if self.slice_pointers.size == scanned.size and np.any(self.slice_pointers != scanned):
+            s = int(np.argmax(self.slice_pointers != scanned))
+            raise VerificationError(
+                f"sell: slice_pointers diverges from the width scan at slice {s}",
+                format_name=self.format_name, check="slice-scan", coord=(s,),
+            )
+        valid = self.col_indices != PAD
+        self._check_index_range(
+            self.col_indices[valid], self.ncols, "column index",
+            coords=lambda pos: (int(np.argwhere(valid)[pos][0]),),
+        )
+        if np.any(self.values[~valid] != 0):
+            slot = int(np.argwhere(~valid & (self.values != 0))[0][0])
+            raise VerificationError(
+                f"sell: padding slot {slot} holds a nonzero value",
+                format_name=self.format_name, check="padding-zero", coord=(slot,),
+            )
+        self._check_finite(self.values, "values")
+
     def matvec(self, x: np.ndarray) -> np.ndarray:
         x = self._check_matvec_operand(x)
         safe = np.where(self.col_indices == PAD, 0, self.col_indices)

@@ -39,8 +39,18 @@ class ExecutionStats:
     warps_launched: int = 0
     #: Atomic read-modify-write operations on global memory.
     atomic_ops: int = 0
+    #: Degradation events recorded by the robustness dispatcher: each entry
+    #: is a :class:`repro.robustness.dispatch.DegradationEvent` describing
+    #: why a kernel was abandoned and which fallback replaced it.  Empty
+    #: for a clean, full-speed execution.
+    degradation_log: list = field(default_factory=list)
 
     # -- derived ------------------------------------------------------------
+    @property
+    def degradations(self) -> int:
+        """Number of fallback steps the execution needed (0 = clean run)."""
+        return len(self.degradation_log)
+
     @property
     def dram_bytes(self) -> int:
         """DRAM traffic implied by the transaction counts (32 B/sector)."""
@@ -72,15 +82,21 @@ class ExecutionStats:
         """Return a copy with every counter multiplied by ``factor``.
 
         Used to extrapolate sampled simulation (a subset of warps executed
-        through the lane-accurate simulator) to the full kernel.
+        through the lane-accurate simulator) to the full kernel.  The
+        degradation log is carried over as-is: events are facts about the
+        execution, not extrapolatable counters.
         """
         out = ExecutionStats()
         for f in fields(self):
-            setattr(out, f.name, int(round(getattr(self, f.name) * factor)))
+            value = getattr(self, f.name)
+            if isinstance(value, list):
+                setattr(out, f.name, list(value))
+            else:
+                setattr(out, f.name, int(round(value * factor)))
         return out
 
     def copy(self) -> "ExecutionStats":
         return self.scaled(1.0)
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -46,6 +46,7 @@ __all__ = [
     "element_owner",
     "portion_of_register",
     "registers_of_portion",
+    "verify_lane_mapping",
     "PORTION_OFFSETS",
 ]
 
@@ -130,6 +131,39 @@ def _index_maps(kind: FragmentKind) -> tuple[np.ndarray, np.ndarray]:
 
 
 _MAPS: dict[FragmentKind, tuple[np.ndarray, np.ndarray]] = {k: _index_maps(k) for k in FragmentKind}
+
+
+def verify_lane_mapping() -> None:
+    """Check the active layout tables against the §3 functional mapping.
+
+    ``Fragment`` reads and writes through the precomputed ``_MAPS``
+    tables; a perturbed table (an injected fault, or a future layout for
+    a new architecture wired up wrong) silently scrambles every MMA
+    result.  This re-derives each table entry from
+    :func:`lane_register_element` and checks the lane/register ->
+    element mapping is still the documented bijection, raising
+    :class:`~repro.errors.LayoutError` with the offending lane/register
+    coordinate.
+    """
+    for kind in FragmentKind:
+        rows, cols = _MAPS[kind]
+        seen = np.zeros((FRAGMENT_DIM, FRAGMENT_DIM), dtype=np.int64)
+        for lane in range(WARP_SIZE):
+            for reg in range(REGISTERS_PER_LANE):
+                expected = lane_register_element(kind, lane, reg)
+                actual = (int(rows[lane, reg]), int(cols[lane, reg]))
+                if actual != expected:
+                    raise LayoutError(
+                        f"{kind.value} layout table maps lane {lane} register {reg} "
+                        f"to element {actual}, expected {expected}"
+                    )
+                seen[actual] += 1
+        if not (seen == 1).all():
+            r, c = (int(v) for v in np.argwhere(seen != 1)[0])
+            raise LayoutError(
+                f"{kind.value} layout table is not a bijection: element "
+                f"({r}, {c}) owned by {int(seen[r, c])} lane/register slots"
+            )
 
 
 class Fragment:

@@ -86,9 +86,11 @@ class GlobalMemory:
         active = idx[mask]
         if active.size:
             if active.min() < 0 or active.max() >= arr.size:
+                lanes = np.flatnonzero(mask & ((idx < 0) | (idx >= arr.size)))
                 raise SimulationError(
                     f"out-of-bounds load from {name!r} "
-                    f"(index range [{active.min()}, {active.max()}], size {arr.size})"
+                    f"(index range [{active.min()}, {active.max()}], size {arr.size}, "
+                    f"lanes {lanes.tolist()})"
                 )
         itemsize = arr.itemsize
         addresses = self._base[name] + active * itemsize
@@ -120,9 +122,19 @@ class GlobalMemory:
         active = idx[mask]
         if active.size:
             if active.min() < 0 or active.max() >= arr.size:
-                raise SimulationError(f"out-of-bounds store to {name!r}")
+                lanes = np.flatnonzero(mask & ((idx < 0) | (idx >= arr.size)))
+                raise SimulationError(
+                    f"out-of-bounds store to {name!r} "
+                    f"(index range [{active.min()}, {active.max()}], size {arr.size}, "
+                    f"lanes {lanes.tolist()})"
+                )
             if np.unique(active).size != active.size:
-                raise SimulationError(f"intra-warp write conflict on {name!r}")
+                first = int(np.flatnonzero(np.bincount(active) > 1)[0])
+                lanes = np.flatnonzero(mask & (idx == first))
+                raise SimulationError(
+                    f"intra-warp write conflict on {name!r}: lanes {lanes.tolist()} "
+                    f"all store to index {first}"
+                )
         itemsize = arr.itemsize
         addresses = self._base[name] + active * itemsize
         sectors = sector_count(np.concatenate([addresses, addresses + itemsize - 1]))
@@ -148,7 +160,12 @@ class GlobalMemory:
             mask = np.asarray(mask, dtype=bool)
         active = idx[mask]
         if active.size and (active.min() < 0 or active.max() >= arr.size):
-            raise SimulationError(f"out-of-bounds atomic on {name!r}")
+            lanes = np.flatnonzero(mask & ((idx < 0) | (idx >= arr.size)))
+            raise SimulationError(
+                f"out-of-bounds atomic on {name!r} "
+                f"(index range [{active.min()}, {active.max()}], size {arr.size}, "
+                f"lanes {lanes.tolist()})"
+            )
         itemsize = arr.itemsize
         addresses = self._base[name] + active * itemsize
         sectors = sector_count(np.concatenate([addresses, addresses + itemsize - 1]))

@@ -16,9 +16,9 @@ import enum
 import numpy as np
 
 from repro.constants import FRAGMENT_DIM
-from repro.errors import SimulationError
+from repro.errors import NumericalError, SimulationError
 from repro.gpu.counters import ExecutionStats
-from repro.gpu.fragment import Fragment, FragmentKind
+from repro.gpu.fragment import Fragment, FragmentKind, element_owner
 
 __all__ = ["Precision", "to_tf32", "MMAUnit"]
 
@@ -56,9 +56,20 @@ def _round_inputs(matrix: np.ndarray, precision: Precision) -> np.ndarray:
 class MMAUnit:
     """One tensor core executing warp-synchronous MMA operations."""
 
-    def __init__(self, precision: Precision = Precision.FP16, stats: ExecutionStats | None = None):
+    def __init__(
+        self,
+        precision: Precision = Precision.FP16,
+        stats: ExecutionStats | None = None,
+        check_overflow: bool = False,
+    ):
         self.precision = precision
         self.stats = stats if stats is not None else ExecutionStats()
+        #: When True, an accumulator register that leaves the finite range
+        #: (fp16 input saturation, fp32 accumulation overflow) raises
+        #: :class:`~repro.errors.NumericalError` instead of silently
+        #: propagating Inf/NaN into y.  The robustness dispatcher enables
+        #: this on the simulated path to trigger precision fallback.
+        self.check_overflow = check_overflow
 
     def mma(self, a: Fragment, b: Fragment, c: Fragment) -> Fragment:
         """``wmma::mma_sync``: D = A @ B + C, returning a new accumulator.
@@ -75,7 +86,18 @@ class MMAUnit:
         am = _round_inputs(a.to_matrix().astype(np.float32), self.precision)
         bm = _round_inputs(b.to_matrix().astype(np.float32), self.precision)
         cm = c.to_matrix().astype(np.float32)
-        dm = (am @ bm + cm).astype(np.float32)
+        # hardware propagates Inf/NaN silently; the explicit overflow
+        # check below replaces numpy's warning
+        with np.errstate(invalid="ignore", over="ignore"):
+            dm = (am @ bm + cm).astype(np.float32)
+        if self.check_overflow and not np.isfinite(dm).all():
+            row, col = (int(v) for v in np.argwhere(~np.isfinite(dm))[0])
+            lane, register = element_owner(FragmentKind.ACCUMULATOR, row, col)
+            raise NumericalError(
+                f"MMA accumulator overflow: element ({row}, {col}) = {dm[row, col]!r} "
+                f"(lane {lane}, register x[{register}]) left the finite "
+                f"{self.precision.value} / fp32-accumulate range"
+            )
         d = Fragment(FragmentKind.ACCUMULATOR, np.float32)
         d.load_matrix(dm)
         self.stats.mma_ops += 1

@@ -47,7 +47,11 @@ class Warp:
         v = self._lanewise(values)
         src = np.broadcast_to(np.asarray(source_lane, dtype=np.int64), (WARP_SIZE,))
         if src.min() < 0 or src.max() >= WARP_SIZE:
-            raise SimulationError("shuffle source lane out of range")
+            bad = int(np.argmax((src < 0) | (src >= WARP_SIZE)))
+            raise SimulationError(
+                f"shuffle source lane {int(src[bad])} out of range [0, {WARP_SIZE}) "
+                f"(requested by lane {bad} of warp {self.warp_id})"
+            )
         self.stats.warp_instructions += 1
         return v[src]
 

@@ -82,10 +82,17 @@ class SpadenKernel(SpMVKernel):
         x = self._check(prepared, x)
         return spaden_spmv(prepared.data, x)
 
-    def simulate(self, prepared: PreparedOperand, x: np.ndarray) -> tuple[np.ndarray, ExecutionStats]:
-        """Lane-accurate execution through :mod:`repro.gpu` (small inputs)."""
+    def simulate(
+        self, prepared: PreparedOperand, x: np.ndarray, check_overflow: bool = False
+    ) -> tuple[np.ndarray, ExecutionStats]:
+        """Lane-accurate execution through :mod:`repro.gpu` (small inputs).
+
+        ``check_overflow`` makes the MMA unit raise
+        :class:`~repro.errors.NumericalError` at the first non-finite
+        accumulator element, identifying the owning lane and register.
+        """
         x = self._check(prepared, x)
-        return spaden_spmv_simulated(prepared.data, x)
+        return spaden_spmv_simulated(prepared.data, x, check_overflow=check_overflow)
 
     def profile(self, prepared: PreparedOperand, x: np.ndarray) -> KernelProfile:
         bit: BitBSRMatrix = prepared.data

@@ -1,0 +1,47 @@
+"""Fault injection and graceful degradation for the Spaden reproduction.
+
+Three pieces work together:
+
+* the deep verifiers on every format (``matrix.verify(deep=True)`` in
+  :mod:`repro.formats`), which turn silent corruption into structured
+  :class:`~repro.errors.VerificationError` subclasses with coordinates,
+* :mod:`repro.robustness.faults`, a seeded registry of named corruption
+  models that break exactly the invariants the verifiers guard,
+* :mod:`repro.robustness.dispatch`, a kernel dispatcher that catches
+  those failures and falls back along
+  ``spaden -> spaden-no-tc -> cusparse-csr -> csr-scalar``, logging each
+  degradation instead of crashing.
+
+See ``docs/robustness.md`` for the invariant-by-invariant mapping to the
+paper's §4.2 format definition.
+"""
+
+from repro.robustness.dispatch import (
+    DEFAULT_CHAIN,
+    DegradationEvent,
+    DispatchResult,
+    dispatch_spmv,
+)
+from repro.robustness.faults import (
+    FaultModel,
+    FaultReport,
+    available_faults,
+    corrupt,
+    faults_for_format,
+    get_fault,
+    inject_lane_fault,
+)
+
+__all__ = [
+    "DEFAULT_CHAIN",
+    "DegradationEvent",
+    "DispatchResult",
+    "dispatch_spmv",
+    "FaultModel",
+    "FaultReport",
+    "available_faults",
+    "corrupt",
+    "faults_for_format",
+    "get_fault",
+    "inject_lane_fault",
+]

@@ -1,0 +1,90 @@
+"""Bench-cache hardening: a damaged cache must never crash a run."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+import repro.bench.harness as harness
+from repro.kernels.base import KernelProfile
+from repro.matrices import generate_matrix
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setattr(harness, "_CACHE_DIR", tmp_path)
+    return tmp_path
+
+
+@pytest.fixture(scope="module")
+def tiny_matrix():
+    return generate_matrix("scircuit", scale=0.01)
+
+
+def _entry_path(cache_dir, matrix, method, scale):
+    return cache_dir / f"{matrix.name}-{scale}-{method}.pkl"
+
+
+def test_cache_round_trip(cache_dir, tiny_matrix):
+    first = harness._cached_profile(tiny_matrix, "csr-scalar", 0.01)
+    path = _entry_path(cache_dir, tiny_matrix, "csr-scalar", 0.01)
+    assert path.exists()
+    payload = pickle.loads(path.read_bytes())
+    assert payload["version"] == harness._CACHE_VERSION
+    second = harness._cached_profile(tiny_matrix, "csr-scalar", 0.01)
+    assert isinstance(second, KernelProfile)
+    assert second.stats.as_dict() == first.stats.as_dict()
+
+
+def test_corrupt_entry_warns_and_recomputes(cache_dir, tiny_matrix):
+    path = _entry_path(cache_dir, tiny_matrix, "csr-scalar", 0.01)
+    path.write_bytes(b"\x80garbage not a pickle")
+    with pytest.warns(UserWarning, match="corrupt bench cache"):
+        profile = harness._cached_profile(tiny_matrix, "csr-scalar", 0.01)
+    assert isinstance(profile, KernelProfile)
+    # the rewritten entry is healthy again
+    assert pickle.loads(path.read_bytes())["version"] == harness._CACHE_VERSION
+
+
+def test_truncated_entry_warns_and_recomputes(cache_dir, tiny_matrix):
+    good = harness._cached_profile(tiny_matrix, "csr-scalar", 0.01)
+    path = _entry_path(cache_dir, tiny_matrix, "csr-scalar", 0.01)
+    path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+    with pytest.warns(UserWarning, match="corrupt bench cache"):
+        profile = harness._cached_profile(tiny_matrix, "csr-scalar", 0.01)
+    assert profile.stats.as_dict() == good.stats.as_dict()
+
+
+def test_stale_version_warns_and_recomputes(cache_dir, tiny_matrix):
+    profile = harness._cached_profile(tiny_matrix, "csr-scalar", 0.01)
+    path = _entry_path(cache_dir, tiny_matrix, "csr-scalar", 0.01)
+    path.write_bytes(pickle.dumps({"version": -1, "profile": profile}))
+    with pytest.warns(UserWarning, match="stale bench cache"):
+        harness._cached_profile(tiny_matrix, "csr-scalar", 0.01)
+
+
+def test_legacy_raw_profile_treated_as_stale(cache_dir, tiny_matrix):
+    """Entries written before versioning (a bare KernelProfile pickle)
+    are evicted, not deserialized into objects missing new fields."""
+    profile = harness._cached_profile(tiny_matrix, "csr-scalar", 0.01)
+    path = _entry_path(cache_dir, tiny_matrix, "csr-scalar", 0.01)
+    path.write_bytes(pickle.dumps(profile))
+    with pytest.warns(UserWarning, match="stale bench cache"):
+        harness._cached_profile(tiny_matrix, "csr-scalar", 0.01)
+
+
+def test_prune_bench_cache(cache_dir, tiny_matrix):
+    harness._cached_profile(tiny_matrix, "csr-scalar", 0.01)
+    (cache_dir / "junk1.pkl").write_bytes(b"nope")
+    (cache_dir / "junk2.pkl").write_bytes(pickle.dumps({"version": 0}))
+    assert harness.prune_bench_cache() == 2
+    assert sorted(p.name for p in cache_dir.glob("*.pkl")) == [
+        _entry_path(cache_dir, tiny_matrix, "csr-scalar", 0.01).name
+    ]
+    assert harness.prune_bench_cache() == 0
+
+
+def test_prune_missing_dir_is_noop(tmp_path, monkeypatch):
+    monkeypatch.setattr(harness, "_CACHE_DIR", tmp_path / "never-created")
+    assert harness.prune_bench_cache() == 0

@@ -1,0 +1,136 @@
+"""Fault-matrix suite: every named fault model is caught by a verifier.
+
+The central contract of :mod:`repro.robustness.faults`: for every
+registered fault model and every format it claims to corrupt, injecting
+the fault into a healthy instance makes ``verify(deep=True)`` raise one
+of the exception types the model declares — and leaves the pristine
+instance untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_bitbsr
+from repro.errors import LayoutError, ReproError, VerificationError
+from repro.formats.bitcoo import BitCOOMatrix
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.gpu.fragment import verify_lane_mapping
+from repro.robustness import (
+    available_faults,
+    corrupt,
+    faults_for_format,
+    get_fault,
+    inject_lane_fault,
+)
+
+from tests.conftest import make_random_dense
+
+
+@pytest.fixture(scope="module")
+def targets():
+    """One healthy instance of every corruptible format."""
+    rng = np.random.default_rng(77)
+    dense = make_random_dense(rng, 96, 104, density=0.08)
+    coo = COOMatrix.from_dense(dense)
+    csr = CSRMatrix.from_coo(coo)
+    return {
+        "csr": csr,
+        "coo": coo,
+        "bitbsr": build_bitbsr(csr).matrix,
+        "bitcoo": BitCOOMatrix.from_coo(coo),
+    }
+
+
+def _format_fault_pairs():
+    pairs = []
+    for name in available_faults():
+        for fmt in get_fault(name).formats:
+            pairs.append((name, fmt))
+    return pairs
+
+
+@pytest.mark.parametrize("fault,fmt", _format_fault_pairs())
+def test_every_fault_is_detected(targets, fault, fmt):
+    model = get_fault(fault)
+    pristine = targets[fmt]
+    corrupted, report = corrupt(pristine, fault, seed=11)
+    assert report.fault == fault and report.target == fmt
+    with pytest.raises(model.detected_by):
+        corrupted.verify(deep=True)
+    # injection worked on a deep copy: the original still verifies clean
+    pristine.verify(deep=True)
+
+
+@pytest.mark.parametrize("fault,fmt", _format_fault_pairs())
+def test_detection_error_is_structured(targets, fault, fmt):
+    corrupted, _ = corrupt(targets[fmt], fault, seed=11)
+    with pytest.raises(ReproError) as excinfo:
+        corrupted.verify(deep=True)
+    exc = excinfo.value
+    if isinstance(exc, VerificationError):
+        assert exc.format_name == fmt
+        assert exc.check
+
+
+def test_injection_is_seeded(targets):
+    a, ra = corrupt(targets["bitbsr"], "bitmap-bit-flip", seed=5)
+    b, rb = corrupt(targets["bitbsr"], "bitmap-bit-flip", seed=5)
+    assert ra == rb
+    assert np.array_equal(a.bitmaps, b.bitmaps)
+    _, rc = corrupt(targets["bitbsr"], "bitmap-bit-flip", seed=6)
+    assert rc != ra
+
+
+def test_fault_rejects_inapplicable_format(targets):
+    with pytest.raises(ValueError, match="does not apply"):
+        get_fault("bitmap-bit-flip").inject(targets["csr"], np.random.default_rng(0))
+
+
+def test_unknown_fault_name(targets):
+    with pytest.raises(ValueError, match="unknown fault"):
+        corrupt(targets["csr"], "no-such-fault")
+
+
+def test_faults_for_format_listing():
+    assert "bitmap-bit-flip" in faults_for_format("bitbsr")
+    assert "bitmap-bit-flip" not in faults_for_format("csr")
+    assert "pointer-shuffle" in faults_for_format("csr")
+
+
+def test_lane_mapping_fault_detected_and_restored():
+    verify_lane_mapping()  # healthy before
+    with inject_lane_fault(seed=3) as report:
+        assert report.fault == "lane-mapping-perturb"
+        with pytest.raises(LayoutError, match="lane"):
+            verify_lane_mapping()
+    verify_lane_mapping()  # restored after
+
+
+def test_lane_mapping_restored_on_error():
+    with pytest.raises(RuntimeError, match="boom"):
+        with inject_lane_fault(seed=3):
+            raise RuntimeError("boom")
+    verify_lane_mapping()
+
+
+@pytest.mark.parametrize("fmt", ["bitbsr", "bitcoo"])
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_round_trip_convert_corrupt_verify(fmt, seed):
+    """Seeded convert -> corrupt -> verify round trip for both bitmap formats."""
+    rng = np.random.default_rng(1000 + seed)
+    dense = make_random_dense(rng, 64, 72, density=0.1)
+    coo = COOMatrix.from_dense(dense)
+    if fmt == "bitbsr":
+        matrix = build_bitbsr(CSRMatrix.from_coo(coo)).matrix
+    else:
+        matrix = BitCOOMatrix.from_coo(coo)
+    matrix.verify(deep=True)  # fresh conversion is clean
+    for fault in faults_for_format(fmt):
+        corrupted, _ = corrupt(matrix, fault, seed=seed)
+        model = get_fault(fault)
+        with pytest.raises(model.detected_by):
+            corrupted.verify(deep=True)
+    matrix.verify(deep=True)  # still clean after every injection
