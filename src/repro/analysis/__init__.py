@@ -1,0 +1,53 @@
+"""Execution-side correctness tooling for the simulated GPU.
+
+Two prongs, both reachable through ``python -m repro.cli analyze``:
+
+* :mod:`repro.analysis.sanitizer` — the *dynamic* prong: a
+  :class:`~repro.gpu.instrument.Tracer` that watches every warp memory
+  instruction and fragment layout-table consultation while a kernel runs
+  on the lane-accurate simulator, flagging intra-warp and cross-warp data
+  races, §3 lane-ownership violations, and producing an achieved-vs-ideal
+  coalescing report per device array.
+* :mod:`repro.analysis.lint` — the *static* prong: an AST pass over the
+  kernel sources enforcing the warp-synchronous idioms the simulator's
+  counters (and the paper's traffic model) rely on.
+
+PR 1 gave the *data* side deep verifiers (``verify(deep=True)``); this
+package is the *execution* side counterpart, so a refactor that breaks a
+kernel's warp behavior fails loudly with lane coordinates instead of
+silently skewing modeled runtimes.
+"""
+
+from repro.analysis.lint import (
+    LintFinding,
+    RULES,
+    format_findings,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.sanitizer import (
+    CoalescingEntry,
+    KernelSanitizeResult,
+    OwnershipRecord,
+    RaceRecord,
+    Sanitizer,
+    SanitizerReport,
+    sanitize_kernel,
+    small_suite,
+)
+
+__all__ = [
+    "CoalescingEntry",
+    "KernelSanitizeResult",
+    "LintFinding",
+    "OwnershipRecord",
+    "RULES",
+    "RaceRecord",
+    "Sanitizer",
+    "SanitizerReport",
+    "format_findings",
+    "lint_paths",
+    "lint_source",
+    "sanitize_kernel",
+    "small_suite",
+]

@@ -1,0 +1,362 @@
+"""AST lint for warp-synchronous kernel code.
+
+The simulator's counters — and the paper's traffic model built on them —
+are only meaningful when kernels are written in the warp-synchronous
+idiom: one length-32 array per lane value, predication via masks, every
+global access through the counted ``Warp``/``GlobalMemory`` entry points.
+This module enforces that idiom statically, over
+``src/repro/kernels/*.py`` and the warp-level ``core`` helpers.
+
+Rules (see :data:`RULES`):
+
+``per-lane-loop``
+    A Python ``for`` loop over ``range(WARP_SIZE)`` / ``range(32)``
+    serializes what the hardware does in one instruction, and bypasses
+    the lanewise bookkeeping (``count_flops``, coalescing counting).
+``unmasked-divergent-access``
+    A ``Warp.load/store/atomic_add`` (or the ``GlobalMemory.warp_*``
+    equivalents) issued without a mask inside an ``if``/``while`` body —
+    i.e. reachable under divergence, where some lanes must be predicated
+    off.  Accesses under uniform ``for`` loops are fine.
+``raw-memory-mutation``
+    Writing through ``memory.array(name)[...] = ...`` (directly or via a
+    local alias) mutates device memory behind the coalescing counters and
+    the sanitizer's race detector; stores must go through ``warp_store``.
+``fp64-upcast``
+    ``np.float64`` appearing in a module that imports the tensor-core
+    compute objects (``Fragment``, ``MMAUnit``, ``to_tf32`` or the
+    ``repro.gpu.fragment``/``mma``/``wmma`` modules).  The paper's
+    fp16/tf32 pipelines accumulate in float32; a silent fp64 upcast
+    makes the Python model more accurate than the hardware it stands for.
+
+A finding is waived with an inline pragma carrying a justification::
+
+    # lint: ignore[per-lane-loop] -- this loop *builds* the lanewise table
+
+The pragma covers its own line when it trails code, otherwise the next
+code line (comment continuation lines in between are fine).
+
+Known limitations, by design: the checker is intra-procedural — an
+unmasked load inside a helper called under divergence
+(e.g. ``_broadcast_load`` under ``if block_row_bottom is not None:``) is
+not flagged — and alias tracking for ``raw-memory-mutation`` only follows
+direct single-name assignments within one function.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["LintFinding", "RULES", "lint_source", "lint_paths", "format_findings"]
+
+
+RULES: dict[str, str] = {
+    "per-lane-loop": (
+        "Python loop over range(WARP_SIZE); use the lanewise warp/fragment "
+        "operations (length-32 arrays) instead"
+    ),
+    "unmasked-divergent-access": (
+        "Warp.load/store/atomic_add without a mask inside an if/while body "
+        "(reachable under divergence)"
+    ),
+    "raw-memory-mutation": (
+        "direct mutation of memory.array(...) bypasses warp_store and the "
+        "coalescing/race instrumentation"
+    ),
+    "fp64-upcast": (
+        "np.float64 in a fp16/tf32 tensor-core path; accumulate in float32 "
+        "like the hardware, or waive with a justification"
+    ),
+    "parse-error": "the file could not be parsed as Python",
+}
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+#: Counted memory entry points, mapped to the positional-argument count at
+#: which the mask is supplied (warp.load(name, indices, mask) -> 3, ...).
+_MEMORY_OPS: dict[str, int] = {
+    "load": 3,
+    "warp_load": 3,
+    "store": 4,
+    "warp_store": 4,
+    "atomic_add": 4,
+    "warp_atomic_add": 4,
+}
+
+#: Imported names / modules that put a module in scope for ``fp64-upcast``.
+_TC_NAMES = {"Fragment", "MMAUnit", "to_tf32"}
+_TC_MODULES = {"repro.gpu.fragment", "repro.gpu.mma", "repro.gpu.wmma"}
+
+_PRAGMA = re.compile(r"#\s*lint:\s*ignore\[([a-zA-Z0-9_,\- ]+)\]")
+
+
+def _waivers(source: str) -> dict[int, set[str]]:
+    """Map line number -> waived rule names, resolving pragma placement."""
+    lines = source.splitlines()
+    waived: dict[int, set[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = _PRAGMA.search(text)
+        if match is None:
+            continue
+        rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+        before = text[: match.start()].strip()
+        if before and not before.startswith("#"):
+            target = lineno  # trailing pragma: covers its own line
+        else:
+            target = None  # standalone pragma: covers the next code line
+            for later in range(lineno, len(lines)):
+                candidate = lines[later].strip()
+                if candidate and not candidate.startswith("#"):
+                    target = later + 1
+                    break
+        if target is not None:
+            waived.setdefault(target, set()).update(rules)
+    return waived
+
+
+def _receiver_name(func: ast.Attribute) -> str:
+    """Best-effort name of a method call's receiver, lowercased."""
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id.lower()
+    if isinstance(value, ast.Attribute):
+        return value.attr.lower()
+    return ""
+
+
+def _is_memory_like(name: str) -> bool:
+    return "warp" in name or "mem" in name
+
+
+def _is_array_call(node: ast.expr) -> bool:
+    """True for ``<memory-like>.array(...)`` calls."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "array"
+        and _is_memory_like(_receiver_name(node.func))
+    )
+
+
+def _is_warp_range(node: ast.expr) -> bool:
+    """True for ``range`` calls whose *stop* is the warp width.
+
+    Only the stop argument matters: ``range(WARP_SIZE)`` iterates lanes,
+    while ``range(0, n, 32)`` strides over warps and is idiomatic.
+    """
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name) and node.func.id == "range"):
+        return False
+    if not node.args:
+        return False
+    stop = node.args[0] if len(node.args) == 1 else node.args[1]
+    if isinstance(stop, ast.Name) and stop.id == "WARP_SIZE":
+        return True
+    return isinstance(stop, ast.Constant) and stop.value == 32
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, path: str, fp64_in_scope: bool):
+        self.path = path
+        self.fp64_in_scope = fp64_in_scope
+        self.findings: list[LintFinding] = []
+        self._divergence = 0
+        #: Per-function stack of local names aliasing memory.array(...).
+        self._aliases: list[set[str]] = [set()]
+
+    # -- helpers -------------------------------------------------------------
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            LintFinding(path=self.path, line=node.lineno, col=node.col_offset, rule=rule, message=message)
+        )
+
+    # -- rule: per-lane-loop ---------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        if _is_warp_range(node.iter):
+            self._flag(
+                node,
+                "per-lane-loop",
+                "per-lane Python loop over the warp; use lanewise (length-32 "
+                "array) operations instead",
+            )
+        self.generic_visit(node)
+
+    # -- rule: unmasked-divergent-access --------------------------------------
+    def visit_If(self, node: ast.If) -> None:
+        self.visit(node.test)
+        self._divergence += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        for stmt in node.orelse:
+            self.visit(stmt)
+        self._divergence -= 1
+
+    def visit_While(self, node: ast.While) -> None:
+        self.visit(node.test)
+        self._divergence += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        for stmt in node.orelse:
+            self.visit(stmt)
+        self._divergence -= 1
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            self._divergence > 0
+            and isinstance(func, ast.Attribute)
+            and func.attr in _MEMORY_OPS
+            and (func.attr.startswith("warp_") or _is_memory_like(_receiver_name(func)))
+        ):
+            mask_arity = _MEMORY_OPS[func.attr]
+            has_mask = len(node.args) >= mask_arity or any(
+                kw.arg == "mask" for kw in node.keywords
+            )
+            if not has_mask:
+                self._flag(
+                    node,
+                    "unmasked-divergent-access",
+                    f"{func.attr}() without a mask inside an if/while body; "
+                    "predicate the access on the active-lane mask",
+                )
+        self.generic_visit(node)
+
+    # -- rule: raw-memory-mutation --------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._aliases.append(set())
+        self._divergence, saved = 0, self._divergence
+        self.generic_visit(node)
+        self._divergence = saved
+        self._aliases.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def _is_device_subscript(self, target: ast.expr) -> bool:
+        if not isinstance(target, ast.Subscript):
+            return False
+        base = target.value
+        if _is_array_call(base):
+            return True
+        return isinstance(base, ast.Name) and base.id in self._aliases[-1]
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if self._is_device_subscript(target):
+                self._flag(
+                    target,
+                    "raw-memory-mutation",
+                    "assignment through memory.array(...) bypasses warp_store; "
+                    "use the counted store path",
+                )
+        if (
+            len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and _is_array_call(node.value)
+        ):
+            self._aliases[-1].add(node.targets[0].id)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self._is_device_subscript(node.target):
+            self._flag(
+                node.target,
+                "raw-memory-mutation",
+                "in-place update through memory.array(...) bypasses warp_store "
+                "(and warp_atomic_add); use the counted paths",
+            )
+        self.generic_visit(node)
+
+    # -- rule: fp64-upcast -----------------------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            self.fp64_in_scope
+            and node.attr == "float64"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("np", "numpy")
+        ):
+            self._flag(
+                node,
+                "fp64-upcast",
+                "np.float64 in a fp16/tf32 compute path; the tensor-core "
+                "pipeline accumulates in float32",
+            )
+        self.generic_visit(node)
+
+
+def _fp64_scope(tree: ast.Module) -> bool:
+    """Does this module import the tensor-core compute machinery?"""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                # compute objects by name ("from repro.gpu.mma import MMAUnit");
+                # importing just the Precision enum does not make a compute path
+                if alias.name in _TC_NAMES:
+                    return True
+                # "from repro.gpu import fragment" style module imports
+                if f"{node.module}.{alias.name}" in _TC_MODULES:
+                    return True
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in _TC_MODULES:
+                    return True
+    return False
+
+
+def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
+    """Lint one module's source text; returns unwaived findings."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            LintFinding(
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                rule="parse-error",
+                message=str(exc.msg),
+            )
+        ]
+    checker = _Checker(path, fp64_in_scope=_fp64_scope(tree))
+    checker.visit(tree)
+    waived = _waivers(source)
+    return [
+        f
+        for f in checker.findings
+        if f.rule not in waived.get(f.line, set()) and "*" not in waived.get(f.line, set())
+    ]
+
+
+def lint_paths(paths) -> list[LintFinding]:
+    """Lint files and/or directory trees (``*.py``, recursively)."""
+    files: list[Path] = []
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    findings: list[LintFinding] = []
+    for f in files:
+        findings.extend(lint_source(f.read_text(encoding="utf-8"), path=str(f)))
+    findings.sort(key=lambda f: (f.path, f.line, f.col))
+    return findings
+
+
+def format_findings(findings) -> str:
+    """One ``path:line:col: [rule] message`` line per finding."""
+    return "\n".join(str(f) for f in findings)

@@ -1,0 +1,382 @@
+"""SIMT sanitizer: race, lane-ownership, and coalescing analysis.
+
+The sanitizer is a :class:`~repro.gpu.instrument.Tracer` installed for
+the duration of a kernel execution.  It maintains three analyses over the
+access stream the gpu layer reports:
+
+Race detection
+    Warps are concurrent on hardware even though the simulator runs them
+    sequentially, so the sanitizer flags conflicting accesses to the same
+    ``GlobalMemory`` element from *different* warps — write/write,
+    write-after-read, or read of a plainly-written element — unless both
+    sides go through ``atomic_add``.  Within one warp, lockstep execution
+    orders instructions, so only same-instruction (one warp-step)
+    write/write conflicts are hazards; those are raised by the memory
+    model itself as structured :class:`~repro.errors.RaceError`\\ s.
+
+Lane-ownership checking
+    Every consultation of a fragment's layout table is compared against
+    the functional §3 mapping (:func:`repro.gpu.fragment.lane_register_element`).
+    A perturbed table — an injected fault, or a future architecture's
+    layout wired up wrong — means some lane is about to touch an element
+    outside its ownership set; the sanitizer raises
+    :class:`~repro.errors.LaneOwnershipError` with the lane/register/portion
+    coordinate before the bad value can scramble an MMA.
+
+Coalescing report
+    Per device array and access kind, the achieved 32-byte-sector count
+    is accumulated next to the ideal (perfectly coalesced) count, giving
+    the efficiency table ``repro.cli analyze`` prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import LaneOwnershipError, RaceError
+from repro.gpu import fragment as _fragment
+from repro.gpu.fragment import FragmentKind, portion_of_register
+from repro.gpu.instrument import Tracer, tracing
+
+__all__ = [
+    "CoalescingEntry",
+    "RaceRecord",
+    "OwnershipRecord",
+    "SanitizerReport",
+    "Sanitizer",
+    "KernelSanitizeResult",
+    "sanitize_kernel",
+    "small_suite",
+]
+
+
+@dataclass
+class CoalescingEntry:
+    """Achieved vs. ideal sector counts for one (array, access-kind)."""
+
+    array: str
+    kind: str
+    instructions: int = 0
+    achieved_sectors: int = 0
+    ideal_sectors: int = 0
+
+    @property
+    def efficiency(self) -> float:
+        """Ideal / achieved sectors (1.0 = perfectly coalesced)."""
+        if self.achieved_sectors == 0:
+            return 1.0
+        return self.ideal_sectors / self.achieved_sectors
+
+
+@dataclass(frozen=True)
+class RaceRecord:
+    """One conflicting cross-warp access pair on a global-memory element."""
+
+    array: str
+    index: int
+    #: (kind, warp ordinal, lane) of the earlier access.
+    first: tuple[str, int, int]
+    #: (kind, warp ordinal, lane) of the conflicting access.
+    second: tuple[str, int, int]
+
+    def __str__(self) -> str:
+        k1, w1, l1 = self.first
+        k2, w2, l2 = self.second
+        return (
+            f"{self.array}[{self.index}]: {k1} by warp {w1} lane {l1} "
+            f"conflicts with {k2} by warp {w2} lane {l2}"
+        )
+
+
+@dataclass(frozen=True)
+class OwnershipRecord:
+    """One layout-table slot that disagrees with the §3 mapping."""
+
+    fragment_kind: str
+    lane: int
+    register: int
+    portion: int
+    expected: tuple[int, int]
+    actual: tuple[int, int]
+
+    def __str__(self) -> str:
+        return (
+            f"{self.fragment_kind}: lane {self.lane} register x[{self.register}] "
+            f"(portion {self.portion}) touches element {self.actual}, "
+            f"outside its ownership set (§3 assigns {self.expected})"
+        )
+
+
+@dataclass
+class SanitizerReport:
+    """Everything one sanitized execution revealed."""
+
+    races: list[RaceRecord] = field(default_factory=list)
+    ownership_violations: list[OwnershipRecord] = field(default_factory=list)
+    #: Keyed by (array name, access kind).
+    coalescing: dict[tuple[str, str], CoalescingEntry] = field(default_factory=dict)
+    warps_observed: int = 0
+    global_accesses: int = 0
+    fragment_accesses: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when no race or ownership violation was observed."""
+        return not self.races and not self.ownership_violations
+
+    @property
+    def load_efficiency(self) -> float:
+        """Aggregate load coalescing efficiency across all arrays."""
+        achieved = sum(e.achieved_sectors for e in self.coalescing.values() if e.kind == "load")
+        ideal = sum(e.ideal_sectors for e in self.coalescing.values() if e.kind == "load")
+        return ideal / achieved if achieved else 1.0
+
+    def summary(self) -> str:
+        lines = [
+            f"warps {self.warps_observed}, memory instructions {self.global_accesses}, "
+            f"fragment accesses {self.fragment_accesses}"
+        ]
+        for rec in self.races:
+            lines.append(f"RACE {rec}")
+        for rec in self.ownership_violations:
+            lines.append(f"OWNERSHIP {rec}")
+        for (name, kind), entry in sorted(self.coalescing.items()):
+            lines.append(
+                f"{kind:<6} {name:<20} {entry.instructions:>6} instr  "
+                f"{entry.achieved_sectors:>7} sectors (ideal {entry.ideal_sectors}, "
+                f"{entry.efficiency:.0%} coalesced)"
+            )
+        return "\n".join(lines)
+
+
+#: Warp ordinal assigned to accesses issued before any Warp exists
+#: (operand setup); those are host-side and excluded from race checks.
+_HOST = -1
+
+
+class Sanitizer(Tracer):
+    """Install around simulator work with ``with Sanitizer() as san: ...``.
+
+    ``halt_on_violation=True`` (the default) raises the structured error
+    at the first race / ownership violation; ``False`` collects every
+    finding into :attr:`report` instead, for survey-style runs.
+    """
+
+    def __init__(self, halt_on_violation: bool = True):
+        self.halt_on_violation = halt_on_violation
+        self.report = SanitizerReport()
+        #: (array name, element index) -> list of (kind, warp ordinal, lane).
+        self._accesses: dict[tuple[str, int], list[tuple[str, int, int]]] = {}
+        self._current_warp = _HOST
+        self._seen_ownership: set[tuple[str, int, int]] = set()
+        # functional §3 ground truth, independent of the (possibly
+        # perturbed) live tables the fragments index through
+        self._reference = {kind: _fragment._index_maps(kind) for kind in FragmentKind}
+        self._tracing = tracing(self)
+
+    def __enter__(self) -> "Sanitizer":
+        self._tracing.__enter__()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._tracing.__exit__(*exc)
+
+    # -- tracer hooks --------------------------------------------------------
+    def on_warp_begin(self, warp) -> None:
+        self._current_warp = self.report.warps_observed
+        self.report.warps_observed += 1
+
+    def on_global_access(
+        self, memory, name, kind, indices, mask, itemsize, sectors, ideal_sectors
+    ) -> None:
+        self.report.global_accesses += 1
+        entry = self.report.coalescing.setdefault(
+            (name, kind), CoalescingEntry(array=name, kind=kind)
+        )
+        entry.instructions += 1
+        entry.achieved_sectors += sectors
+        entry.ideal_sectors += ideal_sectors
+
+        warp = self._current_warp
+        if warp == _HOST:
+            return
+        lanes = np.flatnonzero(mask)
+        idx = np.asarray(indices, dtype=np.int64)
+        for lane in lanes:
+            lane = int(lane)
+            element = (name, int(idx[lane]))
+            history = self._accesses.setdefault(element, [])
+            conflict = self._find_conflict(history, kind, warp)
+            if conflict is not None:
+                self._record_race(element, conflict, (kind, warp, lane))
+            history.append((kind, warp, lane))
+
+    def on_fragment_access(self, fragment, registers) -> None:
+        self.report.fragment_accesses += 1
+        regs = tuple(range(fragment.registers.shape[1])) if registers is None else tuple(registers)
+        rows, cols = _fragment._MAPS[fragment.kind]
+        ref_rows, ref_cols = self._reference[fragment.kind]
+        reg_idx = np.asarray(regs, dtype=np.int64)
+        bad = (rows[:, reg_idx] != ref_rows[:, reg_idx]) | (cols[:, reg_idx] != ref_cols[:, reg_idx])
+        if not bad.any():
+            return
+        for lane, j in np.argwhere(bad):
+            lane, reg = int(lane), int(regs[int(j)])
+            key = (fragment.kind.value, lane, reg)
+            if key in self._seen_ownership:
+                continue
+            self._seen_ownership.add(key)
+            record = OwnershipRecord(
+                fragment_kind=fragment.kind.value,
+                lane=lane,
+                register=reg,
+                portion=portion_of_register(reg),
+                expected=(int(ref_rows[lane, reg]), int(ref_cols[lane, reg])),
+                actual=(int(rows[lane, reg]), int(cols[lane, reg])),
+            )
+            self.report.ownership_violations.append(record)
+            if self.halt_on_violation:
+                raise LaneOwnershipError(
+                    f"lane-ownership violation: {record}",
+                    fragment_kind=record.fragment_kind,
+                    lane=record.lane,
+                    register=record.register,
+                    portion=record.portion,
+                    expected=record.expected,
+                    actual=record.actual,
+                    check="lane-ownership",
+                    coord=(record.lane, record.register, record.portion),
+                )
+
+    # -- race bookkeeping ----------------------------------------------------
+    @staticmethod
+    def _find_conflict(
+        history: list[tuple[str, int, int]], kind: str, warp: int
+    ) -> tuple[str, int, int] | None:
+        """First prior access this one conflicts with, else ``None``.
+
+        Conflicts (all require *different* warps, since intra-warp
+        ordering is guaranteed by lockstep execution):
+
+        * this is a plain ``store`` and the element was touched at all,
+        * this is a ``load`` or ``atomic`` and the element was plainly
+          stored.
+
+        ``atomic``/``atomic`` and any read/read combination are ordered
+        by the hardware and allowed.
+        """
+        for prior in history:
+            prior_kind, prior_warp, _lane = prior
+            if prior_warp == warp or prior_warp == _HOST:
+                continue
+            if kind == "store" or prior_kind == "store":
+                return prior
+        return None
+
+    def _record_race(
+        self,
+        element: tuple[str, int],
+        first: tuple[str, int, int],
+        second: tuple[str, int, int],
+    ) -> None:
+        record = RaceRecord(array=element[0], index=element[1], first=first, second=second)
+        self.report.races.append(record)
+        if self.halt_on_violation:
+            raise RaceError(
+                f"cross-warp data race: {record}",
+                array=record.array,
+                index=record.index,
+                lanes=[first[2], second[2]],
+                warps=[first[1], second[1]],
+                check="cross-warp-race",
+                coord=(record.array, record.index, first[1], second[1]),
+            )
+
+
+# -- whole-kernel driver ------------------------------------------------------
+
+
+@dataclass
+class KernelSanitizeResult:
+    """Outcome of one kernel executed under the sanitizer."""
+
+    kernel: str
+    #: Whether a lane-accurate ``simulate`` path was exercised.
+    simulated: bool
+    #: max |y - csr.matvec(x)| over every executed path.
+    max_error: float
+    report: SanitizerReport
+
+    @property
+    def clean(self) -> bool:
+        return self.report.clean
+
+
+def sanitize_kernel(
+    kernel_name: str,
+    csr,
+    x: np.ndarray,
+    *,
+    halt_on_violation: bool = True,
+) -> KernelSanitizeResult:
+    """Run one registered kernel under the sanitizer on a small matrix.
+
+    ``prepare`` runs uninstrumented (format conversion is host-side);
+    ``run`` and, where the kernel exposes one, the lane-accurate
+    ``simulate`` path execute with the sanitizer installed.  Kernels
+    whose ``run`` never touches the simulator trivially produce an empty
+    access log — the sanitizer then certifies only their simulated path,
+    which is exactly the part that models warp behavior.
+    """
+    from repro.kernels import get_kernel
+
+    kernel = get_kernel(kernel_name)
+    prepared = kernel.prepare(csr)
+    reference = csr.matvec(np.asarray(x, dtype=np.float32))
+    max_error = 0.0
+    simulated = False
+    with Sanitizer(halt_on_violation=halt_on_violation) as sanitizer:
+        y = kernel.run(prepared, x)
+        max_error = float(np.abs(np.asarray(y, dtype=np.float32) - reference).max(initial=0.0))
+        if hasattr(kernel, "simulate"):
+            y_sim, _stats = kernel.simulate(prepared, x)
+            simulated = True
+            max_error = max(
+                max_error,
+                float(np.abs(np.asarray(y_sim, dtype=np.float32) - reference).max(initial=0.0)),
+            )
+    return KernelSanitizeResult(
+        kernel=kernel_name,
+        simulated=simulated,
+        max_error=max_error,
+        report=sanitizer.report,
+    )
+
+
+def small_suite(seed: int = 0) -> dict[str, tuple]:
+    """Deterministic verification-scale matrices for sanitizer sweeps.
+
+    Returns ``{name: (csr, x)}`` with fp16-exact values so tensor-core
+    kernels reproduce the reference matvec bit-for-bit modulo fp32
+    accumulation order.  Shapes are deliberately awkward (non-square,
+    non-multiples of the 8-element block) to exercise edge warps.
+    """
+    from repro.formats.coo import COOMatrix
+    from repro.formats.csr import CSRMatrix
+    from repro.matrices.generators import fp16_exact_values
+
+    rng = np.random.default_rng(seed)
+    suite: dict[str, tuple] = {}
+    for name, nrows, ncols, density in (
+        ("random-40x56", 40, 56, 0.15),
+        ("random-93x61", 93, 61, 0.05),
+    ):
+        mask = rng.random((nrows, ncols)) < density
+        vals = fp16_exact_values(rng, nrows * ncols).reshape(nrows, ncols)
+        dense = np.where(mask, vals, 0.0).astype(np.float32)
+        csr = CSRMatrix.from_coo(COOMatrix.from_dense(dense))
+        x = fp16_exact_values(rng, ncols)
+        suite[name] = (csr, x)
+    return suite

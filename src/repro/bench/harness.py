@@ -55,7 +55,7 @@ _CACHE_DIR = Path(os.environ.get("REPRO_BENCH_CACHE", ".bench_cache"))
 #: Bump whenever :class:`KernelProfile` / :class:`ExecutionStats` change
 #: shape, so caches written by an older build are discarded instead of
 #: deserializing into objects missing the new fields.
-_CACHE_VERSION = 2
+_CACHE_VERSION = 3
 
 
 def bench_scale() -> float:

@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli probe
     python -m repro.cli formats --matrix cant
     python -m repro.cli verify  --matrix consph [--fault bitmap-bit-flip]
+    python -m repro.cli analyze [--kernels spaden,csr-scalar] [--no-lint]
 """
 
 from __future__ import annotations
@@ -191,6 +192,61 @@ def _cmd_verify(args) -> int:
     return 0 if np.allclose(result.y, ref, rtol=1e-3, atol=1e-2) else 1
 
 
+def _cmd_analyze(args) -> int:
+    from repro.analysis import format_findings, lint_paths, sanitize_kernel, small_suite
+    from repro.errors import SanitizerError
+    from repro.kernels import available_kernels
+    from repro.perf.report import format_table
+
+    failed = False
+
+    if not args.no_lint:
+        import repro
+
+        paths = args.paths or [repro.__path__[0]]
+        findings = lint_paths(paths)
+        if findings:
+            failed = True
+            print(f"lint: {len(findings)} finding(s)")
+            print(format_findings(findings))
+        else:
+            print(f"lint: clean ({', '.join(str(p) for p in paths)})")
+
+    if not args.no_sanitize:
+        names = available_kernels() if args.kernels == "all" else [
+            k.strip() for k in args.kernels.split(",") if k.strip()
+        ]
+        suite = small_suite(seed=args.seed)
+        rows = []
+        for name in names:
+            for matrix, (csr, x) in suite.items():
+                try:
+                    result = sanitize_kernel(name, csr, x)
+                except SanitizerError as exc:
+                    failed = True
+                    print(f"sanitizer: {name} on {matrix}: {type(exc).__name__}: {exc}")
+                    continue
+                if not result.clean:
+                    failed = True
+                report = result.report
+                rows.append(
+                    {
+                        "kernel": name,
+                        "matrix": matrix,
+                        "simulated": "yes" if result.simulated else "no",
+                        "max |err|": f"{result.max_error:.2e}",
+                        "races": len(report.races),
+                        "ownership": len(report.ownership_violations),
+                        "load eff": f"{report.load_efficiency:.0%}",
+                        "verdict": "clean" if result.clean else "VIOLATION",
+                    }
+                )
+        if rows:
+            print()
+            print(format_table(rows, title="SIMT sanitizer (small-matrix suite)"))
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -229,6 +285,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault", default=None, help="fault model to inject (see repro.robustness)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "analyze",
+        help="static kernel lint + dynamic SIMT sanitizer over the "
+        "registered kernels on small matrices",
+    )
+    p.add_argument("--paths", nargs="*", default=None, help="files/dirs to lint (default: the repro package)")
+    p.add_argument("--kernels", default="all", help="comma-separated kernel names, or 'all'")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-lint", action="store_true", help="skip the static lint pass")
+    p.add_argument("--no-sanitize", action="store_true", help="skip the dynamic sanitizer pass")
+    p.set_defaults(func=_cmd_analyze)
     return parser
 
 

@@ -54,6 +54,8 @@ def spaden_sddmm(
     rows, cols = pattern.entry_coordinates()
     Ur = rounded(U)
     Vr = rounded(V)
+    # lint: ignore[fp64-upcast] -- operands are already rounded to the input
+    # precision; fp64 here only makes the reduction order-insensitive
     products = np.einsum("ek,ek->e", Ur[rows].astype(np.float64), Vr[cols].astype(np.float64))
     return BitBSRMatrix(
         pattern.shape,

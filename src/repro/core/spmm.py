@@ -55,7 +55,10 @@ def spaden_spmm(
     rows, cols = bitbsr.entry_coordinates()
     vals = _round_operand(bitbsr.values, precision)
     Xr = _round_operand(X, precision)
+    # lint: ignore[fp64-upcast] -- operands are already rounded to the input
+    # precision; the wide np.add.at accumulator only removes order sensitivity
     contributions = vals[:, None].astype(np.float64) * Xr[cols].astype(np.float64)
+    # lint: ignore[fp64-upcast] -- see above; result is cast back to float32
     Y = np.zeros((bitbsr.nrows, X.shape[1]), dtype=np.float64)
     np.add.at(Y, rows, contributions)
     return Y.astype(np.float32)

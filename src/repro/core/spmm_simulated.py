@@ -21,7 +21,13 @@ from repro.core.pairing import BOTTOM_PORTION, TOP_PORTION, _broadcast_load
 from repro.errors import KernelError
 from repro.formats.bitbsr import BitBSRMatrix
 from repro.gpu.counters import ExecutionStats
-from repro.gpu.fragment import Fragment, FragmentKind, lane_register_element, registers_of_portion
+from repro.gpu.fragment import (
+    PORTION_OFFSETS,
+    Fragment,
+    FragmentKind,
+    index_maps,
+    registers_of_portion,
+)
 from repro.gpu.memory import GlobalMemory
 from repro.gpu.mma import MMAUnit, Precision
 from repro.gpu.warp import Warp
@@ -45,25 +51,16 @@ def _load_b_panel(
     dimension ``k``.  Panel columns beyond ``k`` are zero-filled.
     """
     reg1, reg2 = registers_of_portion(portion)
+    map_rows, map_cols = index_maps(FragmentKind.MATRIX_B)
+    dr, dc = PORTION_OFFSETS[FragmentKind.MATRIX_B][portion]
     for reg in (reg1, reg2):
-        rows = np.empty(WARP_SIZE, dtype=np.int64)
-        cols = np.empty(WARP_SIZE, dtype=np.int64)
-        dr, dc = _portion_offset(portion)
-        for lane in range(WARP_SIZE):
-            r, c = lane_register_element(FragmentKind.MATRIX_B, lane, reg)
-            rows[lane] = r - dr
-            cols[lane] = c - dc
+        rows = map_rows[:, reg] - dr
+        cols = map_cols[:, reg] - dc
         global_cols = panel * BLOCK_DIM + cols
         valid = global_cols < k
         idx = (segment * BLOCK_DIM + rows) * k + global_cols
         values = warp.load("B_matrix", np.where(valid, idx, 0), mask=valid)
         b_frag.warp_write_register(reg, values.astype(np.float32))
-
-
-def _portion_offset(portion: int) -> tuple[int, int]:
-    from repro.gpu.fragment import PORTION_OFFSETS
-
-    return PORTION_OFFSETS[FragmentKind.MATRIX_B][portion]
 
 
 def _store_c_portion(
@@ -76,17 +73,12 @@ def _store_c_portion(
     nrows: int,
 ) -> None:
     """Store one accumulator portion's 8x8 tile into Y (row-major, ld k)."""
-    from repro.gpu.fragment import PORTION_OFFSETS
-
     dr, dc = PORTION_OFFSETS[FragmentKind.ACCUMULATOR][portion]
     reg1, reg2 = registers_of_portion(portion)
+    map_rows, map_cols = index_maps(FragmentKind.ACCUMULATOR)
     for reg in (reg1, reg2):
-        rows = np.empty(WARP_SIZE, dtype=np.int64)
-        cols = np.empty(WARP_SIZE, dtype=np.int64)
-        for lane in range(WARP_SIZE):
-            r, c = lane_register_element(FragmentKind.ACCUMULATOR, lane, reg)
-            rows[lane] = r - dr
-            cols[lane] = c - dc
+        rows = map_rows[:, reg] - dr
+        cols = map_cols[:, reg] - dc
         global_rows = block_row * BLOCK_DIM + rows
         global_cols = panel * BLOCK_DIM + cols
         valid = (global_cols < k) & (global_rows < nrows)

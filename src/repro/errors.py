@@ -93,8 +93,110 @@ class SimulationError(ReproError):
     index out of range, fragment shape mismatch, ...)."""
 
 
+class LaneIndexError(SimulationError):
+    """A warp shuffle was given a source lane / delta outside the warp.
+
+    Structured attributes identify the request precisely (real hardware
+    wraps silently; the simulator refuses instead):
+
+    * ``lane``  — the requesting lane, or ``None`` for a warp-uniform
+      argument such as ``shuffle_down``'s delta,
+    * ``value`` — the offending source lane or delta,
+    * ``warp_id`` — the warp that issued the shuffle.
+    """
+
+    def __init__(self, message, *, lane=None, value=None, warp_id=None):
+        super().__init__(message)
+        self.lane = lane
+        self.value = value
+        self.warp_id = warp_id
+
+
+class MemoryAccessError(SimulationError):
+    """A warp memory access escaped the bounds of a named device array.
+
+    * ``array`` — the registered array name,
+    * ``kind``  — ``"load"`` / ``"store"`` / ``"atomic"``,
+    * ``lane``  — the first offending lane,
+    * ``index`` — the element index that lane requested,
+    * ``size``  — the array's element count.
+    """
+
+    def __init__(self, message, *, array=None, kind=None, lane=None, index=None, size=None):
+        super().__init__(message)
+        self.array = array
+        self.kind = kind
+        self.lane = lane
+        self.index = index
+        self.size = size
+
+
+class SanitizerError(SimulationError):
+    """Base class for violations the SIMT sanitizer detects.
+
+    ``check`` names the violated rule (``"intra-warp-race"``,
+    ``"cross-warp-race"``, ``"lane-ownership"``); ``coord`` is the
+    rule-specific coordinate tuple of the first violation, mirroring the
+    structured :class:`VerificationError`\\ s on the data side.
+    """
+
+    def __init__(self, message, *, check=None, coord=None):
+        super().__init__(message)
+        self.check = check
+        self.coord = coord
+
+
+class RaceError(SanitizerError):
+    """Unsynchronized conflicting accesses to one global-memory address.
+
+    * ``array`` — the device array name,
+    * ``index`` — the conflicted element index,
+    * ``lanes`` — the lanes involved,
+    * ``warps`` — the warp ordinals involved (equal for an intra-warp
+      same-instruction conflict).
+    """
+
+    def __init__(self, message, *, array=None, index=None, lanes=None, warps=None, **kw):
+        super().__init__(message, **kw)
+        self.array = array
+        self.index = index
+        self.lanes = list(lanes) if lanes is not None else []
+        self.warps = list(warps) if warps is not None else []
+
+
 class LayoutError(SimulationError):
     """A fragment register/element mapping was violated."""
+
+
+class LaneOwnershipError(SanitizerError):
+    """A lane touched a fragment element outside its §3 ownership set.
+
+    * ``fragment_kind`` — ``"matrix_a"`` / ``"matrix_b"`` / ``"accumulator"``,
+    * ``lane`` / ``register`` — the offending slot,
+    * ``portion`` — the 8x8 portion the register addresses,
+    * ``expected`` / ``actual`` — the (row, col) the §3 mapping assigns
+      vs. the element the active layout table touched.
+    """
+
+    def __init__(
+        self,
+        message,
+        *,
+        fragment_kind=None,
+        lane=None,
+        register=None,
+        portion=None,
+        expected=None,
+        actual=None,
+        **kw,
+    ):
+        super().__init__(message, **kw)
+        self.fragment_kind = fragment_kind
+        self.lane = lane
+        self.register = register
+        self.portion = portion
+        self.expected = expected
+        self.actual = actual
 
 
 class KernelError(ReproError):

@@ -25,6 +25,13 @@ class ExecutionStats:
     load_transactions: int = 0
     #: 32-byte-sector transactions issued for stores.
     store_transactions: int = 0
+    #: Minimum load sectors a perfectly coalesced access pattern with the
+    #: same active-lane footprint would have issued.  Recorded by the
+    #: lane-level memory model only (analytic profiles leave it at 0), so
+    #: ``load_coalescing`` is meaningful exactly for simulated runs.
+    ideal_load_transactions: int = 0
+    #: Minimum store sectors for a perfectly coalesced pattern.
+    ideal_store_transactions: int = 0
     #: Scalar floating-point operations executed on CUDA cores.
     cuda_flops: int = 0
     #: Integer / logic / address operations on CUDA cores (decode cost).
@@ -63,6 +70,25 @@ class ExecutionStats:
         One 16x16x16 MMA is 2 * 16 * 16 * 16 = 8192 flops.
         """
         return self.cuda_flops + self.mma_ops * 8192
+
+    @property
+    def load_coalescing(self) -> float:
+        """Achieved vs. ideal load-sector ratio (1.0 = fully coalesced).
+
+        Only the lane-level memory model records the ideal counts; when
+        they are absent (analytic profiles) this reports 1.0 rather than
+        claiming an efficiency that was never measured.
+        """
+        if self.ideal_load_transactions == 0 or self.load_transactions == 0:
+            return 1.0
+        return self.ideal_load_transactions / self.load_transactions
+
+    @property
+    def store_coalescing(self) -> float:
+        """Achieved vs. ideal store-sector ratio (1.0 = fully coalesced)."""
+        if self.ideal_store_transactions == 0 or self.store_transactions == 0:
+            return 1.0
+        return self.ideal_store_transactions / self.store_transactions
 
     @property
     def load_efficiency(self) -> float:

@@ -38,6 +38,7 @@ from repro.constants import (
     WARP_SIZE,
 )
 from repro.errors import LayoutError
+from repro.gpu import instrument
 
 __all__ = [
     "FragmentKind",
@@ -46,6 +47,7 @@ __all__ = [
     "element_owner",
     "portion_of_register",
     "registers_of_portion",
+    "index_maps",
     "verify_lane_mapping",
     "PORTION_OFFSETS",
 ]
@@ -124,6 +126,7 @@ def _index_maps(kind: FragmentKind) -> tuple[np.ndarray, np.ndarray]:
     """Precomputed (rows, cols) arrays of shape (32, 8) for a kind."""
     rows = np.empty((WARP_SIZE, REGISTERS_PER_LANE), dtype=np.int64)
     cols = np.empty_like(rows)
+    # lint: ignore[per-lane-loop] -- this loop *builds* the lanewise table
     for lane in range(WARP_SIZE):
         for reg in range(REGISTERS_PER_LANE):
             rows[lane, reg], cols[lane, reg] = lane_register_element(kind, lane, reg)
@@ -131,6 +134,30 @@ def _index_maps(kind: FragmentKind) -> tuple[np.ndarray, np.ndarray]:
 
 
 _MAPS: dict[FragmentKind, tuple[np.ndarray, np.ndarray]] = {k: _index_maps(k) for k in FragmentKind}
+
+
+def index_maps(kind: FragmentKind) -> tuple[np.ndarray, np.ndarray]:
+    """The active (rows, cols) lane/register -> element tables, shape (32, 8).
+
+    ``rows[lane, reg], cols[lane, reg]`` is the fragment element that
+    lane's register addresses.  Returns read-only views of the live
+    tables — the ones :class:`Fragment` itself indexes through — so
+    vectorized callers (e.g. the SpMM panel loader) stay consistent with
+    the fragment layout even under an injected perturbation, where the
+    sanitizer's ownership check flags the mismatch.
+    """
+    rows, cols = _MAPS[kind]
+    r, c = rows.view(), cols.view()
+    r.flags.writeable = False
+    c.flags.writeable = False
+    return r, c
+
+
+def _touch(fragment: "Fragment", registers: tuple[int, ...] | None) -> None:
+    """Report a layout-table consultation to the installed tracer."""
+    tracer = instrument.get_tracer()
+    if tracer is not None:
+        tracer.on_fragment_access(fragment, registers)
 
 
 def verify_lane_mapping() -> None:
@@ -148,6 +175,8 @@ def verify_lane_mapping() -> None:
     for kind in FragmentKind:
         rows, cols = _MAPS[kind]
         seen = np.zeros((FRAGMENT_DIM, FRAGMENT_DIM), dtype=np.int64)
+        # lint: ignore[per-lane-loop] -- re-derives every slot from the
+        # functional mapping on purpose; the table IS the thing under test
         for lane in range(WARP_SIZE):
             for reg in range(REGISTERS_PER_LANE):
                 expected = lane_register_element(kind, lane, reg)
@@ -183,10 +212,12 @@ class Fragment:
     def write_register(self, lane: int, register: int, value: float) -> None:
         """``fragment.x[register] = value`` executed by one lane."""
         lane_register_element(self.kind, lane, register)  # bounds check
+        _touch(self, (register,))
         self.registers[lane, register] = value
 
     def read_register(self, lane: int, register: int) -> float:
         lane_register_element(self.kind, lane, register)
+        _touch(self, (register,))
         return self.registers[lane, register].item()
 
     def warp_write_register(self, register: int, values: np.ndarray) -> None:
@@ -195,10 +226,12 @@ class Fragment:
         if v.shape != (WARP_SIZE,):
             raise LayoutError("warp_write_register expects one value per lane")
         portion_of_register(register)
+        _touch(self, (register,))
         self.registers[:, register] = v.astype(self.dtype)
 
     def warp_read_register(self, register: int) -> np.ndarray:
         portion_of_register(register)
+        _touch(self, (register,))
         return self.registers[:, register].copy()
 
     def fill(self, value: float) -> None:
@@ -208,6 +241,7 @@ class Fragment:
     # -- matrix view --------------------------------------------------------------
     def to_matrix(self) -> np.ndarray:
         """Materialize the 16x16 element view from the register file."""
+        _touch(self, None)
         rows, cols = _MAPS[self.kind]
         out = np.zeros((FRAGMENT_DIM, FRAGMENT_DIM), dtype=self.dtype)
         out[rows, cols] = self.registers
@@ -218,6 +252,7 @@ class Fragment:
         m = np.asarray(matrix)
         if m.shape != (FRAGMENT_DIM, FRAGMENT_DIM):
             raise LayoutError(f"expected 16x16 matrix, got shape {m.shape}")
+        _touch(self, None)
         rows, cols = _MAPS[self.kind]
         self.registers[:, :] = m[rows, cols].astype(self.dtype)
 
@@ -232,6 +267,7 @@ class Fragment:
         if b.shape != (PORTION_DIM, PORTION_DIM):
             raise LayoutError(f"expected 8x8 block, got {b.shape}")
         r0, r1 = registers_of_portion(portion)
+        _touch(self, (r0, r1))
         rows, cols = _MAPS[self.kind]
         dr, dc = PORTION_OFFSETS[self.kind][portion]
         for reg in (r0, r1):

@@ -1,0 +1,71 @@
+"""Opt-in instrumentation seam for the lane-accurate simulator.
+
+The gpu layer stays dependency-free: :mod:`repro.gpu.memory`,
+:mod:`repro.gpu.warp` and :mod:`repro.gpu.fragment` call the hooks of
+whatever :class:`Tracer` is installed here (none by default, so the
+uninstrumented path costs one ``None`` check per simulated instruction).
+The SIMT sanitizer in :mod:`repro.analysis.sanitizer` is the canonical
+tracer; tests may install lightweight ones of their own.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Tracer", "get_tracer", "set_tracer", "tracing"]
+
+
+class Tracer:
+    """No-op base class defining the instrumentation hook points.
+
+    Subclasses override what they need; every hook is called from the
+    simulator's hot path, so implementations should stay vectorized.
+    """
+
+    def on_warp_begin(self, warp) -> None:
+        """A new :class:`~repro.gpu.warp.Warp` started executing."""
+
+    def on_global_access(
+        self, memory, name, kind, indices, mask, itemsize, sectors, ideal_sectors
+    ) -> None:
+        """One warp memory instruction completed its address validation.
+
+        ``kind`` is ``"load"`` / ``"store"`` / ``"atomic"``; ``indices``
+        and ``mask`` are the full-width per-lane arrays; ``sectors`` is
+        the 32-byte-sector transaction count the memory model charged and
+        ``ideal_sectors`` the minimum a perfectly coalesced access of the
+        same active footprint would need.
+        """
+
+    def on_fragment_access(self, fragment, registers) -> None:
+        """A fragment's layout tables were consulted for ``registers``
+        (an iterable of register indices, or ``None`` for all eight)."""
+
+
+_TRACER: Tracer | None = None
+
+
+def get_tracer() -> Tracer | None:
+    """The currently installed tracer, or ``None``."""
+    return _TRACER
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Install ``tracer`` (or remove with ``None``); returns the previous one."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    return previous
+
+
+class tracing:
+    """Context manager installing a tracer for the duration of a block."""
+
+    def __init__(self, tracer: Tracer):
+        self.tracer = tracer
+        self._previous: Tracer | None = None
+
+    def __enter__(self) -> Tracer:
+        self._previous = set_tracer(self.tracer)
+        return self.tracer
+
+    def __exit__(self, *exc) -> None:
+        set_tracer(self._previous)

@@ -5,6 +5,13 @@ The model counts the distinct 32-byte sectors those addresses fall in —
 the same rule NVIDIA hardware uses to split a warp's request into DRAM
 transactions.  Fully coalesced float32 loads by 32 lanes touch 4 sectors;
 a stride-N gather touches up to 32.
+
+Alongside the achieved sector count, every access also records the
+*ideal* count — the minimum sectors a perfectly coalesced access of the
+same active footprint needs — so coalescing efficiency can be read off
+:class:`~repro.gpu.counters.ExecutionStats` directly.  When a tracer is
+installed via :mod:`repro.gpu.instrument`, each access is additionally
+reported lane-by-lane for race and efficiency analysis.
 """
 
 from __future__ import annotations
@@ -12,10 +19,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.constants import SECTOR_BYTES
-from repro.errors import SimulationError
+from repro.errors import MemoryAccessError, RaceError, SimulationError
+from repro.gpu import instrument
 from repro.gpu.counters import ExecutionStats
 
-__all__ = ["sector_count", "GlobalMemory"]
+__all__ = ["sector_count", "ideal_sector_count", "GlobalMemory"]
 
 
 def sector_count(byte_addresses: np.ndarray) -> int:
@@ -24,6 +32,19 @@ def sector_count(byte_addresses: np.ndarray) -> int:
     if a.size == 0:
         return 0
     return int(np.unique(a // SECTOR_BYTES).size)
+
+
+def ideal_sector_count(distinct_elements: int, itemsize: int) -> int:
+    """Minimum sectors any layout of the access's footprint needs.
+
+    The footprint is the set of *distinct* elements the warp touches —
+    a 32-lane broadcast of one word needs a single sector, and a
+    perfectly coalesced unit-stride access packs its ``n`` distinct
+    elements into ``ceil(n * itemsize / 32)`` sectors.
+    """
+    if distinct_elements <= 0:
+        return 0
+    return -(-distinct_elements * itemsize // SECTOR_BYTES)
 
 
 class GlobalMemory:
@@ -60,6 +81,45 @@ class GlobalMemory:
         except KeyError:
             raise SimulationError(f"unknown array {name!r}") from None
 
+    # -- validation helpers --------------------------------------------------
+    def _resolve(
+        self, name: str, kind: str, indices: np.ndarray, mask: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Common bounds checking; returns (arr, idx, mask, active indices)."""
+        arr = self.array(name)
+        idx = np.asarray(indices, dtype=np.int64)
+        if mask is None:
+            mask = np.ones(idx.shape, dtype=bool)
+        else:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != idx.shape:
+                raise SimulationError("mask and indices shapes differ")
+        active = idx[mask]
+        if active.size and (active.min() < 0 or active.max() >= arr.size):
+            lanes = np.flatnonzero(mask & ((idx < 0) | (idx >= arr.size)))
+            lane = int(lanes[0])
+            raise MemoryAccessError(
+                f"out-of-bounds {kind} on {name!r}: lane {lane} requested index "
+                f"{int(idx[lane])} of {arr.size} elements "
+                f"(offending lanes {lanes.tolist()})",
+                array=name, kind=kind, lane=lane, index=int(idx[lane]), size=int(arr.size),
+            )
+        return arr, idx, mask, active
+
+    def _trace(
+        self,
+        name: str,
+        kind: str,
+        idx: np.ndarray,
+        mask: np.ndarray,
+        itemsize: int,
+        sectors: int,
+        ideal: int,
+    ) -> None:
+        tracer = instrument.get_tracer()
+        if tracer is not None:
+            tracer.on_global_access(self, name, kind, idx, mask, itemsize, sectors, ideal)
+
     # -- warp accesses ------------------------------------------------------------
     def warp_load(
         self,
@@ -75,31 +135,18 @@ class GlobalMemory:
         mechanism bitBSR decoding exploits to skip zeros).
         Returns a full-width array with zeros in inactive lanes.
         """
-        arr = self.array(name)
-        idx = np.asarray(indices, dtype=np.int64)
-        if mask is None:
-            mask = np.ones(idx.shape, dtype=bool)
-        else:
-            mask = np.asarray(mask, dtype=bool)
-            if mask.shape != idx.shape:
-                raise SimulationError("mask and indices shapes differ")
-        active = idx[mask]
-        if active.size:
-            if active.min() < 0 or active.max() >= arr.size:
-                lanes = np.flatnonzero(mask & ((idx < 0) | (idx >= arr.size)))
-                raise SimulationError(
-                    f"out-of-bounds load from {name!r} "
-                    f"(index range [{active.min()}, {active.max()}], size {arr.size}, "
-                    f"lanes {lanes.tolist()})"
-                )
+        arr, idx, mask, active = self._resolve(name, "load", indices, mask)
         itemsize = arr.itemsize
         addresses = self._base[name] + active * itemsize
         # hardware fetches cross-sector elements with two transactions
         end_addresses = addresses + itemsize - 1
         sectors = sector_count(np.concatenate([addresses, end_addresses]))
+        ideal = ideal_sector_count(int(np.unique(active).size), itemsize)
         self.stats.global_load_bytes += int(active.size) * itemsize
         self.stats.load_transactions += sectors
+        self.stats.ideal_load_transactions += ideal
         self.stats.warp_instructions += 1
+        self._trace(name, "load", idx, mask, itemsize, sectors, ideal)
         out = np.zeros(idx.shape, dtype=arr.dtype)
         out[mask] = arr[active]
         return out
@@ -112,35 +159,27 @@ class GlobalMemory:
         mask: np.ndarray | None = None,
     ) -> None:
         """Scatter one element per active lane; count bytes + transactions."""
-        arr = self.array(name)
-        idx = np.asarray(indices, dtype=np.int64)
+        arr, idx, mask, active = self._resolve(name, "store", indices, mask)
         vals = np.asarray(values)
-        if mask is None:
-            mask = np.ones(idx.shape, dtype=bool)
-        else:
-            mask = np.asarray(mask, dtype=bool)
-        active = idx[mask]
-        if active.size:
-            if active.min() < 0 or active.max() >= arr.size:
-                lanes = np.flatnonzero(mask & ((idx < 0) | (idx >= arr.size)))
-                raise SimulationError(
-                    f"out-of-bounds store to {name!r} "
-                    f"(index range [{active.min()}, {active.max()}], size {arr.size}, "
-                    f"lanes {lanes.tolist()})"
-                )
-            if np.unique(active).size != active.size:
-                first = int(np.flatnonzero(np.bincount(active) > 1)[0])
-                lanes = np.flatnonzero(mask & (idx == first))
-                raise SimulationError(
-                    f"intra-warp write conflict on {name!r}: lanes {lanes.tolist()} "
-                    f"all store to index {first}"
-                )
+        if active.size and np.unique(active).size != active.size:
+            first = int(np.flatnonzero(np.bincount(active) > 1)[0])
+            lanes = np.flatnonzero(mask & (idx == first))
+            raise RaceError(
+                f"intra-warp write conflict on {name!r}: lanes {lanes.tolist()} "
+                f"all store to index {first} in one warp-step without atomics",
+                array=name, index=first, lanes=lanes.tolist(),
+                check="intra-warp-race", coord=(name, first) + tuple(lanes.tolist()),
+            )
         itemsize = arr.itemsize
         addresses = self._base[name] + active * itemsize
         sectors = sector_count(np.concatenate([addresses, addresses + itemsize - 1]))
+        # store indices are unique (enforced above), so lanes == footprint
+        ideal = ideal_sector_count(int(active.size), itemsize)
         self.stats.global_store_bytes += int(active.size) * itemsize
         self.stats.store_transactions += sectors
+        self.stats.ideal_store_transactions += ideal
         self.stats.warp_instructions += 1
+        self._trace(name, "store", idx, mask, itemsize, sectors, ideal)
         arr[active] = np.asarray(vals[mask], dtype=arr.dtype)
 
     def warp_atomic_add(
@@ -151,21 +190,8 @@ class GlobalMemory:
         mask: np.ndarray | None = None,
     ) -> None:
         """Atomic adds (used by COO/edge-centric kernels); conflicts allowed."""
-        arr = self.array(name)
-        idx = np.asarray(indices, dtype=np.int64)
+        arr, idx, mask, active = self._resolve(name, "atomic", indices, mask)
         vals = np.asarray(values)
-        if mask is None:
-            mask = np.ones(idx.shape, dtype=bool)
-        else:
-            mask = np.asarray(mask, dtype=bool)
-        active = idx[mask]
-        if active.size and (active.min() < 0 or active.max() >= arr.size):
-            lanes = np.flatnonzero(mask & ((idx < 0) | (idx >= arr.size)))
-            raise SimulationError(
-                f"out-of-bounds atomic on {name!r} "
-                f"(index range [{active.min()}, {active.max()}], size {arr.size}, "
-                f"lanes {lanes.tolist()})"
-            )
         itemsize = arr.itemsize
         addresses = self._base[name] + active * itemsize
         sectors = sector_count(np.concatenate([addresses, addresses + itemsize - 1]))
@@ -173,6 +199,10 @@ class GlobalMemory:
         self.stats.global_store_bytes += int(active.size) * itemsize
         self.stats.load_transactions += sectors
         self.stats.store_transactions += sectors
+        ideal = ideal_sector_count(int(np.unique(active).size), itemsize)
+        self.stats.ideal_load_transactions += ideal
+        self.stats.ideal_store_transactions += ideal
         self.stats.atomic_ops += int(active.size)
         self.stats.warp_instructions += 1
+        self._trace(name, "atomic", idx, mask, itemsize, sectors, ideal)
         np.add.at(arr, active, vals[mask].astype(arr.dtype))

@@ -12,7 +12,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.constants import WARP_SIZE
-from repro.errors import SimulationError
+from repro.errors import LaneIndexError, SimulationError
+from repro.gpu import instrument
 from repro.gpu.counters import ExecutionStats
 from repro.gpu.memory import GlobalMemory
 
@@ -29,6 +30,9 @@ class Warp:
         self.lanes = np.arange(WARP_SIZE, dtype=np.int64)
         self.stats = memory.stats
         self.stats.warps_launched += 1
+        tracer = instrument.get_tracer()
+        if tracer is not None:
+            tracer.on_warp_begin(self)
 
     # -- memory ----------------------------------------------------------------
     def load(self, name: str, indices: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
@@ -43,20 +47,40 @@ class Warp:
 
     # -- intra-warp primitives ---------------------------------------------------
     def shuffle(self, values: np.ndarray, source_lane: np.ndarray | int) -> np.ndarray:
-        """``__shfl_sync``: each lane reads ``values`` from another lane."""
+        """``__shfl_sync``: each lane reads ``values`` from another lane.
+
+        ``source_lane`` entries must lie in ``[0, 32)`` — an out-of-range
+        request raises :class:`~repro.errors.LaneIndexError` identifying
+        the requesting lane, instead of the silent modular wraparound
+        numpy indexing (and, with ``width=32``, real hardware) would do.
+        """
         v = self._lanewise(values)
         src = np.broadcast_to(np.asarray(source_lane, dtype=np.int64), (WARP_SIZE,))
         if src.min() < 0 or src.max() >= WARP_SIZE:
             bad = int(np.argmax((src < 0) | (src >= WARP_SIZE)))
-            raise SimulationError(
+            raise LaneIndexError(
                 f"shuffle source lane {int(src[bad])} out of range [0, {WARP_SIZE}) "
-                f"(requested by lane {bad} of warp {self.warp_id})"
+                f"(requested by lane {bad} of warp {self.warp_id})",
+                lane=bad, value=int(src[bad]), warp_id=self.warp_id,
             )
         self.stats.warp_instructions += 1
         return v[src]
 
     def shuffle_down(self, values: np.ndarray, delta: int) -> np.ndarray:
-        """``__shfl_down_sync`` with identity fill past the warp edge."""
+        """``__shfl_down_sync`` with identity fill past the warp edge.
+
+        ``delta`` must lie in ``[0, 32)``: a negative delta would index
+        backwards through numpy wraparound (lane 0 silently reading lane
+        31) and a delta past the warp width is meaningless, so both raise
+        :class:`~repro.errors.LaneIndexError`.
+        """
+        delta = int(delta)
+        if not 0 <= delta < WARP_SIZE:
+            raise LaneIndexError(
+                f"shuffle_down delta {delta} out of range [0, {WARP_SIZE}) "
+                f"(warp {self.warp_id})",
+                value=delta, warp_id=self.warp_id,
+            )
         v = self._lanewise(values)
         src = np.minimum(self.lanes + delta, WARP_SIZE - 1)
         self.stats.warp_instructions += 1

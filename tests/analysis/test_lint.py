@@ -1,0 +1,203 @@
+"""Static-prong tests: each lint rule on synthetic sources, waivers, and
+the requirement that the shipped tree lints clean."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import RULES, format_findings, lint_paths, lint_source
+
+
+def _lint(code):
+    return lint_source(textwrap.dedent(code), path="snippet.py")
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestPerLaneLoop:
+    def test_range_warp_size_flagged(self):
+        findings = _lint(
+            """
+            def f(warp):
+                for lane in range(WARP_SIZE):
+                    warp.count_flops(1)
+            """
+        )
+        assert _rules(findings) == ["per-lane-loop"]
+        assert findings[0].line == 3
+
+    def test_literal_32_flagged(self):
+        assert _rules(_lint("for lane in range(32):\n    pass\n")) == ["per-lane-loop"]
+
+    def test_warp_stride_loop_is_fine(self):
+        # range(0, n, 32) iterates *warps*, not lanes
+        assert _lint("for first in range(0, n, 32):\n    pass\n") == []
+
+    def test_uniform_small_range_is_fine(self):
+        assert _lint("for chunk in range(8):\n    pass\n") == []
+
+
+class TestUnmaskedDivergentAccess:
+    def test_unmasked_load_under_if_flagged(self):
+        findings = _lint(
+            """
+            def f(warp, idx):
+                if idx.any():
+                    warp.load("x", idx)
+            """
+        )
+        assert _rules(findings) == ["unmasked-divergent-access"]
+
+    def test_masked_load_under_if_is_fine(self):
+        assert (
+            _lint(
+                """
+                def f(warp, idx, m):
+                    if m.any():
+                        warp.load("x", idx, mask=m)
+                """
+            )
+            == []
+        )
+
+    def test_positional_mask_counts(self):
+        assert (
+            _lint(
+                """
+                def f(warp, idx, m):
+                    while m.any():
+                        warp.store("y", idx, idx, m)
+                """
+            )
+            == []
+        )
+
+    def test_unmasked_store_in_while_flagged(self):
+        findings = _lint(
+            """
+            def f(memory, idx, v):
+                while True:
+                    memory.warp_store("y", idx, v)
+            """
+        )
+        assert _rules(findings) == ["unmasked-divergent-access"]
+
+    def test_top_level_unmasked_access_is_fine(self):
+        assert _lint('def f(warp, idx):\n    warp.load("x", idx)\n') == []
+
+    def test_unrelated_receivers_ignored(self):
+        assert _lint("def f(pickle, s):\n    if s:\n        pickle.load(s)\n") == []
+
+
+class TestRawMemoryMutation:
+    def test_direct_subscript_assignment_flagged(self):
+        findings = _lint('memory.array("y")[idx] = values\n')
+        assert _rules(findings) == ["raw-memory-mutation"]
+
+    def test_aliased_mutation_flagged(self):
+        findings = _lint(
+            """
+            def f(memory, idx, v):
+                arr = memory.array("y")
+                arr[idx] = v
+            """
+        )
+        assert _rules(findings) == ["raw-memory-mutation"]
+
+    def test_augmented_assignment_flagged(self):
+        findings = _lint(
+            """
+            def f(memory, idx, v):
+                memory.array("y")[idx] += v
+            """
+        )
+        assert _rules(findings) == ["raw-memory-mutation"]
+
+    def test_reading_is_fine(self):
+        assert _lint('y = memory.array("y")[:n].copy()\n') == []
+
+    def test_numpy_array_constructor_ignored(self):
+        assert _lint("a = np.array([1, 2])\na[0] = 3\n") == []
+
+
+class TestFp64Upcast:
+    SCOPED = "from repro.gpu.mma import MMAUnit\n"
+
+    def test_flagged_in_tensor_core_module(self):
+        findings = _lint(self.SCOPED + "acc = values.astype(np.float64)\n")
+        assert _rules(findings) == ["fp64-upcast"]
+
+    def test_module_import_also_scopes(self):
+        findings = _lint(
+            "from repro.gpu import fragment\nacc = np.zeros(4, dtype=np.float64)\n"
+        )
+        assert _rules(findings) == ["fp64-upcast"]
+
+    def test_not_flagged_without_tensor_core_imports(self):
+        assert _lint("acc = values.astype(np.float64)\n") == []
+
+    def test_precision_enum_alone_does_not_scope(self):
+        code = "from repro.gpu.mma import Precision\nref = x.astype(np.float64)\n"
+        assert _lint(code) == []
+
+
+class TestWaivers:
+    def test_standalone_pragma_covers_next_code_line(self):
+        code = (
+            "# lint: ignore[per-lane-loop] -- builds the table\n"
+            "for lane in range(WARP_SIZE):\n"
+            "    pass\n"
+        )
+        assert lint_source(code) == []
+
+    def test_pragma_skips_comment_continuation_lines(self):
+        code = (
+            "# lint: ignore[per-lane-loop] -- justification that is\n"
+            "# long enough to wrap onto a second comment line\n"
+            "for lane in range(WARP_SIZE):\n"
+            "    pass\n"
+        )
+        assert lint_source(code) == []
+
+    def test_trailing_pragma_covers_its_line(self):
+        code = "for lane in range(32):  # lint: ignore[per-lane-loop] -- why\n    pass\n"
+        assert lint_source(code) == []
+
+    def test_pragma_for_other_rule_does_not_waive(self):
+        code = "# lint: ignore[fp64-upcast] -- wrong rule\nfor lane in range(32):\n    pass\n"
+        assert _rules(lint_source(code)) == ["per-lane-loop"]
+
+    def test_unwaived_line_still_flagged(self):
+        code = (
+            "# lint: ignore[per-lane-loop] -- only the first\n"
+            "for lane in range(32):\n"
+            "    for reg in range(32):\n"
+            "        pass\n"
+        )
+        findings = lint_source(code)
+        assert len(findings) == 1
+        assert findings[0].line == 3
+
+
+class TestHarness:
+    def test_parse_error_is_a_finding(self):
+        findings = lint_source("def broken(:\n", path="bad.py")
+        assert _rules(findings) == ["parse-error"]
+
+    def test_format_findings_is_grep_friendly(self):
+        findings = _lint("for lane in range(32):\n    pass\n")
+        line = format_findings(findings)
+        assert line.startswith("snippet.py:1:")
+        assert "[per-lane-loop]" in line
+
+    def test_rules_registry_documents_every_rule(self):
+        findings = _lint("from repro.gpu.mma import MMAUnit\nx = a.astype(np.float64)\n")
+        assert findings and all(f.rule in RULES for f in findings)
+
+    def test_shipped_tree_lints_clean(self):
+        findings = lint_paths([Path(repro.__path__[0])])
+        assert findings == [], format_findings(findings)

@@ -1,0 +1,203 @@
+"""Dynamic-prong tests: race detection, lane ownership, coalescing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Sanitizer, sanitize_kernel, small_suite
+from repro.errors import LaneOwnershipError, MemoryAccessError, RaceError
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.warp import Warp
+from repro.kernels import available_kernels
+from repro.robustness.faults import inject_lane_fault
+
+
+def _warp_with(name="y", size=64):
+    mem = GlobalMemory()
+    mem.register(name, np.zeros(size, dtype=np.float32))
+    return mem, Warp(mem)
+
+
+class TestIntraWarpRace:
+    def test_duplicate_index_store_raises_with_coordinates(self):
+        mem, warp = _warp_with()
+        idx = warp.lanes.copy()
+        idx[5] = idx[9] = 7
+        with pytest.raises(RaceError) as exc:
+            warp.store("y", idx, np.ones(32, dtype=np.float32))
+        err = exc.value
+        assert err.check == "intra-warp-race"
+        assert err.array == "y"
+        assert err.index == 7
+        # lane 7 naturally targets index 7, so three lanes collide
+        assert err.lanes == [5, 7, 9]
+
+    def test_masked_off_duplicates_are_fine(self):
+        mem, warp = _warp_with()
+        idx = np.zeros(32, dtype=np.int64)
+        mask = np.zeros(32, bool)
+        mask[3] = True
+        warp.store("y", idx, np.ones(32, dtype=np.float32), mask=mask)
+        assert mem.array("y")[0] == 1.0
+
+    def test_atomic_duplicates_allowed(self):
+        mem, warp = _warp_with()
+        warp.atomic_add("y", np.zeros(32, dtype=np.int64), np.ones(32, np.float32))
+        assert mem.array("y")[0] == 32.0
+
+
+class TestCrossWarpRace:
+    def _mask(self, lane):
+        m = np.zeros(32, bool)
+        m[lane] = True
+        return m
+
+    def test_store_store_conflict_detected(self):
+        mem = GlobalMemory()
+        mem.register("y", np.zeros(8, dtype=np.float32))
+        with Sanitizer() as san:
+            w1 = Warp(mem, warp_id=0)
+            w1.store("y", np.zeros(32, np.int64), np.ones(32, np.float32), mask=self._mask(0))
+            w2 = Warp(mem, warp_id=1)
+            with pytest.raises(RaceError) as exc:
+                w2.store("y", np.zeros(32, np.int64), np.ones(32, np.float32), mask=self._mask(4))
+        assert exc.value.check == "cross-warp-race"
+        assert exc.value.warps == [0, 1]
+        assert san.report.races
+
+    def test_load_after_foreign_store_detected(self):
+        mem = GlobalMemory()
+        mem.register("y", np.zeros(8, dtype=np.float32))
+        with Sanitizer():
+            w1 = Warp(mem)
+            w1.store("y", np.zeros(32, np.int64), np.ones(32, np.float32), mask=self._mask(0))
+            w2 = Warp(mem)
+            with pytest.raises(RaceError):
+                w2.load("y", np.zeros(32, np.int64), mask=self._mask(1))
+
+    def test_same_warp_reuse_is_ordered(self):
+        mem = GlobalMemory()
+        mem.register("y", np.zeros(8, dtype=np.float32))
+        with Sanitizer() as san:
+            w = Warp(mem)
+            w.store("y", np.zeros(32, np.int64), np.ones(32, np.float32), mask=self._mask(0))
+            w.load("y", np.zeros(32, np.int64), mask=self._mask(0))
+        assert san.report.clean
+
+    def test_cross_warp_atomics_allowed(self):
+        mem = GlobalMemory()
+        mem.register("y", np.zeros(8, dtype=np.float32))
+        with Sanitizer() as san:
+            for _ in range(3):
+                w = Warp(mem)
+                w.atomic_add("y", np.zeros(32, np.int64), np.ones(32, np.float32))
+        assert san.report.clean
+        assert mem.array("y")[0] == 96.0
+
+    def test_reads_never_conflict(self):
+        mem = GlobalMemory()
+        mem.register("x", np.arange(32, dtype=np.float32))
+        with Sanitizer() as san:
+            for _ in range(2):
+                Warp(mem).load("x", np.arange(32, dtype=np.int64))
+        assert san.report.clean
+
+    def test_collect_mode_records_instead_of_raising(self):
+        mem = GlobalMemory()
+        mem.register("y", np.zeros(8, dtype=np.float32))
+        with Sanitizer(halt_on_violation=False) as san:
+            Warp(mem).store("y", np.zeros(32, np.int64), np.ones(32, np.float32), mask=self._mask(0))
+            Warp(mem).store("y", np.zeros(32, np.int64), np.ones(32, np.float32), mask=self._mask(0))
+        assert len(san.report.races) == 1
+        assert not san.report.clean
+        assert "RACE" in san.report.summary()
+
+
+class TestLaneOwnership:
+    def test_injected_lane_fault_is_caught_with_coordinates(self):
+        csr, x = small_suite()["random-40x56"]
+        with inject_lane_fault(seed=3) as fault:
+            with pytest.raises(LaneOwnershipError) as exc:
+                sanitize_kernel("spaden", csr, x)
+        err = exc.value
+        assert err.check == "lane-ownership"
+        assert err.fragment_kind == "accumulator"
+        # the report names one of the two swapped (lane, register) slots
+        lane_a, reg_a, lane_b, reg_b = fault.coord
+        assert (err.lane, err.register) in {(lane_a, reg_a), (lane_b, reg_b)}
+        assert err.portion == err.register // 2
+        assert err.expected != err.actual
+
+    def test_collect_mode_reports_both_swapped_slots(self):
+        csr, x = small_suite()["random-40x56"]
+        with inject_lane_fault(seed=3) as fault:
+            result = sanitize_kernel("spaden", csr, x, halt_on_violation=False)
+        assert not result.clean
+        lane_a, reg_a, lane_b, reg_b = fault.coord
+        slots = {(v.lane, v.register) for v in result.report.ownership_violations}
+        assert slots == {(lane_a, reg_a), (lane_b, reg_b)}
+
+    def test_unperturbed_tables_raise_nothing(self):
+        csr, x = small_suite()["random-40x56"]
+        assert sanitize_kernel("spaden", csr, x).clean
+
+
+class TestCoalescingReport:
+    def test_broadcast_load_is_fully_coalesced(self):
+        mem = GlobalMemory()
+        mem.register("p", np.arange(64, dtype=np.int32))
+        with Sanitizer() as san:
+            Warp(mem).load("p", np.zeros(32, dtype=np.int64))
+        entry = san.report.coalescing[("p", "load")]
+        assert entry.achieved_sectors == entry.ideal_sectors == 1
+        assert entry.efficiency == 1.0
+
+    def test_strided_gather_is_inefficient(self):
+        mem = GlobalMemory()
+        mem.register("v", np.zeros(32 * 16, dtype=np.float32))
+        with Sanitizer() as san:
+            Warp(mem).load("v", np.arange(32, dtype=np.int64) * 16)
+        entry = san.report.coalescing[("v", "load")]
+        assert entry.achieved_sectors == 32  # one sector per lane
+        assert entry.ideal_sectors == 4  # 32 floats fit in 4 sectors
+        assert entry.efficiency == pytest.approx(0.125)
+
+    def test_host_accesses_excluded_from_races_but_counted(self):
+        mem = GlobalMemory()
+        mem.register("y", np.zeros(8, dtype=np.float32))
+        mask = np.zeros(32, bool)
+        mask[0] = True
+        with Sanitizer() as san:
+            # no Warp created yet: host-side access, exempt from race rules
+            mem.warp_store("y", np.zeros(32, np.int64), np.ones(32, np.float32), mask)
+            Warp(mem).store("y", np.zeros(32, np.int64), np.ones(32, np.float32), mask=mask)
+        assert san.report.clean
+        assert san.report.coalescing[("y", "store")].instructions == 2
+
+
+class TestSanitizeKernel:
+    def test_out_of_bounds_reports_lane_and_array(self):
+        mem, warp = _warp_with(size=16)
+        idx = np.zeros(32, dtype=np.int64)
+        idx[21] = 99
+        with pytest.raises(MemoryAccessError) as exc:
+            warp.load("y", idx)
+        err = exc.value
+        assert (err.array, err.kind, err.lane, err.index, err.size) == ("y", "load", 21, 99, 16)
+
+    @pytest.mark.sanitizer
+    @pytest.mark.parametrize("kernel_name", available_kernels())
+    def test_every_kernel_is_sanitizer_clean(self, kernel_name):
+        for csr, x in small_suite().values():
+            result = sanitize_kernel(kernel_name, csr, x)
+            assert result.clean, result.report.summary()
+            assert result.max_error <= 1e-4
+
+    @pytest.mark.sanitizer
+    def test_simulated_paths_are_exercised(self):
+        csr, x = small_suite()["random-93x61"]
+        result = sanitize_kernel("spaden", csr, x)
+        assert result.simulated
+        assert result.report.warps_observed > 0
+        assert result.report.global_accesses > 0
+        assert result.report.fragment_accesses > 0
+        assert 0.0 < result.report.load_efficiency <= 1.0

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.errors import SimulationError
+from repro.errors import LaneIndexError, SimulationError
 from repro.gpu.memory import GlobalMemory
 from repro.gpu.warp import Warp
 
@@ -33,6 +33,32 @@ class TestShuffle:
         with pytest.raises(SimulationError):
             warp.shuffle(np.zeros(32), 32)
 
+    def test_source_bounds_reports_requesting_lane(self):
+        warp = Warp(GlobalMemory(), warp_id=7)
+        src = np.arange(32, dtype=np.int64)
+        src[13] = 41
+        with pytest.raises(LaneIndexError) as exc:
+            warp.shuffle(np.zeros(32), src)
+        assert exc.value.lane == 13
+        assert exc.value.value == 41
+        assert exc.value.warp_id == 7
+
+    def test_negative_source_rejected(self, warp):
+        src = np.arange(32, dtype=np.int64)
+        src[0] = -1
+        with pytest.raises(LaneIndexError) as exc:
+            warp.shuffle(np.zeros(32), src)
+        assert exc.value.lane == 0
+        assert exc.value.value == -1
+
+    def test_shuffle_down_delta_bounds(self):
+        warp = Warp(GlobalMemory(), warp_id=3)
+        for delta in (-1, 32, 100):
+            with pytest.raises(LaneIndexError) as exc:
+                warp.shuffle_down(np.zeros(32), delta)
+            assert exc.value.value == delta
+            assert exc.value.warp_id == 3
+
     def test_shape_enforced(self, warp):
         with pytest.raises(SimulationError):
             warp.shuffle(np.zeros(16), 0)
@@ -46,10 +72,62 @@ class TestBallotReduce:
     def test_ballot_empty(self, warp):
         assert warp.ballot(np.zeros(32, bool)) == 0
 
+    def test_ballot_full_warp(self, warp):
+        assert warp.ballot(np.ones(32, bool)) == (1 << 32) - 1
+
+    def test_ballot_alternating(self, warp):
+        assert warp.ballot(warp.lanes % 2 == 0) == 0x55555555
+
+    def test_ballot_single_high_lane(self, warp):
+        assert warp.ballot(warp.lanes == 31) == 1 << 31
+
+    def test_reduce_sum_single_lane(self, warp):
+        v = np.zeros(32)
+        v[17] = 2.5
+        assert warp.reduce_sum(v) == 2.5
+
     @given(st.lists(st.integers(-100, 100), min_size=32, max_size=32))
     def test_reduce_sum_matches_numpy(self, values):
         warp = Warp(GlobalMemory())
         assert warp.reduce_sum(np.array(values, dtype=np.float64)) == float(sum(values))
+
+
+class TestMaskedAtomicAdd:
+    @pytest.fixture
+    def mem(self):
+        m = GlobalMemory()
+        m.register("y", np.zeros(8, dtype=np.float32))
+        return m
+
+    def test_all_false_mask_is_a_no_op(self, mem):
+        warp = Warp(mem)
+        warp.atomic_add("y", np.zeros(32, dtype=np.int64), np.ones(32, np.float32), mask=np.zeros(32, bool))
+        assert (mem.array("y") == 0).all()
+        assert mem.stats.atomic_ops == 0
+        assert mem.stats.load_transactions == 0
+
+    def test_all_false_mask_skips_bounds_check(self, mem):
+        # predicated-off lanes may hold garbage indices, like real hardware
+        warp = Warp(mem)
+        warp.atomic_add("y", np.full(32, 999, dtype=np.int64), np.ones(32, np.float32), mask=np.zeros(32, bool))
+        assert (mem.array("y") == 0).all()
+
+    def test_single_lane_mask(self, mem):
+        warp = Warp(mem)
+        mask = np.zeros(32, bool)
+        mask[11] = True
+        idx = np.full(32, 3, dtype=np.int64)
+        warp.atomic_add("y", idx, np.full(32, 2.0, np.float32), mask=mask)
+        assert mem.array("y")[3] == 2.0
+        assert mem.stats.atomic_ops == 1
+
+    def test_duplicate_indices_accumulate(self, mem):
+        # atomics serialize conflicting lanes instead of losing updates
+        warp = Warp(mem)
+        idx = np.full(32, 5, dtype=np.int64)
+        warp.atomic_add("y", idx, np.ones(32, np.float32))
+        assert mem.array("y")[5] == 32.0
+        assert mem.stats.atomic_ops == 32
 
 
 class TestAccounting:

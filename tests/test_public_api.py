@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.matrices",
     "repro.apps",
     "repro.bench",
+    "repro.analysis",
 ]
 
 
