@@ -167,8 +167,8 @@ class Sanitizer(Tracer):
     def __init__(self, halt_on_violation: bool = True):
         self.halt_on_violation = halt_on_violation
         self.report = SanitizerReport()
-        #: (array name, element index) -> list of (kind, warp ordinal, lane).
-        self._accesses: dict[tuple[str, int], list[tuple[str, int, int]]] = {}
+        #: (memory id, array name, element index) -> (kind, warp, lane) list.
+        self._accesses: dict[tuple[int, str, int], list[tuple[str, int, int]]] = {}
         self._current_warp = _HOST
         self._seen_ownership: set[tuple[str, int, int]] = set()
         # functional §3 ground truth, independent of the (possibly
@@ -206,11 +206,14 @@ class Sanitizer(Tracer):
         idx = np.asarray(indices, dtype=np.int64)
         for lane in lanes:
             lane = int(lane)
-            element = (name, int(idx[lane]))
+            # keyed per memory instance: distinct GlobalMemory objects are
+            # distinct address spaces (separate launches), and same-named
+            # arrays in them must not alias into false cross-warp races
+            element = (id(memory), name, int(idx[lane]))
             history = self._accesses.setdefault(element, [])
             conflict = self._find_conflict(history, kind, warp)
             if conflict is not None:
-                self._record_race(element, conflict, (kind, warp, lane))
+                self._record_race((name, int(idx[lane])), conflict, (kind, warp, lane))
             history.append((kind, warp, lane))
 
     def on_fragment_access(self, fragment, registers) -> None:

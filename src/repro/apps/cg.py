@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.errors import KernelError
 
-__all__ = ["CGResult", "conjugate_gradient"]
+__all__ = ["CGResult", "conjugate_gradient", "conjugate_gradient_matrix"]
 
 SpMV = Callable[[np.ndarray], np.ndarray]
 
@@ -72,3 +72,31 @@ def conjugate_gradient(
         p = r + (rs_new / rs) * p
         rs = rs_new
     return CGResult(x, max_iterations, history[-1], False, tuple(history))
+
+
+def conjugate_gradient_matrix(
+    matrix,
+    b: np.ndarray,
+    engine=None,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-5,
+    max_iterations: int | None = None,
+    kernel: str = "spaden",
+) -> CGResult:
+    """CG on a sparse matrix, with the SpMV served by the engine.
+
+    ``matrix`` is a :class:`~repro.formats.csr.CSRMatrix` (or anything
+    with ``tocoo``); the engine-bound operator means the format
+    conversion is paid once across all iterations, and an engine passed
+    in shares its operand cache with the caller's other solves.
+    """
+    from repro.engine import SpMVEngine
+    from repro.formats.csr import CSRMatrix
+
+    if not isinstance(matrix, CSRMatrix):
+        matrix = CSRMatrix.from_coo(matrix.tocoo())
+    if engine is None:
+        engine = SpMVEngine(kernel)
+    return conjugate_gradient(
+        engine.operator(matrix), b, x0=x0, tol=tol, max_iterations=max_iterations
+    )

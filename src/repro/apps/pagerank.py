@@ -11,7 +11,7 @@ from repro.errors import KernelError
 from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
 
-__all__ = ["PageRankResult", "pagerank", "transition_matrix"]
+__all__ = ["PageRankResult", "pagerank", "pagerank_matrix", "transition_matrix"]
 
 SpMV = Callable[[np.ndarray], np.ndarray]
 
@@ -64,6 +64,7 @@ def pagerank(
     """
     if not 0.0 < damping < 1.0:
         raise KernelError("damping must lie in (0, 1)")
+    residual = float("inf")
     ranks = np.full(n, 1.0 / n, dtype=np.float32)
     teleport = (1.0 - damping) / n
     for iteration in range(1, max_iterations + 1):
@@ -76,3 +77,35 @@ def pagerank(
         if residual < tol:
             return PageRankResult(ranks, iteration, residual, True)
     return PageRankResult(ranks, max_iterations, residual, False)
+
+
+def pagerank_matrix(
+    adjacency: CSRMatrix | COOMatrix,
+    engine=None,
+    damping: float = 0.85,
+    tol: float = 1e-6,
+    max_iterations: int = 200,
+    kernel: str = "spaden",
+) -> PageRankResult:
+    """PageRank straight from an adjacency matrix, served by the engine.
+
+    Builds the transition matrix and dangling mask, then runs
+    :func:`pagerank` with an engine-bound operator so the bitBSR
+    conversion is paid once for the whole power iteration (pass an
+    existing :class:`~repro.engine.SpMVEngine` to share its cache).
+    """
+    from repro.engine import SpMVEngine
+
+    P = transition_matrix(adjacency)
+    coo = adjacency.tocoo()
+    dangling = np.bincount(coo.rows, minlength=coo.nrows) == 0
+    if engine is None:
+        engine = SpMVEngine(kernel)
+    return pagerank(
+        engine.operator(P),
+        P.nrows,
+        dangling_mask=dangling,
+        damping=damping,
+        tol=tol,
+        max_iterations=max_iterations,
+    )

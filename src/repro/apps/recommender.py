@@ -59,6 +59,59 @@ class ItemRecommender:
         """Recommendation scores ``R @ sim`` for every (user, item)."""
         return spaden_spmm(self._bitbsr, self._similarity, precision=Precision.FP32)
 
+    def _similarity_csr(self):
+        """``sim^T`` as CSR (sparse thanks to top-k truncation), cached."""
+        if getattr(self, "_simT", None) is None:
+            from repro.formats.csr import CSRMatrix
+
+            rows, cols = np.nonzero(self._similarity.T)
+            self._simT = CSRMatrix.from_coo(
+                COOMatrix(
+                    (self.n_items, self.n_items),
+                    rows.astype(np.int32),
+                    cols.astype(np.int32),
+                    self._similarity.T[rows, cols].astype(np.float32),
+                )
+            )
+        return self._simT
+
+    def score_users(self, users, engine=None) -> np.ndarray:
+        """Scores for a batch of users via one engine micro-batch.
+
+        Each user's scores are ``sim^T @ r_u`` with ``r_u`` the user's
+        interaction row; all requests share the truncated-similarity
+        CSR, so the engine folds them into a single ``run_many``.  The
+        default engine uses the FP32 cuSPARSE-CSR path (scores feed a
+        ranking, and FP16 rounding of similarities would reorder
+        near-ties); pass an engine to choose a kernel or share a cache.
+        """
+        from repro.engine import SpMVEngine
+
+        users = np.asarray(users, dtype=np.int64)
+        if users.size and (users.min() < 0 or users.max() >= self.n_users):
+            raise KernelError(f"user index out of range [0, {self.n_users})")
+        if engine is None:
+            engine = SpMVEngine("cusparse-csr")
+        simT = self._similarity_csr()
+        R = self.interactions.todense().astype(np.float32)
+        scores = engine.spmv_many([(simT, R[u]) for u in users])
+        if not scores:
+            return np.zeros((0, self.n_items), dtype=np.float32)
+        return np.stack(scores)
+
+    def recommend_many(
+        self, users, count: int = 5, exclude_seen: bool = True, engine=None
+    ) -> np.ndarray:
+        """Top ``count`` unseen items for each user, scored in one batch."""
+        users = np.asarray(users, dtype=np.int64)
+        scores = self.score_users(users, engine=engine).astype(np.float64)
+        if exclude_seen:
+            for j, user in enumerate(users):
+                seen = self.interactions.rows == user
+                scores[j, self.interactions.cols[seen]] = -np.inf
+        order = np.argsort(scores, axis=1)[:, ::-1]
+        return order[:, :count]
+
     def recommend(self, user: int, count: int = 5, exclude_seen: bool = True) -> np.ndarray:
         """Top ``count`` unseen items for one user."""
         if not 0 <= user < self.n_users:

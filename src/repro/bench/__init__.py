@@ -1,5 +1,6 @@
 """Shared benchmark harness: suite loading, profile caching, reporting."""
 
+from repro.bench.engine import EngineBenchResult, bench_engine
 from repro.bench.harness import (
     EVALUATED_METHODS,
     FIG8_METHODS,
@@ -12,7 +13,9 @@ from repro.bench.harness import (
 
 __all__ = [
     "EVALUATED_METHODS",
+    "EngineBenchResult",
     "FIG8_METHODS",
+    "bench_engine",
     "bench_scale",
     "load_suite",
     "modeled_times",

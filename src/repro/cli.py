@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli formats --matrix cant
     python -m repro.cli verify  --matrix consph [--fault bitmap-bit-flip]
     python -m repro.cli analyze [--kernels spaden,csr-scalar] [--no-lint]
+    python -m repro.cli engine  [--batch 32] [--nrows 2048] [--kernel spaden]
 """
 
 from __future__ import annotations
@@ -43,6 +44,7 @@ def _cmd_table1(args) -> int:
 
 
 def _cmd_spmv(args) -> int:
+    from repro.engine import SpMVEngine, matrix_fingerprint
     from repro.gpu.spec import get_gpu
     from repro.kernels import get_kernel
     from repro.matrices import generate_matrix
@@ -52,8 +54,14 @@ def _cmd_spmv(args) -> int:
     g = generate_matrix(args.matrix, scale=args.scale)
     x = g.dense_vector()
     kernel = get_kernel(args.kernel)
-    prepared = kernel.prepare(g.csr)
-    y = kernel.run(prepared, x)
+    # served through the engine: caching + graceful degradation for free
+    engine = SpMVEngine(args.kernel)
+    y = engine.spmv(g.csr, x)
+    for event in engine.stats.degradation_log:
+        print(f"degraded: {event}")
+    prepared = engine.cache.get((args.kernel, matrix_fingerprint(g.csr)))
+    if prepared is None:  # degraded away from the requested kernel
+        prepared = kernel.prepare(g.csr)
     profile = kernel.profile(prepared, x)
     tb = estimate_time(profile, get_gpu(args.gpu))
     print(f"{args.matrix} (scale={args.scale}): nnz={g.nnz:,}, blocks={g.block_nnz:,}")
@@ -247,6 +255,25 @@ def _cmd_analyze(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_engine(args) -> int:
+    from repro.bench.engine import bench_engine, format_report
+
+    result = bench_engine(
+        args.nrows,
+        args.ncols or args.nrows,
+        args.density,
+        batch=args.batch,
+        rounds=args.rounds,
+        kernel=args.kernel,
+        seed=args.seed,
+    )
+    print(format_report(result))
+    if not result.bitwise_equal:
+        print("FAIL: batched results diverge from per-vector run()")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -297,6 +324,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-lint", action="store_true", help="skip the static lint pass")
     p.add_argument("--no-sanitize", action="store_true", help="skip the dynamic sanitizer pass")
     p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser(
+        "engine",
+        help="benchmark the batched engine: amortized vs cold per-vector "
+        "time and the operand-cache hit curve",
+    )
+    p.add_argument("--nrows", type=int, default=2048)
+    p.add_argument("--ncols", type=int, default=0, help="defaults to --nrows")
+    p.add_argument("--density", type=float, default=0.004)
+    p.add_argument("--batch", type=int, default=32)
+    p.add_argument("--rounds", type=int, default=8)
+    p.add_argument("--kernel", default="spaden")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_engine)
     return parser
 
 

@@ -29,7 +29,13 @@ from repro.gpu.warp import Warp
 from repro.core.extract import extract_result_vector
 from repro.core.pairing import pair_block_rows
 
-__all__ = ["spaden_spmv", "spaden_spmv_simulated", "register_bitbsr_arrays"]
+__all__ = [
+    "spaden_spmv",
+    "spaden_spmv_many",
+    "spaden_spmv_simulated",
+    "spaden_spmv_simulated_many",
+    "register_bitbsr_arrays",
+]
 
 
 def _input_precision(bitbsr: BitBSRMatrix) -> Precision:
@@ -126,3 +132,103 @@ def spaden_spmv(
     products = (vals * xf[cols]).astype(np.float64)
     y = np.bincount(rows, weights=products, minlength=bitbsr.nrows)
     return y.astype(np.float32)[: bitbsr.nrows]
+
+
+def _check_batch(X: np.ndarray, ncols: int) -> np.ndarray:
+    X = np.asarray(X)
+    if X.ndim != 2 or X.shape[1] != ncols:
+        raise KernelError(f"X has shape {X.shape}, expected (k, {ncols})")
+    return X
+
+
+def spaden_spmv_many(
+    bitbsr: BitBSRMatrix,
+    X: np.ndarray,
+    precision: Precision | None = None,
+) -> np.ndarray:
+    """Batched Spaden SpMV: one bitBSR decode shared by every vector.
+
+    ``X`` holds ``k`` input vectors as rows; the result row ``j`` is
+    bitwise-identical to ``spaden_spmv(bitbsr, X[j])`` — the entry
+    coordinates are expanded once, and each vector's per-row sums
+    accumulate over the entries in the same storage order as the
+    single-vector path, so the float64 partials (and their float32
+    rounding) agree exactly.  This is the amortization the batched
+    engine sells: the decode and conversion cost is paid once per batch
+    instead of once per vector.
+    """
+    X = _check_batch(X, bitbsr.ncols)
+    if precision is None:
+        precision = _input_precision(bitbsr)
+    k = X.shape[0]
+    if k == 0:
+        return np.zeros((0, bitbsr.nrows), dtype=np.float32)
+
+    rows, cols = bitbsr.entry_coordinates()  # decoded once for the batch
+    if rows.size == 0 or bitbsr.nrows == 0:
+        return np.zeros((k, bitbsr.nrows), dtype=np.float32)
+    vals = bitbsr.values.astype(np.float32)
+    Xf = X.astype(np.float32)
+    if precision is Precision.FP16:
+        vals = vals.astype(np.float16).astype(np.float32)
+        Xf = Xf.astype(np.float16).astype(np.float32)
+    elif precision is Precision.TF32:
+        from repro.gpu.mma import to_tf32
+
+        vals = to_tf32(vals)
+        Xf = to_tf32(Xf)
+    # lint: ignore[fp64-upcast] -- np.bincount only takes float64 weights;
+    # products are already rounded to the input precision grid
+    products = (vals[None, :] * Xf[:, cols]).astype(np.float64)
+    # One bincount over the combined (vector, row) bins.  Row-major ravel
+    # keeps each vector's entries contiguous and in storage order, so the
+    # accumulation order per bin matches the single-vector bincount.
+    bins = rows[None, :] + np.int64(bitbsr.nrows) * np.arange(k, dtype=np.int64)[:, None]
+    y = np.bincount(bins.ravel(), weights=products.ravel(), minlength=k * bitbsr.nrows)
+    return y.astype(np.float32).reshape(k, bitbsr.nrows)
+
+
+def spaden_spmv_simulated_many(
+    bitbsr: BitBSRMatrix,
+    X: np.ndarray,
+    precision: Precision | None = None,
+    check_overflow: bool = False,
+) -> tuple[np.ndarray, ExecutionStats]:
+    """Run a batch through the lane-accurate simulator; returns (Y, stats).
+
+    The batch is processed *per warp*: the outer loop walks block-row
+    pairs exactly as :func:`spaden_spmv_simulated` does, and each warp
+    replays its Algorithm 2-4 work once per vector (each vector owns its
+    own simulated global memory, so the sanitizer's race detection and
+    the coalescing counters see ``k`` well-formed executions).  The
+    merged counters are therefore exactly ``k`` times the single-vector
+    counters — the analytic-profile identity extends to batches by
+    multiplication.
+    """
+    X = _check_batch(X, bitbsr.ncols)
+    if precision is None:
+        precision = _input_precision(bitbsr)
+    k = X.shape[0]
+    memories = []
+    for j in range(k):
+        memory = GlobalMemory()
+        register_bitbsr_arrays(memory, bitbsr, X[j])
+        memories.append(memory)
+
+    nbrows = bitbsr.block_rows_count
+    for top in range(0, nbrows, 2):
+        bottom = top + 1 if top + 1 < nbrows else None
+        for memory in memories:
+            warp = Warp(memory, warp_id=top // 2)
+            mma_unit = MMAUnit(
+                precision, stats=memory.stats, check_overflow=check_overflow
+            )
+            acc = pair_block_rows(warp, mma_unit, bitbsr, top, bottom)
+            extract_result_vector(warp, acc, top, bottom)
+
+    Y = np.zeros((k, bitbsr.nrows), dtype=np.float32)
+    stats = ExecutionStats()
+    for j, memory in enumerate(memories):
+        Y[j] = memory.array("C_values")[: bitbsr.nrows]
+        stats.merge(memory.stats)
+    return Y, stats

@@ -1,0 +1,137 @@
+"""Keyed LRU cache of :class:`~repro.kernels.base.PreparedOperand`.
+
+Serving traffic means running many SpMVs against a small working set of
+matrices.  ``prepare`` (CSR -> bitBSR conversion, analysis passes) costs
+orders of magnitude more than one ``run``, so the engine keys each
+prepared operand by the *content* of its CSR — two requests carrying
+structurally identical matrices share one conversion, and a matrix that
+changes in place can never serve a stale operand.
+
+The cache is bounded by a **device-bytes budget** (the sum of
+``PreparedOperand.device_bytes`` it keeps resident, modeling GPU memory)
+and evicts least-recently-used entries to stay under it.  Hit, miss and
+eviction counters are surfaced through :class:`CacheStats` so the
+engine's :class:`~repro.engine.engine.EngineStats` can report them the
+way :class:`~repro.gpu.counters.ExecutionStats` reports kernel counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+
+from repro.errors import KernelError
+from repro.formats.csr import CSRMatrix
+from repro.kernels.base import PreparedOperand
+
+__all__ = ["CacheStats", "OperandCache", "matrix_fingerprint"]
+
+#: Default device-bytes budget: 256 MiB, a small slice of either board.
+DEFAULT_CACHE_BYTES: int = 256 * 1024 * 1024
+
+
+def matrix_fingerprint(csr: CSRMatrix) -> str:
+    """Content hash of a CSR matrix (shape + all three arrays).
+
+    Blake2b over the raw bytes: structurally identical matrices map to
+    the same key regardless of object identity, and any in-place edit of
+    pointers, indices or values changes the key.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(repr(csr.shape).encode())
+    for array in (csr.row_pointers, csr.col_indices, csr.values):
+        h.update(array.tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Additive operand-cache counters (``ExecutionStats``-style)."""
+
+    #: Lookups that found a resident operand.
+    hits: int = 0
+    #: Lookups that required a fresh ``prepare``.
+    misses: int = 0
+    #: Entries evicted to respect the device-bytes budget.
+    evictions: int = 0
+    #: Operands larger than the whole budget, served but never retained.
+    rejected: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (1.0 = all hits)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class OperandCache:
+    """LRU cache of prepared operands under a device-bytes budget."""
+
+    def __init__(self, device_bytes_budget: int = DEFAULT_CACHE_BYTES):
+        if device_bytes_budget <= 0:
+            raise KernelError("device_bytes_budget must be positive")
+        self.device_bytes_budget = int(device_bytes_budget)
+        self._entries: OrderedDict[tuple[str, str], PreparedOperand] = OrderedDict()
+        self.stats = CacheStats()
+
+    # -- bookkeeping ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._entries
+
+    @property
+    def resident_bytes(self) -> int:
+        """Device bytes currently held by resident operands."""
+        return sum(op.device_bytes for op in self._entries.values())
+
+    def keys(self) -> list[tuple[str, str]]:
+        """Resident keys, least- to most-recently used."""
+        return list(self._entries)
+
+    # -- access --------------------------------------------------------------
+    def get(self, key: tuple[str, str]) -> PreparedOperand | None:
+        """Fetch an operand, refreshing its recency; counts hit or miss."""
+        operand = self._entries.get(key)
+        if operand is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return operand
+
+    def put(self, key: tuple[str, str], operand: PreparedOperand) -> None:
+        """Insert an operand, evicting LRU entries to honor the budget.
+
+        An operand larger than the entire budget is never retained (it
+        would evict everything and still not fit); it is counted in
+        ``stats.rejected`` and the caller simply keeps its reference for
+        the current execution.
+        """
+        if operand.device_bytes > self.device_bytes_budget:
+            self._entries.pop(key, None)
+            self.stats.rejected += 1
+            return
+        self._entries[key] = operand
+        self._entries.move_to_end(key)
+        while self.resident_bytes > self.device_bytes_budget:
+            evicted_key, _ = self._entries.popitem(last=False)
+            self.stats.evictions += 1
+            if evicted_key == key:  # cannot happen (size checked), safety net
+                break
+
+    def invalidate(self, key: tuple[str, str]) -> bool:
+        """Drop one entry (e.g. a poisoned operand); True if it was resident."""
+        return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        """Drop every resident operand (counters are preserved)."""
+        self._entries.clear()

@@ -1,0 +1,259 @@
+"""Batched SpMV execution engine with operand caching.
+
+The apps layer (PageRank, CG, the recommender) and any serving workload
+issue *streams* of SpMV requests, most of them against matrices they
+have seen before.  A bare ``kernel.prepare() + kernel.run()`` per
+request pays the format conversion every time; :class:`SpMVEngine`
+amortizes it twice over:
+
+* an :class:`~repro.engine.cache.OperandCache` keyed by the CSR's
+  content hash keeps prepared operands resident under a device-bytes
+  budget, so repeat requests skip ``prepare`` entirely;
+* :meth:`SpMVEngine.spmv_many` micro-batches same-matrix requests into
+  one multi-vector :meth:`~repro.kernels.base.SpMVKernel.run_many`
+  execution, so one bitBSR decode (or CSR gather) serves the whole
+  batch.  Results are returned in request order and are bitwise-equal
+  to per-vector :meth:`~repro.kernels.base.SpMVKernel.run` calls.
+
+Every batch honors the PR-1 graceful-degradation contract: a
+:class:`~repro.errors.ReproError` at any stage abandons the kernel,
+records a :class:`~repro.robustness.dispatch.DegradationEvent`, drops
+the (possibly poisoned) cache entry, and advances down the fallback
+chain — degrading throughput, never correctness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, fields
+
+import numpy as np
+
+from repro.errors import KernelError, NumericalError, ReproError
+from repro.engine.cache import DEFAULT_CACHE_BYTES, OperandCache, matrix_fingerprint
+from repro.formats.csr import CSRMatrix
+from repro.gpu.counters import ExecutionStats
+from repro.kernels.base import PreparedOperand, get_kernel
+from repro.robustness.dispatch import DEFAULT_CHAIN, DegradationEvent, _verify_operand
+
+__all__ = ["EngineStats", "SpMVEngine"]
+
+
+@dataclass
+class EngineStats:
+    """Counters for one engine's lifetime (``ExecutionStats``-style)."""
+
+    #: Individual SpMV requests served (one per input vector).
+    requests: int = 0
+    #: ``run_many`` executions issued (one per same-matrix micro-batch).
+    batches: int = 0
+    #: Vectors that rode in a batch of size >= 2 (the amortized ones).
+    batched_vectors: int = 0
+    #: ``prepare`` invocations (cache misses and fallback re-prepares).
+    prepare_calls: int = 0
+    #: Host seconds spent converting formats.
+    prepare_seconds: float = 0.0
+    #: Host seconds spent executing kernels.
+    run_seconds: float = 0.0
+    #: DegradationEvents from abandoned kernel attempts, in order.
+    degradation_log: list = field(default_factory=list)
+    #: Merged simulator counters (populated by ``simulate=True`` runs).
+    execution: ExecutionStats = field(default_factory=ExecutionStats)
+
+    @property
+    def degradations(self) -> int:
+        return len(self.degradation_log)
+
+    @property
+    def amortized_run_seconds(self) -> float:
+        """Mean kernel-execution seconds per served request."""
+        return self.run_seconds / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> dict:
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, ExecutionStats):
+                value = value.as_dict()
+            elif isinstance(value, list):
+                value = list(value)
+            out[f.name] = value
+        return out
+
+
+class SpMVEngine:
+    """Cached, micro-batching SpMV executor over the kernel registry.
+
+    ``kernel`` names the preferred kernel; when ``degrade`` is true the
+    engine extends it into the PR-1 fallback chain (preferred kernel
+    first, then the remaining :data:`~repro.robustness.dispatch.DEFAULT_CHAIN`
+    members) and walks it per batch.  ``deep_verify`` re-runs the deep
+    format verifiers on every freshly prepared operand — cache hits skip
+    it, matching the "amortize verification" contract of PR 1.
+    """
+
+    def __init__(
+        self,
+        kernel: str = "spaden",
+        *,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        chain: tuple[str, ...] | None = None,
+        degrade: bool = True,
+        deep_verify: bool = False,
+    ):
+        get_kernel(kernel)  # fail fast on unknown names
+        self.kernel_name = kernel
+        if chain is not None:
+            self.chain = tuple(chain)
+        elif degrade:
+            self.chain = (kernel,) + tuple(k for k in DEFAULT_CHAIN if k != kernel)
+        else:
+            self.chain = (kernel,)
+        if not self.chain:
+            raise KernelError("empty kernel chain")
+        self.deep_verify = deep_verify
+        self.cache = OperandCache(cache_bytes)
+        self.stats = EngineStats()
+        self._queue: list[tuple[CSRMatrix, np.ndarray]] = []
+
+    # -- operand management --------------------------------------------------
+    def _prepared(self, kernel_name: str, csr: CSRMatrix, fingerprint: str) -> PreparedOperand:
+        """Cache-through prepare: a hit skips both conversion and verify."""
+        key = (kernel_name, fingerprint)
+        operand = self.cache.get(key)
+        if operand is not None:
+            return operand
+        kernel = get_kernel(kernel_name)
+        start = time.perf_counter()
+        operand = kernel.prepare(csr)
+        self.stats.prepare_calls += 1
+        self.stats.prepare_seconds += time.perf_counter() - start
+        if self.deep_verify:
+            _verify_operand(kernel, operand)
+        self.cache.put(key, operand)
+        return operand
+
+    # -- execution -----------------------------------------------------------
+    @staticmethod
+    def _check_batch_result(Y: np.ndarray, shape: tuple[int, int], k: int) -> np.ndarray:
+        Y = np.asarray(Y)
+        if Y.shape != (k, shape[0]):
+            raise NumericalError(f"batch result has shape {Y.shape}, expected ({k}, {shape[0]})")
+        if not np.isfinite(Y).all():
+            j, row = (int(v[0]) for v in np.nonzero(~np.isfinite(Y)))
+            raise NumericalError(f"non-finite batch result: Y[{j}, {row}] = {Y[j, row]!r}")
+        return Y.astype(np.float32)
+
+    def _execute_batch(
+        self, csr: CSRMatrix, fingerprint: str, X: np.ndarray, simulate: bool
+    ) -> np.ndarray:
+        """Run one same-matrix batch down the degradation chain."""
+        events: list[DegradationEvent] = []
+        k = X.shape[0]
+        for i, name in enumerate(self.chain):
+            fallback = self.chain[i + 1] if i + 1 < len(self.chain) else None
+            stage = "prepare"
+            try:
+                kernel = get_kernel(name)
+                prepared = self._prepared(name, csr, fingerprint)
+                stage = "run"
+                start = time.perf_counter()
+                if simulate and hasattr(kernel, "simulate_many"):
+                    Y, xstats = kernel.simulate_many(prepared, X)
+                    self.stats.execution.merge(xstats)
+                else:
+                    Y = kernel.run_many(prepared, X)
+                self.stats.run_seconds += time.perf_counter() - start
+                stage = "check"
+                Y = self._check_batch_result(Y, prepared.shape, k)
+            except ReproError as exc:
+                events.append(
+                    DegradationEvent(name, stage, type(exc).__name__, str(exc), fallback)
+                )
+                # never let a poisoned operand serve the next request
+                self.cache.invalidate((name, fingerprint))
+                continue
+            self.stats.batches += 1
+            if k >= 2:
+                self.stats.batched_vectors += k
+            self.stats.degradation_log.extend(events)
+            return Y
+        summary = "; ".join(f"{e.kernel}/{e.stage}: {e.cause}" for e in events)
+        self.stats.degradation_log.extend(events)
+        raise KernelError(f"all kernels in chain {self.chain} failed ({summary})")
+
+    # -- public API ----------------------------------------------------------
+    def spmv(self, csr: CSRMatrix, x: np.ndarray, *, simulate: bool = False) -> np.ndarray:
+        """Synchronous single SpMV through the cache (batch of one)."""
+        self.stats.requests += 1
+        x = np.asarray(x)
+        if x.ndim != 1 or x.shape[0] != csr.ncols:
+            raise KernelError(f"x has shape {x.shape}, expected ({csr.ncols},)")
+        fingerprint = matrix_fingerprint(csr)
+        Y = self._execute_batch(csr, fingerprint, x[None, :].astype(np.float32), simulate)
+        return Y[0]
+
+    def spmv_many(
+        self,
+        requests: list[tuple[CSRMatrix, np.ndarray]],
+        *,
+        simulate: bool = False,
+    ) -> list[np.ndarray]:
+        """Serve a queue of ``(matrix, x)`` requests with micro-batching.
+
+        Requests carrying content-identical matrices are grouped (in
+        first-seen order, each group's vectors in request order) and
+        executed as one multi-vector ``run_many``; results come back in
+        the original request order and each equals the corresponding
+        per-vector :meth:`spmv` bitwise.
+        """
+        requests = list(requests)
+        self.stats.requests += len(requests)
+        groups: dict[str, dict] = {}
+        for position, (csr, x) in enumerate(requests):
+            x = np.asarray(x)
+            if x.ndim != 1 or x.shape[0] != csr.ncols:
+                raise KernelError(
+                    f"request {position}: x has shape {x.shape}, expected ({csr.ncols},)"
+                )
+            fingerprint = matrix_fingerprint(csr)
+            group = groups.setdefault(fingerprint, {"csr": csr, "positions": [], "xs": []})
+            group["positions"].append(position)
+            group["xs"].append(x.astype(np.float32))
+
+        results: list[np.ndarray | None] = [None] * len(requests)
+        for fingerprint, group in groups.items():
+            X = np.stack(group["xs"]) if group["xs"] else np.zeros((0, 0), np.float32)
+            Y = self._execute_batch(group["csr"], fingerprint, X, simulate)
+            for j, position in enumerate(group["positions"]):
+                results[position] = Y[j]
+        return results
+
+    def submit(self, csr: CSRMatrix, x: np.ndarray) -> int:
+        """Queue one request for the next :meth:`flush`; returns its index."""
+        self._queue.append((csr, np.asarray(x)))
+        return len(self._queue) - 1
+
+    def flush(self, *, simulate: bool = False) -> list[np.ndarray]:
+        """Execute every queued request as micro-batches; clears the queue."""
+        queue, self._queue = self._queue, []
+        return self.spmv_many(queue, simulate=simulate) if queue else []
+
+    def operator(self, csr: CSRMatrix):
+        """Bind a matrix into a plain ``x -> y`` callable for the apps.
+
+        The content hash is computed once; every call reuses the cached
+        operand, so iterative solvers pay ``prepare`` exactly once.
+        """
+        fingerprint = matrix_fingerprint(csr)
+
+        def bound_spmv(x: np.ndarray) -> np.ndarray:
+            self.stats.requests += 1
+            x = np.asarray(x)
+            if x.ndim != 1 or x.shape[0] != csr.ncols:
+                raise KernelError(f"x has shape {x.shape}, expected ({csr.ncols},)")
+            Y = self._execute_batch(csr, fingerprint, x[None, :].astype(np.float32), False)
+            return Y[0]
+
+        bound_spmv.__doc__ = f"Engine-cached SpMV bound to a {csr.shape} matrix."
+        return bound_spmv

@@ -100,6 +100,30 @@ class CSRMatrix(SparseMatrix):
             y[nonempty] = sums.astype(np.float32)
         return y
 
+    def matvec_many(self, X: np.ndarray) -> np.ndarray:
+        """Batched :meth:`matvec`: one column-index gather for ``k`` vectors.
+
+        ``X`` holds one input vector per row; row ``j`` of the result is
+        bitwise-identical to ``matvec(X[j])`` — the per-row segment sums
+        run over the same entries in the same order, just vectorized
+        across the batch.
+        """
+        X = np.asarray(X)
+        if X.ndim != 2 or X.shape[1] != self.ncols:
+            raise FormatError(f"X has shape {X.shape}, expected (k, {self.ncols})")
+        X = X.astype(np.float32)
+        k = X.shape[0]
+        Y = np.zeros((k, self.nrows), dtype=np.float32)
+        if k == 0 or self.nnz == 0:
+            return Y
+        products = self.values[None, :] * X[:, self.col_indices]
+        starts = self.row_pointers[:-1]
+        nonempty = np.flatnonzero(np.diff(self.row_pointers) > 0)
+        if nonempty.size:
+            sums = np.add.reduceat(products.astype(np.float64), starts[nonempty], axis=1)
+            Y[:, nonempty] = sums.astype(np.float32)
+        return Y
+
     # -- verification ---------------------------------------------------------
     def _verify_shallow(self) -> None:
         super()._verify_shallow()

@@ -57,6 +57,13 @@ def occupancy(resources: KernelResources, gpu: GPUSpec) -> OccupancyReport:
         raise SimulationError("threads_per_block must be in (0, 1024]")
     if resources.registers_per_thread <= 0 or resources.registers_per_thread > 255:
         raise SimulationError("registers_per_thread must be in (0, 255]")
+    if resources.shared_bytes_per_block < 0:
+        raise SimulationError("shared_bytes_per_block must be non-negative")
+    if resources.shared_bytes_per_block > SHARED_MEMORY_PER_SM:
+        raise SimulationError(
+            f"shared_bytes_per_block ({resources.shared_bytes_per_block}) exceeds "
+            f"the {SHARED_MEMORY_PER_SM} B shared memory of one SM"
+        )
 
     limits = {
         "blocks": MAX_BLOCKS_PER_SM,
@@ -70,6 +77,10 @@ def occupancy(resources: KernelResources, gpu: GPUSpec) -> OccupancyReport:
     if blocks == 0:
         raise SimulationError("kernel over-subscribes a single SM")
     limiter = min(limits, key=limits.get)
+    # shared memory is the limit the programmer controls most directly;
+    # when it ties another cap, report it as the binding one
+    if limits.get("shared") == limits[limiter]:
+        limiter = "shared"
     warps_per_sm = min(MAX_WARPS_PER_SM, blocks * resources.warps_per_block)
     return OccupancyReport(
         blocks_per_sm=blocks,

@@ -140,6 +140,23 @@ class SpMVKernel(ABC):
     def profile(self, prepared: PreparedOperand, x: np.ndarray) -> KernelProfile:
         """Exact analytic traffic/compute counters for one execution."""
 
+    def run_many(self, prepared: PreparedOperand, X: np.ndarray) -> np.ndarray:
+        """Execute the SpMV for a batch of vectors.
+
+        ``X`` has shape ``(k, ncols)`` (one input vector per row); the
+        result has shape ``(k, nrows)``.  The base implementation is the
+        loop fallback — one :meth:`run` per vector, so results are
+        bitwise-identical to ``k`` independent calls.  Kernels whose
+        format decode can be amortized across the batch (Spaden's bitBSR
+        expansion, the CSR gather) override this with a vectorized path
+        that preserves the per-vector arithmetic exactly.
+        """
+        X = self._check_many(prepared, X)
+        out = np.zeros((X.shape[0], prepared.shape[0]), dtype=np.float32)
+        for j in range(X.shape[0]):
+            out[j] = self.run(prepared, X[j])
+        return out
+
     # -- shared helpers ------------------------------------------------------
     def _check(self, prepared: PreparedOperand, x: np.ndarray) -> np.ndarray:
         if prepared.kernel_name != self.name:
@@ -150,6 +167,19 @@ class SpMVKernel(ABC):
         if x.ndim != 1 or x.shape[0] != prepared.shape[1]:
             raise KernelError(f"x has shape {x.shape}, expected ({prepared.shape[1]},)")
         return x.astype(np.float32)
+
+    def _check_many(self, prepared: PreparedOperand, X: np.ndarray) -> np.ndarray:
+        """Validate a ``(k, ncols)`` batch of input vectors."""
+        if prepared.kernel_name != self.name:
+            raise KernelError(
+                f"operand prepared for {prepared.kernel_name!r} passed to {self.name!r}"
+            )
+        X = np.asarray(X)
+        if X.ndim != 2 or X.shape[1] != prepared.shape[1]:
+            raise KernelError(
+                f"X has shape {X.shape}, expected (k, {prepared.shape[1]})"
+            )
+        return X.astype(np.float32)
 
 
 # -- traffic-counting helpers shared by the analytic profilers ---------------

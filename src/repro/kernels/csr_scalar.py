@@ -53,6 +53,11 @@ class CSRScalarKernel(SpMVKernel):
         x = self._check(prepared, x)
         return prepared.data.matvec(x)
 
+    def run_many(self, prepared: PreparedOperand, X: np.ndarray) -> np.ndarray:
+        """Vectorized batch over the shared CSR gather (bitwise-equal rows)."""
+        X = self._check_many(prepared, X)
+        return prepared.data.matvec_many(X)
+
     def simulate(self, prepared: PreparedOperand, x: np.ndarray):
         """Lane-accurate Algorithm 1: one thread per row, lockstep warps.
 

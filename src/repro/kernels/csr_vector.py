@@ -54,6 +54,11 @@ class CuSparseCSRKernel(SpMVKernel):
         x = self._check(prepared, x)
         return prepared.data.matvec(x)
 
+    def run_many(self, prepared: PreparedOperand, X: np.ndarray) -> np.ndarray:
+        """Vectorized batch over the shared CSR gather (bitwise-equal rows)."""
+        X = self._check_many(prepared, X)
+        return prepared.data.matvec_many(X)
+
     def profile(self, prepared: PreparedOperand, x: np.ndarray) -> KernelProfile:
         csr: CSRMatrix = prepared.data
         self._check(prepared, x)

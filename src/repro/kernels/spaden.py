@@ -25,7 +25,12 @@ import numpy as np
 
 from repro.constants import BLOCK_DIM, BLOCK_SIZE, SECTOR_BYTES, WARP_SIZE
 from repro.core.builder import build_bitbsr
-from repro.core.spmv import spaden_spmv, spaden_spmv_simulated
+from repro.core.spmv import (
+    spaden_spmv,
+    spaden_spmv_many,
+    spaden_spmv_simulated,
+    spaden_spmv_simulated_many,
+)
 from repro.formats.bitbsr import BitBSRMatrix
 from repro.formats.csr import CSRMatrix
 from repro.gpu.counters import ExecutionStats
@@ -81,6 +86,26 @@ class SpadenKernel(SpMVKernel):
     def run(self, prepared: PreparedOperand, x: np.ndarray) -> np.ndarray:
         x = self._check(prepared, x)
         return spaden_spmv(prepared.data, x)
+
+    def run_many(self, prepared: PreparedOperand, X: np.ndarray) -> np.ndarray:
+        """Vectorized batch: one bitBSR decode shared across the vectors.
+
+        Row ``j`` of the result is bitwise-identical to
+        ``run(prepared, X[j])`` (see :func:`repro.core.spmv.spaden_spmv_many`).
+        """
+        X = self._check_many(prepared, X)
+        return spaden_spmv_many(prepared.data, X)
+
+    def simulate_many(
+        self, prepared: PreparedOperand, X: np.ndarray, check_overflow: bool = False
+    ) -> tuple[np.ndarray, ExecutionStats]:
+        """Lane-accurate batched execution, processed per warp.
+
+        Merged counters equal ``k`` times the single-vector counters, so
+        the analytic ``profile`` stays exact per vector for batches.
+        """
+        X = self._check_many(prepared, X)
+        return spaden_spmv_simulated_many(prepared.data, X, check_overflow=check_overflow)
 
     def simulate(
         self, prepared: PreparedOperand, x: np.ndarray, check_overflow: bool = False

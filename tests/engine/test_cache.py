@@ -1,0 +1,143 @@
+"""Operand cache: content keying, LRU order, budget, counters."""
+
+import numpy as np
+import pytest
+
+from repro.engine import OperandCache, SpMVEngine, matrix_fingerprint
+from repro.errors import KernelError
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.kernels.base import PreparedOperand
+
+from tests.conftest import make_random_dense
+
+
+def _operand(name: str, device_bytes: int) -> PreparedOperand:
+    return PreparedOperand(
+        kernel_name="spaden",
+        data=name,
+        shape=(8, 8),
+        nnz=1,
+        device_bytes=device_bytes,
+        preprocessing_seconds=0.0,
+    )
+
+
+def _csr(rng, nrows=40, ncols=40, density=0.1) -> CSRMatrix:
+    return CSRMatrix.from_coo(
+        COOMatrix.from_dense(make_random_dense(rng, nrows, ncols, density))
+    )
+
+
+class TestFingerprint:
+    def test_content_identical_matrices_share_a_key(self, rng):
+        csr = _csr(rng)
+        clone = CSRMatrix(
+            csr.shape,
+            csr.row_pointers.copy(),
+            csr.col_indices.copy(),
+            csr.values.copy(),
+        )
+        assert csr is not clone
+        assert matrix_fingerprint(csr) == matrix_fingerprint(clone)
+
+    def test_value_edit_changes_the_key(self, rng):
+        csr = _csr(rng)
+        before = matrix_fingerprint(csr)
+        csr.values[0] += 1.0
+        assert matrix_fingerprint(csr) != before
+
+    def test_shape_disambiguates_empty_matrices(self):
+        a = CSRMatrix((2, 5), np.zeros(3, np.int64), [], [])
+        b = CSRMatrix((2, 6), np.zeros(3, np.int64), [], [])
+        assert matrix_fingerprint(a) != matrix_fingerprint(b)
+
+
+class TestOperandCache:
+    def test_hit_miss_counters(self):
+        cache = OperandCache(1000)
+        assert cache.get(("spaden", "a")) is None
+        cache.put(("spaden", "a"), _operand("a", 100))
+        assert cache.get(("spaden", "a")).data == "a"
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = OperandCache(300)
+        for name in "abc":
+            cache.put(("spaden", name), _operand(name, 100))
+        cache.get(("spaden", "a"))  # refresh a -> b is now LRU
+        cache.put(("spaden", "d"), _operand("d", 100))
+        assert ("spaden", "b") not in cache
+        assert ("spaden", "a") in cache
+        assert cache.stats.evictions == 1
+        assert cache.keys()[-1] == ("spaden", "d")  # MRU last
+
+    def test_budget_enforced(self):
+        cache = OperandCache(250)
+        for name in "abcdef":
+            cache.put(("spaden", name), _operand(name, 100))
+            assert cache.resident_bytes <= 250
+        assert len(cache) == 2
+
+    def test_oversized_operand_rejected_not_retained(self):
+        cache = OperandCache(100)
+        cache.put(("spaden", "small"), _operand("small", 80))
+        cache.put(("spaden", "huge"), _operand("huge", 101))
+        assert ("spaden", "huge") not in cache
+        assert ("spaden", "small") in cache  # nothing evicted for it
+        assert cache.stats.rejected == 1
+        assert cache.stats.evictions == 0
+
+    def test_invalidate(self):
+        cache = OperandCache(1000)
+        cache.put(("spaden", "a"), _operand("a", 10))
+        assert cache.invalidate(("spaden", "a"))
+        assert not cache.invalidate(("spaden", "a"))
+        assert len(cache) == 0
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(KernelError):
+            OperandCache(0)
+
+
+class TestEngineCacheIntegration:
+    def test_hit_skips_prepare(self, rng, monkeypatch):
+        from repro.kernels.base import get_kernel
+
+        csr = _csr(rng)
+        x = rng.standard_normal(csr.ncols).astype(np.float32)
+        engine = SpMVEngine("spaden")
+        kernel = get_kernel("spaden")
+        calls = []
+        original = type(kernel).prepare
+
+        def counting_prepare(self, matrix):
+            calls.append(1)
+            return original(self, matrix)
+
+        monkeypatch.setattr(type(kernel), "prepare", counting_prepare)
+        for _ in range(5):
+            engine.spmv(csr, x)
+        assert len(calls) == 1
+        assert engine.stats.prepare_calls == 1
+        assert engine.cache.stats.hits == 4 and engine.cache.stats.misses == 1
+
+    def test_distinct_matrices_get_distinct_entries(self, rng):
+        a, b = _csr(rng), _csr(rng)
+        engine = SpMVEngine("spaden")
+        engine.spmv(a, np.ones(a.ncols, np.float32))
+        engine.spmv(b, np.ones(b.ncols, np.float32))
+        assert len(engine.cache) == 2
+        assert engine.stats.prepare_calls == 2
+
+    def test_tiny_budget_thrashes_but_stays_correct(self, rng):
+        a, b = _csr(rng), _csr(rng)
+        engine = SpMVEngine("spaden", cache_bytes=1)  # everything rejected
+        xa = rng.standard_normal(a.ncols).astype(np.float32)
+        ya1 = engine.spmv(a, xa)
+        engine.spmv(b, np.ones(b.ncols, np.float32))
+        ya2 = engine.spmv(a, xa)
+        assert np.array_equal(ya1, ya2)
+        assert len(engine.cache) == 0
+        assert engine.cache.stats.rejected >= 2

@@ -1,0 +1,110 @@
+"""run_many across every kernel, plus degenerate-input consistency.
+
+Two contracts:
+
+* ``run_many`` equals stacked per-vector ``run`` results bitwise for
+  every registered kernel (the base class guarantees it by looping; the
+  vectorized overrides must preserve it);
+* degenerate matrices (``nnz == 0``, zero rows, zero columns) produce a
+  correctly shaped float32 zero ``y`` from ``run``, ``simulate`` and
+  ``run_many`` alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.kernels import available_kernels, get_kernel
+
+from tests.conftest import make_random_dense
+
+
+def _csr(rng, nrows=40, ncols=48, density=0.12) -> CSRMatrix:
+    return CSRMatrix.from_coo(
+        COOMatrix.from_dense(make_random_dense(rng, nrows, ncols, density))
+    )
+
+
+@pytest.mark.parametrize("kernel_name", available_kernels())
+class TestRunManyEveryKernel:
+    def test_matches_stacked_runs_bitwise(self, kernel_name, rng):
+        csr = _csr(rng)
+        kernel = get_kernel(kernel_name)
+        prepared = kernel.prepare(csr)
+        X = rng.standard_normal((5, csr.ncols)).astype(np.float32)
+        Y = kernel.run_many(prepared, X)
+        assert Y.shape == (5, csr.nrows)
+        assert Y.dtype == np.float32
+        for j in range(5):
+            assert np.array_equal(kernel.run(prepared, X[j]), Y[j]), kernel_name
+
+    def test_empty_batch(self, kernel_name, rng):
+        csr = _csr(rng)
+        kernel = get_kernel(kernel_name)
+        prepared = kernel.prepare(csr)
+        Y = kernel.run_many(prepared, np.zeros((0, csr.ncols), np.float32))
+        assert Y.shape == (0, csr.nrows)
+        assert Y.dtype == np.float32
+
+    def test_bad_batch_shape_raises(self, kernel_name, rng):
+        csr = _csr(rng)
+        kernel = get_kernel(kernel_name)
+        prepared = kernel.prepare(csr)
+        with pytest.raises(KernelError):
+            kernel.run_many(prepared, np.zeros(csr.ncols, np.float32))  # 1-D
+        with pytest.raises(KernelError):
+            kernel.run_many(prepared, np.zeros((2, csr.ncols + 3), np.float32))
+
+
+def _degenerate_cases():
+    empty_vals = np.zeros(0, np.float32)
+    empty_cols = np.zeros(0, np.int32)
+    return {
+        "nnz-zero": CSRMatrix((24, 16), np.zeros(25, np.int64), empty_cols, empty_vals),
+        "zero-rows": CSRMatrix((0, 16), np.zeros(1, np.int64), empty_cols, empty_vals),
+        "zero-cols": CSRMatrix((24, 0), np.zeros(25, np.int64), empty_cols, empty_vals),
+    }
+
+
+@pytest.mark.parametrize("kernel_name", available_kernels())
+@pytest.mark.parametrize("case", sorted(_degenerate_cases()))
+class TestDegenerateInputs:
+    def test_zero_result_from_every_entry_point(self, kernel_name, case):
+        csr = _degenerate_cases()[case]
+        kernel = get_kernel(kernel_name)
+        prepared = kernel.prepare(csr)
+        x = np.ones(csr.ncols, np.float32)
+
+        y = kernel.run(prepared, x)
+        assert y.shape == (csr.nrows,) and y.dtype == np.float32
+        assert not y.any()
+
+        X = np.ones((3, csr.ncols), np.float32)
+        Y = kernel.run_many(prepared, X)
+        assert Y.shape == (3, csr.nrows) and Y.dtype == np.float32
+        assert not Y.any()
+
+        if hasattr(kernel, "simulate"):
+            y_sim, stats = kernel.simulate(prepared, x)
+            assert y_sim.shape == (csr.nrows,) and y_sim.dtype == np.float32
+            assert not np.asarray(y_sim).any()
+            assert stats.global_store_bytes >= 0
+
+        if hasattr(kernel, "simulate_many"):
+            Y_sim, _ = kernel.simulate_many(prepared, X)
+            assert Y_sim.shape == (3, csr.nrows) and Y_sim.dtype == np.float32
+            assert not np.asarray(Y_sim).any()
+
+
+class TestSpadenBatchedSimulator:
+    def test_simulate_many_matches_run_many_bitwise(self, rng):
+        csr = _csr(rng, nrows=33, ncols=25)
+        kernel = get_kernel("spaden")
+        prepared = kernel.prepare(csr)
+        X = rng.standard_normal((4, 25)).astype(np.float32)
+        Y_sim, stats = kernel.simulate_many(prepared, X)
+        assert np.array_equal(kernel.run_many(prepared, X), Y_sim)
+        single_stats = kernel.simulate(prepared, X[0])[1]
+        assert stats.warps_launched == 4 * single_stats.warps_launched

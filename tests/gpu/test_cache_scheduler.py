@@ -7,7 +7,9 @@ from repro.errors import SimulationError
 from repro.gpu.cache import CacheStats, SetAssociativeCache, replay_hit_rate
 from repro.gpu.scheduler import (
     KernelResources,
+    MAX_BLOCKS_PER_SM,
     MAX_WARPS_PER_SM,
+    SHARED_MEMORY_PER_SM,
     occupancy,
 )
 from repro.gpu.spec import get_gpu
@@ -96,3 +98,51 @@ class TestOccupancy:
             occupancy(
                 KernelResources(shared_bytes_per_block=200 * 1024), get_gpu("L40")
             )
+
+    def test_negative_shared_rejected(self):
+        with pytest.raises(SimulationError, match="non-negative"):
+            occupancy(KernelResources(shared_bytes_per_block=-500), get_gpu("L40"))
+
+    def test_shared_over_sm_capacity_rejected_with_clear_message(self):
+        with pytest.raises(SimulationError, match="shared memory of one SM"):
+            occupancy(
+                KernelResources(shared_bytes_per_block=SHARED_MEMORY_PER_SM + 1),
+                get_gpu("L40"),
+            )
+
+    def test_shared_exactly_sm_capacity_allowed(self):
+        report = occupancy(
+            KernelResources(shared_bytes_per_block=SHARED_MEMORY_PER_SM),
+            get_gpu("L40"),
+        )
+        assert report.blocks_per_sm == 1
+        assert report.limiter == "shared"
+
+    def test_blocks_limiter_branch(self):
+        # 32-thread blocks: threads allow 48/SM, registers 64, blocks cap 24
+        tiny = KernelResources(threads_per_block=32, registers_per_thread=32)
+        report = occupancy(tiny, get_gpu("L40"))
+        assert report.limiter == "blocks"
+        assert report.blocks_per_sm == MAX_BLOCKS_PER_SM
+
+    def test_threads_limiter_branch(self):
+        wide = KernelResources(threads_per_block=512, registers_per_thread=16)
+        report = occupancy(wide, get_gpu("L40"))
+        assert report.limiter == "threads"
+        assert report.blocks_per_sm == 3
+
+    def test_registers_limiter_branch(self):
+        heavy = KernelResources(threads_per_block=256, registers_per_thread=128)
+        assert occupancy(heavy, get_gpu("L40")).limiter == "registers"
+
+    def test_shared_limiter_branch_and_tie_break(self):
+        # 64 KiB/block -> shared allows 1 block; registers also bind at 1
+        # block for this config, and the tie must be reported as "shared"
+        tied = KernelResources(
+            threads_per_block=512,
+            registers_per_thread=128,
+            shared_bytes_per_block=64 * 1024,
+        )
+        report = occupancy(tied, get_gpu("L40"))
+        assert report.limiter == "shared"
+        assert report.blocks_per_sm == 1

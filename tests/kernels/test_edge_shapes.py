@@ -1,0 +1,82 @@
+"""Regression pins for the unpaired-final-block-row and tiny-shape paths.
+
+Spaden pairs block rows two per warp; an odd block-row count leaves a
+final *unpaired* block row whose warp issues only 2 broadcast pointer
+reads instead of 4.  These tests pin the analytic profile == simulator
+identity (every compared counter, exactly) on the shapes where that
+path and other boundaries are exercised: odd/even block-row counts, a
+single block row, a single warp, and empty matrices.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.kernels import get_kernel
+from repro.matrices.generators import fp16_exact_values
+
+from tests.conftest import make_random_dense
+from tests.kernels.test_profiles import COMPARED_FIELDS
+
+# (nrows, ncols): 1 block row (unpaired), 2 (one full pair), 3 (pair +
+# unpaired), 5 and 7 (odd counts, several warps), non-multiple-of-8 edges
+EDGE_SHAPES = [
+    (8, 16),  # exactly one block row -> one warp, odd
+    (5, 12),  # one partial block row
+    (16, 16),  # one full pair, no unpaired row
+    (24, 16),  # 3 block rows: full pair + unpaired final
+    (17, 9),  # 3 block rows with ragged edges
+    (40, 8),  # 5 block rows
+    (56, 24),  # 7 block rows
+]
+
+
+@pytest.mark.parametrize("nrows,ncols", EDGE_SHAPES)
+class TestUnpairedFinalBlockRow:
+    def test_profile_equals_simulator(self, nrows, ncols, rng):
+        dense = make_random_dense(rng, nrows, ncols, 0.3)
+        csr = CSRMatrix.from_coo(COOMatrix.from_dense(dense))
+        x = fp16_exact_values(rng, ncols)
+        kernel = get_kernel("spaden")
+        prepared = kernel.prepare(csr)
+        profile = kernel.profile(prepared, x)
+        y_sim, simulated = kernel.simulate(prepared, x)
+        for field in COMPARED_FIELDS:
+            assert getattr(profile.stats, field) == getattr(simulated, field), (
+                f"{field} mismatch on {nrows}x{ncols}"
+            )
+        assert np.array_equal(kernel.run(prepared, x), y_sim)
+
+    def test_odd_block_row_count_charges_two_pointer_loads(self, nrows, ncols, rng):
+        """The final unpaired warp reads 2 row pointers, not 4."""
+        dense = make_random_dense(rng, nrows, ncols, 0.3)
+        csr = CSRMatrix.from_coo(COOMatrix.from_dense(dense))
+        kernel = get_kernel("spaden")
+        prepared = kernel.prepare(csr)
+        nbrows = prepared.data.block_rows_count
+        expected_warps = -(-nbrows // 2)
+        profile = kernel.profile(prepared, fp16_exact_values(rng, ncols))
+        assert profile.stats.warps_launched == expected_warps
+
+
+class TestEmptyMatrixProfile:
+    @pytest.mark.parametrize(
+        "shape",
+        [(24, 16), (8, 8), (0, 16), (24, 0)],
+        ids=["nnz-zero", "one-block", "zero-rows", "zero-cols"],
+    )
+    def test_profile_equals_simulator_on_empty(self, shape):
+        nrows, ncols = shape
+        csr = CSRMatrix(
+            shape, np.zeros(nrows + 1, np.int64), np.zeros(0, np.int32), np.zeros(0, np.float32)
+        )
+        kernel = get_kernel("spaden")
+        prepared = kernel.prepare(csr)
+        x = np.ones(ncols, np.float32)
+        profile = kernel.profile(prepared, x)
+        y_sim, simulated = kernel.simulate(prepared, x)
+        for field in COMPARED_FIELDS:
+            assert getattr(profile.stats, field) == getattr(simulated, field), field
+        assert y_sim.shape == (nrows,)
+        assert not np.asarray(y_sim).any()

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.apps",
     "repro.bench",
     "repro.analysis",
+    "repro.engine",
 ]
 
 
