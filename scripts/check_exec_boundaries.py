@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Gate: kernel invocations must route through ``repro.exec``.
+
+Walks the AST of every module under ``src/repro`` (so prose in
+docstrings and comments never trips the gate) and fails on:
+
+* ``hasattr(obj, "simulate")`` / ``"simulate_many"`` / ``"run"`` /
+  ``"run_many"`` anywhere — capability sniffing is what
+  ``KernelCapabilities`` replaced;
+* direct ``.run(`` / ``.run_many(`` / ``.simulate(`` /
+  ``.simulate_many(`` method calls outside ``repro/exec/`` and
+  ``repro/kernels/`` — consumer layers call
+  :func:`repro.exec.execute` instead.
+
+Run from the repo root: ``python scripts/check_exec_boundaries.py``.
+Exits 1 with one line per violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Entry points that must only be invoked from inside the exec layer or
+#: by the kernels themselves (base-class fallbacks, shared helpers).
+ENTRY_POINTS = {"run", "run_many", "simulate", "simulate_many"}
+
+#: Directories allowed to touch kernel entry points directly.
+EXEMPT = ("exec", "kernels")
+
+
+def _violations(path: Path, tree: ast.AST, exempt: bool) -> list[str]:
+    rel = path.relative_to(SRC.parent.parent)
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        # hasattr(obj, "simulate"-like) — banned everywhere.
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "hasattr"
+            and len(node.args) == 2
+            and isinstance(node.args[1], ast.Constant)
+            and node.args[1].value in ENTRY_POINTS
+        ):
+            found.append(
+                f"{rel}:{node.lineno}: hasattr(..., {node.args[1].value!r}) — "
+                f"branch on kernel.capabilities instead"
+            )
+        # obj.run(...)-like — banned outside the exempt packages.
+        if (
+            not exempt
+            and isinstance(func, ast.Attribute)
+            and func.attr in ENTRY_POINTS
+        ):
+            found.append(
+                f"{rel}:{node.lineno}: direct .{func.attr}() call — "
+                f"route through repro.exec.execute"
+            )
+    return found
+
+
+def main() -> int:
+    violations: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        top = path.relative_to(SRC).parts[0]
+        exempt = top in EXEMPT
+        tree = ast.parse(path.read_text(), filename=str(path))
+        violations.extend(_violations(path, tree, exempt))
+    for line in violations:
+        print(line)
+    if violations:
+        print(f"\n{len(violations)} execution-boundary violation(s)", file=sys.stderr)
+        return 1
+    print(f"exec boundaries clean across {sum(1 for _ in SRC.rglob('*.py'))} modules")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -327,29 +327,29 @@ def sanitize_kernel(
     """Run one registered kernel under the sanitizer on a small matrix.
 
     ``prepare`` runs uninstrumented (format conversion is host-side);
-    ``run`` and, where the kernel exposes one, the lane-accurate
-    ``simulate`` path execute with the sanitizer installed.  Kernels
-    whose ``run`` never touches the simulator trivially produce an empty
-    access log — the sanitizer then certifies only their simulated path,
-    which is exactly the part that models warp behavior.
+    the NUMERIC and, where the kernel declares the capability, the
+    SIMULATED observation paths execute through
+    :func:`repro.exec.execute` with the sanitizer installed as a tracer.
+    Kernels whose numeric path never touches the simulator trivially
+    produce an empty access log — the sanitizer then certifies only
+    their simulated path, which is exactly the part that models warp
+    behavior.
     """
+    from repro.exec import ExecutionMode, execute
     from repro.kernels import get_kernel
 
     kernel = get_kernel(kernel_name)
     prepared = kernel.prepare(csr)
     reference = csr.matvec(np.asarray(x, dtype=np.float32))
-    max_error = 0.0
+    sanitizer = Sanitizer(halt_on_violation=halt_on_violation)
+    tracers = (sanitizer,)
+    result = execute(kernel, prepared, x, tracers=tracers)
+    max_error = float(np.abs(result.y - reference).max(initial=0.0))
     simulated = False
-    with Sanitizer(halt_on_violation=halt_on_violation) as sanitizer:
-        y = kernel.run(prepared, x)
-        max_error = float(np.abs(np.asarray(y, dtype=np.float32) - reference).max(initial=0.0))
-        if hasattr(kernel, "simulate"):
-            y_sim, _stats = kernel.simulate(prepared, x)
-            simulated = True
-            max_error = max(
-                max_error,
-                float(np.abs(np.asarray(y_sim, dtype=np.float32) - reference).max(initial=0.0)),
-            )
+    if kernel.capabilities.simulate:
+        sim = execute(kernel, prepared, x, mode=ExecutionMode.SIMULATED, tracers=tracers)
+        simulated = True
+        max_error = max(max_error, float(np.abs(sim.y - reference).max(initial=0.0)))
     return KernelSanitizeResult(
         kernel=kernel_name,
         simulated=simulated,

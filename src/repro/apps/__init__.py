@@ -4,6 +4,13 @@ The paper's introduction motivates SpMV through graph analytics
 (PageRank, BFS) and iterative numerical methods; these modules implement
 those workloads generically over any SpMV callable so every kernel in
 :mod:`repro.kernels` — Spaden included — can drive them.
+
+The engine-bound entry points (``pagerank_engine``, ``cg`` with a
+default engine, the recommender's ``score_users``) inherit the unified
+execution layer transitively: :class:`~repro.engine.SpMVEngine` routes
+every batch through :func:`repro.exec.execute_chain`, so the apps get
+capability-gated simulation and graceful degradation without touching
+kernels directly (see ``docs/architecture.md``).
 """
 
 from repro.apps.pagerank import pagerank

@@ -89,12 +89,14 @@ def bench_engine(
     """Time ``batch`` cold calls against one engine micro-batch.
 
     The cold path re-prepares the operand per vector, mirroring an
-    application that calls ``kernel.prepare`` + ``kernel.run`` for each
+    application that issues one uncached :func:`repro.exec.execute` per
     request.  The batched path issues the same requests through one
     :meth:`~repro.engine.SpMVEngine.spmv_many`.  Results are compared
     bitwise; the returned :class:`EngineBenchResult` carries both totals
     and the cache-hit curve of ``rounds`` follow-up warm requests.
     """
+    from repro.exec import execute
+
     csr = CSRMatrix.from_coo(random_coo(nrows, ncols, density, seed=seed))
     rng = np.random.default_rng(seed + 1)
     vectors = [rng.standard_normal(ncols).astype(np.float32) for _ in range(batch)]
@@ -103,8 +105,7 @@ def bench_engine(
     start = time.perf_counter()
     cold_results = []
     for x in vectors:
-        prepared = kern.prepare(csr)
-        cold_results.append(kern.run(prepared, x))
+        cold_results.append(execute(kern, csr, x).y)
     cold_seconds = time.perf_counter() - start
 
     engine = SpMVEngine(kernel)

@@ -22,7 +22,6 @@ import warnings
 from pathlib import Path
 
 from repro.gpu.spec import get_gpu
-from repro.kernels import get_kernel
 from repro.kernels.base import KernelProfile
 from repro.matrices import GeneratedMatrix, generate_matrix, in_scope_names
 from repro.perf import estimate_time
@@ -133,9 +132,10 @@ def _cached_profile(matrix: GeneratedMatrix, method: str, scale: float) -> Kerne
         if profile is not None:
             return profile
         path.unlink(missing_ok=True)
-    kernel = get_kernel(method)
-    prepared = kernel.prepare(matrix.csr)
-    profile = kernel.profile(prepared, matrix.dense_vector())
+    from repro.exec import ExecutionMode, execute
+
+    result = execute(method, matrix.csr, matrix.dense_vector(), mode=ExecutionMode.PROFILED)
+    profile = result.profile
     _CACHE_DIR.mkdir(exist_ok=True)
     path.write_bytes(pickle.dumps({"version": _CACHE_VERSION, "profile": profile}))
     return profile

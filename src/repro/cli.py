@@ -45,6 +45,7 @@ def _cmd_table1(args) -> int:
 
 def _cmd_spmv(args) -> int:
     from repro.engine import SpMVEngine, matrix_fingerprint
+    from repro.exec import ExecutionMode, execute
     from repro.gpu.spec import get_gpu
     from repro.kernels import get_kernel
     from repro.matrices import generate_matrix
@@ -59,10 +60,11 @@ def _cmd_spmv(args) -> int:
     y = engine.spmv(g.csr, x)
     for event in engine.stats.degradation_log:
         print(f"degraded: {event}")
-    prepared = engine.cache.get((args.kernel, matrix_fingerprint(g.csr)))
-    if prepared is None:  # degraded away from the requested kernel
-        prepared = kernel.prepare(g.csr)
-    profile = kernel.profile(prepared, x)
+    operand = engine.cache.get((args.kernel, matrix_fingerprint(g.csr)))
+    # PROFILED mode: the numeric run plus the exact analytic counters
+    profiled = execute(kernel, operand if operand is not None else g.csr, x,
+                       mode=ExecutionMode.PROFILED)
+    prepared, profile = profiled.operand, profiled.profile
     tb = estimate_time(profile, get_gpu(args.gpu))
     print(f"{args.matrix} (scale={args.scale}): nnz={g.nnz:,}, blocks={g.block_nnz:,}")
     print(f"kernel: {kernel.label}  format bytes: {prepared.device_bytes:,} ({prepared.bytes_per_nnz:.2f} B/nnz)")

@@ -15,11 +15,12 @@ amortizes it twice over:
   batch.  Results are returned in request order and are bitwise-equal
   to per-vector :meth:`~repro.kernels.base.SpMVKernel.run` calls.
 
-Every batch honors the PR-1 graceful-degradation contract: a
+Every batch honors the PR-1 graceful-degradation contract: batches run
+through :func:`repro.exec.execute_chain` — a
 :class:`~repro.errors.ReproError` at any stage abandons the kernel,
-records a :class:`~repro.robustness.dispatch.DegradationEvent`, drops
-the (possibly poisoned) cache entry, and advances down the fallback
-chain — degrading throughput, never correctness.
+records a :class:`~repro.exec.DegradationEvent`, drops the (possibly
+poisoned) cache entry, and advances down the fallback chain — degrading
+throughput, never correctness.
 """
 
 from __future__ import annotations
@@ -29,12 +30,18 @@ from dataclasses import dataclass, field, fields
 
 import numpy as np
 
-from repro.errors import KernelError, NumericalError, ReproError
+from repro.errors import KernelError
 from repro.engine.cache import DEFAULT_CACHE_BYTES, OperandCache, matrix_fingerprint
+from repro.exec import (
+    ChainExhaustedError,
+    ExecutionMode,
+    default_chain,
+    execute_chain,
+    verify_operand,
+)
 from repro.formats.csr import CSRMatrix
 from repro.gpu.counters import ExecutionStats
 from repro.kernels.base import PreparedOperand, get_kernel
-from repro.robustness.dispatch import DEFAULT_CHAIN, DegradationEvent, _verify_operand
 
 __all__ = ["EngineStats", "SpMVEngine"]
 
@@ -86,8 +93,9 @@ class SpMVEngine:
 
     ``kernel`` names the preferred kernel; when ``degrade`` is true the
     engine extends it into the PR-1 fallback chain (preferred kernel
-    first, then the remaining :data:`~repro.robustness.dispatch.DEFAULT_CHAIN`
-    members) and walks it per batch.  ``deep_verify`` re-runs the deep
+    first, then the remaining registry-derived
+    :func:`~repro.exec.default_chain` members) and walks it per batch.
+    ``deep_verify`` re-runs the deep
     format verifiers on every freshly prepared operand — cache hits skip
     it, matching the "amortize verification" contract of PR 1.
     """
@@ -106,7 +114,7 @@ class SpMVEngine:
         if chain is not None:
             self.chain = tuple(chain)
         elif degrade:
-            self.chain = (kernel,) + tuple(k for k in DEFAULT_CHAIN if k != kernel)
+            self.chain = (kernel,) + tuple(k for k in default_chain() if k != kernel)
         else:
             self.chain = (kernel,)
         if not self.chain:
@@ -129,58 +137,51 @@ class SpMVEngine:
         self.stats.prepare_calls += 1
         self.stats.prepare_seconds += time.perf_counter() - start
         if self.deep_verify:
-            _verify_operand(kernel, operand)
+            verify_operand(kernel, operand)
         self.cache.put(key, operand)
         return operand
 
     # -- execution -----------------------------------------------------------
-    @staticmethod
-    def _check_batch_result(Y: np.ndarray, shape: tuple[int, int], k: int) -> np.ndarray:
-        Y = np.asarray(Y)
-        if Y.shape != (k, shape[0]):
-            raise NumericalError(f"batch result has shape {Y.shape}, expected ({k}, {shape[0]})")
-        if not np.isfinite(Y).all():
-            j, row = (int(v[0]) for v in np.nonzero(~np.isfinite(Y)))
-            raise NumericalError(f"non-finite batch result: Y[{j}, {row}] = {Y[j, row]!r}")
-        return Y.astype(np.float32)
-
     def _execute_batch(
         self, csr: CSRMatrix, fingerprint: str, X: np.ndarray, simulate: bool
     ) -> np.ndarray:
-        """Run one same-matrix batch down the degradation chain."""
-        events: list[DegradationEvent] = []
+        """Run one same-matrix batch down the degradation chain.
+
+        The chain walk itself lives in :func:`repro.exec.execute_chain`;
+        the engine contributes its cache-through ``prepare`` hook and the
+        poisoned-entry eviction on abandoned attempts.
+        """
         k = X.shape[0]
-        for i, name in enumerate(self.chain):
-            fallback = self.chain[i + 1] if i + 1 < len(self.chain) else None
-            stage = "prepare"
-            try:
-                kernel = get_kernel(name)
-                prepared = self._prepared(name, csr, fingerprint)
-                stage = "run"
-                start = time.perf_counter()
-                if simulate and hasattr(kernel, "simulate_many"):
-                    Y, xstats = kernel.simulate_many(prepared, X)
-                    self.stats.execution.merge(xstats)
-                else:
-                    Y = kernel.run_many(prepared, X)
-                self.stats.run_seconds += time.perf_counter() - start
-                stage = "check"
-                Y = self._check_batch_result(Y, prepared.shape, k)
-            except ReproError as exc:
-                events.append(
-                    DegradationEvent(name, stage, type(exc).__name__, str(exc), fallback)
-                )
+
+        def pick_mode(kernel) -> ExecutionMode:
+            # simulate only where one simulated decode serves the whole
+            # batch; a kernel without the batched simulator runs the
+            # plain numeric batch path, exactly as before
+            if simulate and kernel.capabilities.simulate_batch:
+                return ExecutionMode.SIMULATED
+            return ExecutionMode.NUMERIC
+
+        try:
+            result = execute_chain(
+                csr,
+                X,
+                self.chain,
+                mode=pick_mode,
+                prepare=lambda name: self._prepared(name, csr, fingerprint),
                 # never let a poisoned operand serve the next request
-                self.cache.invalidate((name, fingerprint))
-                continue
-            self.stats.batches += 1
-            if k >= 2:
-                self.stats.batched_vectors += k
-            self.stats.degradation_log.extend(events)
-            return Y
-        summary = "; ".join(f"{e.kernel}/{e.stage}: {e.cause}" for e in events)
-        self.stats.degradation_log.extend(events)
-        raise KernelError(f"all kernels in chain {self.chain} failed ({summary})")
+                invalidate=lambda name: self.cache.invalidate((name, fingerprint)),
+            )
+        except ChainExhaustedError as exc:
+            self.stats.degradation_log.extend(exc.events)
+            raise
+        self.stats.run_seconds += result.run_seconds
+        self.stats.batches += 1
+        if k >= 2:
+            self.stats.batched_vectors += k
+        self.stats.degradation_log.extend(result.events)
+        if result.stats is not None:
+            self.stats.execution.merge(result.stats)
+        return result.y
 
     # -- public API ----------------------------------------------------------
     def spmv(self, csr: CSRMatrix, x: np.ndarray, *, simulate: bool = False) -> np.ndarray:

@@ -1,0 +1,81 @@
+"""The pluggable execution layer — one seam for every kernel invocation.
+
+The repo observes one algorithm three ways (numeric §4.3, lane-accurate
+§3, analytic §5); this package is the single place where an observation
+path is chosen and run:
+
+* :class:`ExecutionMode` names the paths; :class:`KernelCapabilities`
+  (declared per kernel, enforced at registration) says which exist —
+  callers branch on declared flags, never on attribute sniffing;
+* :func:`execute` runs one kernel through the prepare / verify / run /
+  check stage machine, with tracer installation and fault injection as
+  composable middleware;
+* :func:`execute_chain` + :func:`default_chain` walk the
+  capability-derived graceful-degradation chain;
+* future backends (sharded, async, real-GPU) plug in behind the same
+  ``execute`` signature.
+
+See ``docs/architecture.md`` for the design and migration notes.
+
+Only :mod:`repro.exec.modes` loads eagerly — it is the dependency root
+:mod:`repro.kernels.base` imports, so the rest of the package (which
+imports the kernel registry back) resolves lazily via PEP 562.
+"""
+
+from repro.exec.modes import ExecutionMode, KernelCapabilities
+
+__all__ = [
+    "ChainExhaustedError",
+    "DegradationEvent",
+    "ExecutionMode",
+    "ExecutionResult",
+    "KernelCapabilities",
+    "OperandFault",
+    "TracerStack",
+    "apply_faults",
+    "check_result",
+    "default_chain",
+    "execute",
+    "execute_chain",
+    "install_tracers",
+    "spmv",
+    "verify_operand",
+]
+
+#: attribute -> defining submodule, resolved on first access
+_LAZY = {
+    "ChainExhaustedError": "repro.exec.chain",
+    "default_chain": "repro.exec.chain",
+    "execute_chain": "repro.exec.chain",
+    "check_result": "repro.exec.executor",
+    "execute": "repro.exec.executor",
+    "verify_operand": "repro.exec.executor",
+    "OperandFault": "repro.exec.middleware",
+    "TracerStack": "repro.exec.middleware",
+    "apply_faults": "repro.exec.middleware",
+    "install_tracers": "repro.exec.middleware",
+    "DegradationEvent": "repro.exec.result",
+    "ExecutionResult": "repro.exec.result",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def spmv(csr, x, kernel: str = "spaden", *, mode: ExecutionMode = ExecutionMode.NUMERIC):
+    """One-shot convenience: prepare + execute ``kernel`` on ``(csr, x)``.
+
+    Returns the :class:`ExecutionResult`; use :func:`execute` directly
+    to reuse a prepared operand across calls.
+    """
+    from repro.exec.executor import execute
+
+    return execute(kernel, csr, x, mode=mode)

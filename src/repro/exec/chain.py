@@ -1,0 +1,129 @@
+"""Capability-derived fallback chains and the chain walker.
+
+:func:`default_chain` derives the graceful-degradation order from the
+kernel registry instead of a hardcoded name tuple: every kernel
+declaring a ``fallback_tier`` participates, sorted by tier (tensor-core
+kernels hold the low tiers, the always-works scalar baseline the
+highest), so registering a kernel cannot silently desync the chain.
+
+:func:`execute_chain` walks a chain through :func:`repro.exec.execute`,
+recording a :class:`~repro.exec.result.DegradationEvent` per abandoned
+attempt.  Hooks let the engine keep its cache-through prepare
+(``prepare=``) and poisoned-entry eviction (``invalidate=``) without
+reimplementing the walk.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Union
+
+import numpy as np
+
+from repro.errors import KernelError, ReproError
+from repro.exec.executor import Operand, execute
+from repro.exec.middleware import FaultHook
+from repro.exec.modes import ExecutionMode
+from repro.exec.result import DegradationEvent, ExecutionResult
+from repro.formats.csr import CSRMatrix
+from repro.gpu.instrument import Tracer
+from repro.kernels.base import PreparedOperand, get_kernel, registered_kernels
+
+__all__ = ["ChainExhaustedError", "default_chain", "execute_chain"]
+
+#: Either a fixed mode for the whole chain or a per-kernel chooser
+#: (called with the kernel instance) — the engine uses the latter to
+#: simulate only on kernels with a natively batched simulator.
+ModeSpec = Union[ExecutionMode, Callable[["object"], ExecutionMode]]
+
+
+class ChainExhaustedError(KernelError):
+    """Every kernel in a chain failed; carries the degradation events."""
+
+    def __init__(self, message: str, events: list[DegradationEvent]):
+        super().__init__(message)
+        self.events = events
+
+
+def default_chain() -> tuple[str, ...]:
+    """The fallback chain the registry implies, fastest first.
+
+    Kernels with ``capabilities.fallback_tier`` set, ordered by tier
+    (then name, for reproducibility on ties).  Importing
+    :mod:`repro.kernels` here guarantees every built-in kernel has
+    registered before the chain is read.
+    """
+    import repro.kernels  # noqa: F401  (side effect: registry population)
+
+    members = [
+        (cls.capabilities.fallback_tier, name)
+        for name, cls in registered_kernels().items()
+        if cls.capabilities.fallback_tier is not None
+    ]
+    return tuple(name for _tier, name in sorted(members))
+
+
+def execute_chain(
+    csr: CSRMatrix,
+    x: np.ndarray,
+    chain: Sequence[str] | None = None,
+    *,
+    mode: ModeSpec = ExecutionMode.NUMERIC,
+    tracers: Sequence[Tracer] = (),
+    faults: Sequence[FaultHook] = (),
+    check_overflow: bool = False,
+    deep_verify: bool = False,
+    prepare: Callable[[str], PreparedOperand] | None = None,
+    invalidate: Callable[[str], None] | None = None,
+) -> ExecutionResult:
+    """Walk ``chain`` through :func:`~repro.exec.execute` until one wins.
+
+    Each attempt re-prepares from the pristine ``csr`` (or asks the
+    ``prepare`` hook, which cache-through callers use), so a corrupted
+    operand never contaminates the next kernel's attempt.  A failing
+    attempt is recorded as a :class:`DegradationEvent` — with the stage
+    the executor tagged on the exception — and ``invalidate`` (if given)
+    is told to drop any cached state for that kernel.
+
+    The returned result carries the accumulated ``events`` and the full
+    ``attempts`` list.  Raises :class:`ChainExhaustedError` (a
+    :class:`~repro.errors.KernelError`) only if every kernel fails.
+    """
+    if chain is None:
+        chain = default_chain()
+    if not chain:
+        raise KernelError("empty kernel chain")
+
+    events: list[DegradationEvent] = []
+    attempts: list[str] = []
+    for i, name in enumerate(chain):
+        fallback = chain[i + 1] if i + 1 < len(chain) else None
+        attempts.append(name)
+        try:
+            kernel = get_kernel(name)
+            operand: Operand = prepare(name) if prepare is not None else csr
+            result = execute(
+                kernel,
+                operand,
+                x,
+                mode=mode(kernel) if callable(mode) else mode,
+                tracers=tracers,
+                faults=faults,
+                check_overflow=check_overflow,
+                deep_verify=deep_verify,
+            )
+        except ReproError as exc:
+            stage = getattr(exc, "exec_stage", "prepare")
+            events.append(
+                DegradationEvent(name, stage, type(exc).__name__, str(exc), fallback)
+            )
+            if invalidate is not None:
+                invalidate(name)
+            continue
+        result.events = events
+        result.attempts = attempts
+        return result
+
+    summary = "; ".join(f"{e.kernel}/{e.stage}: {e.cause}" for e in events)
+    raise ChainExhaustedError(
+        f"all kernels in chain {tuple(chain)} failed ({summary})", events
+    )

@@ -1,0 +1,172 @@
+"""``execute()`` — the single entry point for one kernel invocation.
+
+Every consumer layer (engine, degradation dispatcher, sanitizer, bench,
+CLI, apps) routes kernel invocations through here instead of calling
+``kernel.run`` / ``kernel.simulate`` / ``kernel.profile`` directly.  The
+call runs the PR-1 stage machine for one kernel —
+
+``prepare``
+    resolve the kernel, convert the matrix (skipped for a
+    pre-:class:`~repro.kernels.base.PreparedOperand`), apply fault hooks,
+``verify``
+    (opt-in) deep-verify every sparse matrix inside the operand, and for
+    tensor-core kernels check the live fragment tables against §3,
+``run``
+    the mode-selected entry point with any tracers installed,
+``check``
+    reject a non-finite or mis-shaped result
+
+— and tags any :class:`~repro.errors.ReproError` with the stage it
+surfaced in (``exc.exec_stage``) so chain walkers can attribute
+degradations without wrapping each stage themselves.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.errors import KernelError, NumericalError, ReproError
+from repro.exec.middleware import FaultHook, apply_faults, install_tracers
+from repro.exec.modes import ExecutionMode
+from repro.exec.result import ExecutionResult
+from repro.formats.base import SparseMatrix
+from repro.formats.csr import CSRMatrix
+from repro.gpu.fragment import verify_lane_mapping
+from repro.gpu.instrument import Tracer
+from repro.kernels.base import PreparedOperand, SpMVKernel, get_kernel
+
+__all__ = ["check_result", "execute", "verify_operand"]
+
+KernelRef = Union[str, SpMVKernel]
+Operand = Union[CSRMatrix, PreparedOperand]
+
+
+def _operand_matrices(prepared: PreparedOperand):
+    """Every SparseMatrix inside a prepared operand (data may be a tuple)."""
+    data = prepared.data
+    items = data if isinstance(data, (tuple, list)) else (data,)
+    return [m for m in items if isinstance(m, SparseMatrix)]
+
+
+def verify_operand(kernel: SpMVKernel, prepared: PreparedOperand) -> None:
+    """The pre-flight ``verify`` stage: deep format + lane-mapping checks."""
+    for matrix in _operand_matrices(prepared):
+        matrix.verify(deep=True)
+    if kernel.uses_tensor_cores:
+        verify_lane_mapping()
+
+
+def check_result(y: np.ndarray, shape: tuple[int, int], k: int | None = None) -> np.ndarray:
+    """The ``check`` stage: reject mis-shaped or non-finite results.
+
+    ``k is None`` validates a single ``(nrows,)`` vector; otherwise a
+    ``(k, nrows)`` batch.  Returns the result as float32.
+    """
+    y = np.asarray(y)
+    if k is None:
+        if y.shape != (shape[0],):
+            raise NumericalError(f"result has shape {y.shape}, expected ({shape[0]},)")
+        if not np.isfinite(y).all():
+            row = int(np.flatnonzero(~np.isfinite(y))[0])
+            raise NumericalError(f"non-finite result: y[{row}] = {y[row]!r}")
+    else:
+        if y.shape != (k, shape[0]):
+            raise NumericalError(
+                f"batch result has shape {y.shape}, expected ({k}, {shape[0]})"
+            )
+        if not np.isfinite(y).all():
+            j, row = (int(v[0]) for v in np.nonzero(~np.isfinite(y)))
+            raise NumericalError(f"non-finite batch result: Y[{j}, {row}] = {y[j, row]!r}")
+    return y.astype(np.float32)
+
+
+def execute(
+    kernel: KernelRef,
+    operand: Operand,
+    x: np.ndarray,
+    *,
+    mode: ExecutionMode = ExecutionMode.NUMERIC,
+    tracers: Sequence[Tracer] = (),
+    faults: Sequence[FaultHook] = (),
+    check_overflow: bool = False,
+    deep_verify: bool = False,
+) -> ExecutionResult:
+    """Run one SpMV through the full stage machine; returns the result.
+
+    ``kernel`` is a registry name or an instance; ``operand`` is either
+    the pristine CSR matrix (prepared here, timed) or an already
+    prepared operand (cache-through callers).  ``x`` may be a single
+    ``(ncols,)`` vector or a ``(k, ncols)`` batch — batches take the
+    ``run_many`` / ``simulate_many`` entry points and are rejected for
+    PROFILED mode (the analytic counters describe one execution).
+
+    ``tracers`` are installed around the run stage only (``prepare`` is
+    host-side and stays uninstrumented); ``faults`` are applied to the
+    freshly prepared operand; ``check_overflow`` is forwarded to the
+    simulated entry points.  Any :class:`~repro.errors.ReproError`
+    escapes with ``exc.exec_stage`` set to the failing stage.
+    """
+    stage = "prepare"
+    try:
+        if isinstance(kernel, str):
+            kernel = get_kernel(kernel)
+        caps = kernel.capabilities
+        if not caps.supports(mode):
+            raise KernelError(
+                f"kernel {kernel.name!r} does not support {mode.name} execution "
+                f"(capabilities: {', '.join(m.name for m in caps.modes)})"
+            )
+        prepare_seconds = 0.0
+        if isinstance(operand, PreparedOperand):
+            prepared = operand
+        else:
+            start = time.perf_counter()
+            prepared = kernel.prepare(operand)
+            prepare_seconds = time.perf_counter() - start
+        apply_faults(kernel.name, prepared, faults)
+
+        if deep_verify:
+            stage = "verify"
+            verify_operand(kernel, prepared)
+
+        stage = "run"
+        xs = np.asarray(x)
+        batched = xs.ndim != 1
+        if batched and mode is ExecutionMode.PROFILED:
+            raise KernelError(
+                f"PROFILED execution takes a single vector, got X with shape {xs.shape}"
+            )
+        stats = None
+        profile = None
+        start = time.perf_counter()
+        with install_tracers(tracers):
+            if mode is ExecutionMode.SIMULATED:
+                if batched:
+                    y, stats = kernel.simulate_many(prepared, xs, check_overflow=check_overflow)
+                else:
+                    y, stats = kernel.simulate(prepared, xs, check_overflow=check_overflow)
+            else:
+                y = kernel.run_many(prepared, xs) if batched else kernel.run(prepared, xs)
+                if mode is ExecutionMode.PROFILED:
+                    profile = kernel.profile(prepared, xs)
+        run_seconds = time.perf_counter() - start
+
+        stage = "check"
+        y = check_result(y, prepared.shape, k=xs.shape[0] if batched else None)
+    except ReproError as exc:
+        exc.exec_stage = stage
+        raise
+    return ExecutionResult(
+        y=y,
+        kernel=kernel.name,
+        mode=mode,
+        operand=prepared,
+        stats=stats,
+        profile=profile,
+        prepare_seconds=prepare_seconds,
+        run_seconds=run_seconds,
+        attempts=[kernel.name],
+    )

@@ -1,0 +1,102 @@
+"""Composable middleware around a kernel invocation.
+
+Two concerns used to be wired by hand at every call site and are lifted
+here instead:
+
+Tracers
+    :mod:`repro.gpu.instrument` holds a *single* global tracer slot.
+    :func:`install_tracers` turns an ``execute(tracers=...)`` sequence
+    into one installation for the duration of the run stage — a no-op
+    for the empty sequence (so an ambient tracer installed by the
+    caller, e.g. ``with Sanitizer(): engine.spmv(...)``, stays live),
+    a plain :class:`~repro.gpu.instrument.tracing` for one tracer, and a
+    :class:`TracerStack` fan-out when several observers watch the same
+    execution.
+
+Faults
+    A fault is any callable ``(kernel_name, prepared) -> None`` that may
+    mutate a freshly prepared operand — the fault-injection seam the
+    robustness tests drive.  :class:`OperandFault` wraps a hook with
+    bookkeeping of which kernels it fired on.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence, TYPE_CHECKING
+
+from repro.gpu.instrument import Tracer, tracing
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernels.base import PreparedOperand
+
+__all__ = ["OperandFault", "TracerStack", "apply_faults", "install_tracers"]
+
+#: Signature every operand fault satisfies.
+FaultHook = Callable[[str, "PreparedOperand"], None]
+
+
+class TracerStack(Tracer):
+    """Fan one instrumentation stream out to several tracers.
+
+    The gpu layer calls each hook once; the stack forwards it to every
+    child in order.  A child that raises (the sanitizer's
+    halt-on-violation mode) aborts the instruction exactly as it would
+    when installed alone.
+    """
+
+    def __init__(self, tracers: Iterable[Tracer]):
+        self.tracers = tuple(tracers)
+
+    def on_warp_begin(self, warp) -> None:
+        for tracer in self.tracers:
+            tracer.on_warp_begin(warp)
+
+    def on_global_access(
+        self, memory, name, kind, indices, mask, itemsize, sectors, ideal_sectors
+    ) -> None:
+        for tracer in self.tracers:
+            tracer.on_global_access(
+                memory, name, kind, indices, mask, itemsize, sectors, ideal_sectors
+            )
+
+    def on_fragment_access(self, fragment, registers) -> None:
+        for tracer in self.tracers:
+            tracer.on_fragment_access(fragment, registers)
+
+
+def install_tracers(tracers: Sequence[Tracer]):
+    """Context manager installing ``tracers`` around a run stage.
+
+    Empty sequences leave the ambient tracer untouched; otherwise the
+    installation *replaces* the ambient tracer for the duration (add the
+    ambient tracer to the sequence explicitly to stack on top of it).
+    """
+    tracers = tuple(tracers)
+    if not tracers:
+        return contextlib.nullcontext()
+    if len(tracers) == 1:
+        return tracing(tracers[0])
+    return tracing(TracerStack(tracers))
+
+
+@dataclass
+class OperandFault:
+    """A fault-injection hook with per-kernel firing bookkeeping."""
+
+    hook: FaultHook
+    #: Kernel names the hook has been applied to, in order.
+    fired: list[str] = field(default_factory=list)
+
+    def __call__(self, kernel_name: str, prepared: "PreparedOperand") -> None:
+        self.hook(kernel_name, prepared)
+        self.fired.append(kernel_name)
+
+
+def apply_faults(
+    kernel_name: str, prepared: "PreparedOperand", faults: Sequence[FaultHook]
+) -> None:
+    """Run every fault hook against a freshly prepared operand."""
+    for fault in faults:
+        fault(kernel_name, prepared)

@@ -46,10 +46,10 @@ class ExecutionStats:
     warps_launched: int = 0
     #: Atomic read-modify-write operations on global memory.
     atomic_ops: int = 0
-    #: Degradation events recorded by the robustness dispatcher: each entry
-    #: is a :class:`repro.robustness.dispatch.DegradationEvent` describing
-    #: why a kernel was abandoned and which fallback replaced it.  Empty
-    #: for a clean, full-speed execution.
+    #: Degradation events recorded by the execution-layer chain walker:
+    #: each entry is a :class:`repro.exec.result.DegradationEvent`
+    #: describing why a kernel was abandoned and which fallback replaced
+    #: it.  Empty for a clean, full-speed execution.
     degradation_log: list = field(default_factory=list)
 
     # -- derived ------------------------------------------------------------

@@ -10,6 +10,7 @@ import numpy as np
 
 from repro.constants import SECTOR_BYTES
 from repro.errors import KernelError
+from repro.exec.modes import ExecutionMode, KernelCapabilities
 from repro.formats.csr import CSRMatrix
 from repro.gpu.counters import ExecutionStats
 
@@ -20,6 +21,8 @@ __all__ = [
     "register_kernel",
     "get_kernel",
     "available_kernels",
+    "registered_kernels",
+    "validate_operand",
     "stream_transactions",
     "gather_transactions",
     "grouped_transactions",
@@ -29,12 +32,39 @@ __all__ = [
 _REGISTRY: dict[str, type["SpMVKernel"]] = {}
 
 
+def _verify_capabilities(cls: type["SpMVKernel"]) -> None:
+    """Cross-check declared capabilities against the overridden methods.
+
+    A capability flag the implementation does not back (or an override
+    the declaration hides) is a registration-time ``ValueError``, so
+    duck-typing can never creep back in behind the declarations.
+    """
+    caps = cls.capabilities
+    backing = {
+        "batch": cls.run_many is not SpMVKernel.run_many,
+        "simulate": cls.simulate is not SpMVKernel.simulate,
+        "simulate_batch": cls.simulate_many is not SpMVKernel.simulate_many,
+    }
+    for flag, overridden in backing.items():
+        if getattr(caps, flag) != overridden:
+            verb = "overrides" if overridden else "does not override"
+            raise ValueError(
+                f"kernel {cls.name!r} declares {flag}={getattr(caps, flag)} "
+                f"but {verb} the backing method"
+            )
+    if caps.simulate_batch and not caps.simulate:
+        raise ValueError(f"kernel {cls.name!r}: simulate_batch requires simulate")
+    if caps.overflow_check and not caps.simulate:
+        raise ValueError(f"kernel {cls.name!r}: overflow_check requires simulate")
+
+
 def register_kernel(cls: type["SpMVKernel"]) -> type["SpMVKernel"]:
     """Class decorator registering a kernel under its ``name``."""
     if not cls.name:
         raise ValueError(f"{cls.__name__} must define a name")
     if cls.name in _REGISTRY and _REGISTRY[cls.name] is not cls:
         raise ValueError(f"kernel {cls.name!r} already registered")
+    _verify_capabilities(cls)
     _REGISTRY[cls.name] = cls
     return cls
 
@@ -50,6 +80,38 @@ def get_kernel(name: str) -> "SpMVKernel":
 def available_kernels() -> list[str]:
     """Names of all registered kernels, sorted."""
     return sorted(_REGISTRY)
+
+
+def registered_kernels() -> dict[str, type["SpMVKernel"]]:
+    """Name -> class view of the registry (for capability-driven callers)."""
+    return dict(_REGISTRY)
+
+
+def validate_operand(
+    kernel_name: str, prepared: "PreparedOperand", xs: np.ndarray, *, batched: bool
+) -> np.ndarray:
+    """The one operand/shape validator behind every kernel entry point.
+
+    Checks that ``prepared`` belongs to ``kernel_name`` and that ``xs``
+    is a well-shaped input — ``(ncols,)`` for a vector, ``(k, ncols)``
+    for a batch — then returns it as float32.  ``run``, ``run_many``,
+    ``simulate`` and ``simulate_many`` all funnel through here, so the
+    error messages are identical no matter which path rejects the input.
+    """
+    if prepared.kernel_name != kernel_name:
+        raise KernelError(
+            f"operand prepared for {prepared.kernel_name!r} passed to {kernel_name!r}"
+        )
+    xs = np.asarray(xs)
+    if batched:
+        if xs.ndim != 2 or xs.shape[1] != prepared.shape[1]:
+            raise KernelError(
+                f"X has shape {xs.shape}, expected (k, {prepared.shape[1]})"
+            )
+    else:
+        if xs.ndim != 1 or xs.shape[0] != prepared.shape[1]:
+            raise KernelError(f"x has shape {xs.shape}, expected ({prepared.shape[1]},)")
+    return xs.astype(np.float32)
 
 
 @dataclass
@@ -119,14 +181,29 @@ class KernelProfile:
 
 
 class SpMVKernel(ABC):
-    """Interface every evaluated SpMV method implements."""
+    """Interface every evaluated SpMV method implements.
+
+    The formal surface is four entry points — ``run`` / ``run_many``
+    (numeric), ``simulate`` / ``simulate_many`` (lane-accurate) — plus
+    the analytic ``profile``.  Which of them a kernel actually backs is
+    declared in :attr:`capabilities` and enforced at registration, so
+    callers branch on flags rather than sniffing attributes: the
+    simulated entry points exist on every kernel and raise a
+    :class:`~repro.errors.KernelError` when the capability is absent.
+    """
 
     #: Registry key (e.g. ``"spaden"``, ``"cusparse-csr"``).
     name: str = ""
     #: Human-readable label used in benchmark tables.
     label: str = ""
-    #: Whether the method computes on tensor cores.
-    uses_tensor_cores: bool = False
+    #: Declared capabilities, cross-checked at registration against the
+    #: methods the class overrides (see :func:`register_kernel`).
+    capabilities: KernelCapabilities = KernelCapabilities()
+
+    @property
+    def uses_tensor_cores(self) -> bool:
+        """Whether the method computes on tensor cores (from capabilities)."""
+        return self.capabilities.tensor_cores
 
     @abstractmethod
     def prepare(self, csr: CSRMatrix) -> PreparedOperand:
@@ -149,7 +226,8 @@ class SpMVKernel(ABC):
         bitwise-identical to ``k`` independent calls.  Kernels whose
         format decode can be amortized across the batch (Spaden's bitBSR
         expansion, the CSR gather) override this with a vectorized path
-        that preserves the per-vector arithmetic exactly.
+        that preserves the per-vector arithmetic exactly, and declare
+        ``capabilities.batch``.
         """
         X = self._check_many(prepared, X)
         out = np.zeros((X.shape[0], prepared.shape[0]), dtype=np.float32)
@@ -157,29 +235,54 @@ class SpMVKernel(ABC):
             out[j] = self.run(prepared, X[j])
         return out
 
+    def simulate(
+        self, prepared: PreparedOperand, x: np.ndarray, check_overflow: bool = False
+    ) -> tuple[np.ndarray, ExecutionStats]:
+        """Lane-accurate execution; ``(y, measured ExecutionStats)``.
+
+        Part of the formal interface but capability-gated: kernels that
+        do not model warp behavior inherit this stub, which raises a
+        :class:`~repro.errors.KernelError`.  Implementations accept
+        ``check_overflow`` uniformly; only kernels declaring
+        ``capabilities.overflow_check`` act on it.
+        """
+        raise KernelError(
+            f"kernel {self.name!r} does not support SIMULATED execution "
+            f"(capabilities: {', '.join(m.name for m in self.capabilities.modes)})"
+        )
+
+    def simulate_many(
+        self, prepared: PreparedOperand, X: np.ndarray, check_overflow: bool = False
+    ) -> tuple[np.ndarray, ExecutionStats]:
+        """Lane-accurate batched execution; ``(Y, merged ExecutionStats)``.
+
+        The base implementation is the loop fallback over
+        :meth:`simulate` — available to every simulate-capable kernel,
+        with counters merged across the batch.  Kernels whose simulated
+        decode amortizes across vectors override it and declare
+        ``capabilities.simulate_batch``.
+        """
+        if not self.capabilities.simulate:
+            raise KernelError(
+                f"kernel {self.name!r} does not support SIMULATED execution "
+                f"(capabilities: {', '.join(m.name for m in self.capabilities.modes)})"
+            )
+        X = self._check_many(prepared, X)
+        out = np.zeros((X.shape[0], prepared.shape[0]), dtype=np.float32)
+        merged = ExecutionStats()
+        for j in range(X.shape[0]):
+            out[j], stats = self.simulate(prepared, X[j], check_overflow=check_overflow)
+            merged.merge(stats)
+        return out, merged
+
     # -- shared helpers ------------------------------------------------------
     def _check(self, prepared: PreparedOperand, x: np.ndarray) -> np.ndarray:
-        if prepared.kernel_name != self.name:
-            raise KernelError(
-                f"operand prepared for {prepared.kernel_name!r} passed to {self.name!r}"
-            )
-        x = np.asarray(x)
-        if x.ndim != 1 or x.shape[0] != prepared.shape[1]:
-            raise KernelError(f"x has shape {x.shape}, expected ({prepared.shape[1]},)")
-        return x.astype(np.float32)
+        """Validate a single ``(ncols,)`` input vector."""
+        return validate_operand(self.name, prepared, x, batched=False)
 
     def _check_many(self, prepared: PreparedOperand, X: np.ndarray) -> np.ndarray:
         """Validate a ``(k, ncols)`` batch of input vectors."""
-        if prepared.kernel_name != self.name:
-            raise KernelError(
-                f"operand prepared for {prepared.kernel_name!r} passed to {self.name!r}"
-            )
-        X = np.asarray(X)
-        if X.ndim != 2 or X.shape[1] != prepared.shape[1]:
-            raise KernelError(
-                f"X has shape {X.shape}, expected (k, {prepared.shape[1]})"
-            )
-        return X.astype(np.float32)
+        return validate_operand(self.name, prepared, X, batched=True)
 
 
 # -- traffic-counting helpers shared by the analytic profilers ---------------

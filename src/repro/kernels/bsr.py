@@ -18,6 +18,7 @@ from repro.constants import BLOCK_DIM
 from repro.formats.bsr import BSRMatrix
 from repro.formats.csr import CSRMatrix
 from repro.gpu.counters import ExecutionStats
+from repro.exec.modes import KernelCapabilities
 from repro.kernels.base import (
     KernelProfile,
     PreparedOperand,
@@ -38,7 +39,7 @@ class CuSparseBSRKernel(SpMVKernel):
 
     name = "cusparse-bsr"
     label = "cuSPARSE BSR"
-    uses_tensor_cores = False
+    capabilities = KernelCapabilities(simulate=True)
 
     def prepare(self, csr: CSRMatrix) -> PreparedOperand:
         start = time.perf_counter()
@@ -60,10 +61,12 @@ class CuSparseBSRKernel(SpMVKernel):
         x = self._check(prepared, x)
         return prepared.data.matvec(x)
 
-    def simulate(self, prepared: PreparedOperand, x: np.ndarray):
+    def simulate(self, prepared: PreparedOperand, x: np.ndarray, check_overflow: bool = False):
         """Lane-accurate bsrmv: one warp per block row, 256 B blocks
         streamed by halves (32 lanes x 2 rounds), dense 8x8 dot products
-        on CUDA cores.  Ground truth for the analytic profile."""
+        on CUDA cores.  Ground truth for the analytic profile.
+        ``check_overflow`` is accepted for interface uniformity; the
+        fp64 CUDA-core accumulator has nothing to check."""
         from repro.gpu.memory import GlobalMemory
         from repro.gpu.warp import Warp
 

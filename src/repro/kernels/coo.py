@@ -12,6 +12,7 @@ import numpy as np
 from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
 from repro.gpu.counters import ExecutionStats
+from repro.exec.modes import KernelCapabilities
 from repro.kernels.base import (
     KernelProfile,
     PreparedOperand,
@@ -32,7 +33,7 @@ class COOKernel(SpMVKernel):
 
     name = "coo"
     label = "COO (atomic)"
-    uses_tensor_cores = False
+    capabilities = KernelCapabilities()
 
     def prepare(self, csr: CSRMatrix) -> PreparedOperand:
         coo = csr.tocoo()

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.formats.csr import CSRMatrix
 from repro.gpu.counters import ExecutionStats
+from repro.exec.modes import KernelCapabilities
 from repro.kernels.base import (
     KernelProfile,
     PreparedOperand,
@@ -36,7 +37,7 @@ class CSRScalarKernel(SpMVKernel):
 
     name = "csr-scalar"
     label = "CSR (thread/row)"
-    uses_tensor_cores = False
+    capabilities = KernelCapabilities(batch=True, simulate=True, fallback_tier=30)
 
     def prepare(self, csr: CSRMatrix) -> PreparedOperand:
         # CSR needs no conversion; only the analysis-pass cost is modeled
@@ -58,11 +59,13 @@ class CSRScalarKernel(SpMVKernel):
         X = self._check_many(prepared, X)
         return prepared.data.matvec_many(X)
 
-    def simulate(self, prepared: PreparedOperand, x: np.ndarray):
+    def simulate(self, prepared: PreparedOperand, x: np.ndarray, check_overflow: bool = False):
         """Lane-accurate Algorithm 1: one thread per row, lockstep warps.
 
         Ground truth for the analytic profile below — the unit tests
-        assert the two agree counter for counter.
+        assert the two agree counter for counter.  ``check_overflow`` is
+        accepted for interface uniformity; the fp64 CUDA-core
+        accumulator has nothing to check.
         """
         from repro.gpu.memory import GlobalMemory
         from repro.gpu.warp import Warp

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.formats.csr import CSRMatrix
 from repro.gpu.counters import ExecutionStats
+from repro.exec.modes import KernelCapabilities
 from repro.kernels.base import (
     KernelProfile,
     PreparedOperand,
@@ -34,7 +35,7 @@ class CuSparseCSRKernel(SpMVKernel):
 
     name = "cusparse-csr"
     label = "cuSPARSE CSR"
-    uses_tensor_cores = False
+    capabilities = KernelCapabilities(batch=True, fallback_tier=20)
 
     def prepare(self, csr: CSRMatrix) -> PreparedOperand:
         # cuSPARSE keeps CSR as-is but allocates an analysis/workspace

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.formats.csr import CSRMatrix
 from repro.gpu.counters import ExecutionStats
+from repro.exec.modes import KernelCapabilities
 from repro.kernels.base import (
     KernelProfile,
     PreparedOperand,
@@ -41,7 +42,7 @@ class CSRWarp16Kernel(SpMVKernel):
 
     name = "csr-warp16"
     label = "CSR Warp16"
-    uses_tensor_cores = False
+    capabilities = KernelCapabilities(simulate=True)
 
     def prepare(self, csr: CSRMatrix) -> PreparedOperand:
         return PreparedOperand(
@@ -57,10 +58,12 @@ class CSRWarp16Kernel(SpMVKernel):
         x = self._check(prepared, x)
         return prepared.data.matvec(x)
 
-    def simulate(self, prepared: PreparedOperand, x: np.ndarray):
+    def simulate(self, prepared: PreparedOperand, x: np.ndarray, check_overflow: bool = False):
         """Lane-accurate Warp16: warp w owns rows [16w, 16w+16); lanes t
         and t+16 walk the first/second half of row 16w + t element by
-        element.  Ground truth for the analytic profile."""
+        element.  Ground truth for the analytic profile.
+        ``check_overflow`` is accepted for interface uniformity; the
+        fp64 CUDA-core accumulator has nothing to check."""
         from repro.gpu.memory import GlobalMemory
         from repro.gpu.warp import Warp
 

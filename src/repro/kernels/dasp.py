@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.formats.csr import CSRMatrix
 from repro.gpu.counters import ExecutionStats
+from repro.exec.modes import KernelCapabilities
 from repro.kernels.base import (
     KernelProfile,
     PreparedOperand,
@@ -108,7 +109,7 @@ class DASPKernel(SpMVKernel):
 
     name = "dasp"
     label = "DASP"
-    uses_tensor_cores = True
+    capabilities = KernelCapabilities(tensor_cores=True)
 
     def prepare(self, csr: CSRMatrix) -> PreparedOperand:
         start = time.perf_counter()

@@ -15,6 +15,7 @@ import numpy as np
 from repro.formats.csr import CSRMatrix
 from repro.formats.ell import ELLMatrix
 from repro.gpu.counters import ExecutionStats
+from repro.exec.modes import KernelCapabilities
 from repro.kernels.base import (
     KernelProfile,
     PreparedOperand,
@@ -35,7 +36,7 @@ class ELLKernel(SpMVKernel):
 
     name = "ell"
     label = "ELL"
-    uses_tensor_cores = False
+    capabilities = KernelCapabilities()
 
     def prepare(self, csr: CSRMatrix) -> PreparedOperand:
         start = time.perf_counter()

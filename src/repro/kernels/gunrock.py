@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.formats.csr import CSRMatrix
 from repro.gpu.counters import ExecutionStats
+from repro.exec.modes import KernelCapabilities
 from repro.kernels.base import (
     KernelProfile,
     PreparedOperand,
@@ -35,7 +36,7 @@ class GunrockSpMVKernel(SpMVKernel):
 
     name = "gunrock"
     label = "Gunrock"
-    uses_tensor_cores = False
+    capabilities = KernelCapabilities()
 
     def prepare(self, csr: CSRMatrix) -> PreparedOperand:
         # Gunrock keeps the graph in CSR plus frontier scratch (per-edge

@@ -14,6 +14,7 @@ import numpy as np
 from repro.formats.csr import CSRMatrix
 from repro.formats.hyb import HYBMatrix
 from repro.gpu.counters import ExecutionStats
+from repro.exec.modes import KernelCapabilities
 from repro.kernels.base import (
     KernelProfile,
     PreparedOperand,
@@ -34,7 +35,7 @@ class HYBKernel(SpMVKernel):
 
     name = "hyb"
     label = "HYB"
-    uses_tensor_cores = False
+    capabilities = KernelCapabilities()
 
     def prepare(self, csr: CSRMatrix) -> PreparedOperand:
         start = time.perf_counter()

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.formats.csr import CSRMatrix
 from repro.gpu.counters import ExecutionStats
+from repro.exec.modes import KernelCapabilities
 from repro.kernels.base import (
     KernelProfile,
     PreparedOperand,
@@ -35,7 +36,7 @@ class LightSpMVKernel(SpMVKernel):
 
     name = "lightspmv"
     label = "LightSpMV"
-    uses_tensor_cores = False
+    capabilities = KernelCapabilities()
 
     #: Rows fetched per atomic ticket (LightSpMV's vector-level mode).
     ROWS_PER_TICKET: int = 1

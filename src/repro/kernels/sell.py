@@ -16,6 +16,7 @@ import numpy as np
 from repro.formats.csr import CSRMatrix
 from repro.formats.sell import SELLMatrix
 from repro.gpu.counters import ExecutionStats
+from repro.exec.modes import KernelCapabilities
 from repro.kernels.base import (
     KernelProfile,
     PreparedOperand,
@@ -36,7 +37,7 @@ class SELLKernel(SpMVKernel):
 
     name = "sell"
     label = "SELL-C-sigma"
-    uses_tensor_cores = False
+    capabilities = KernelCapabilities()
 
     def prepare(self, csr: CSRMatrix) -> PreparedOperand:
         start = time.perf_counter()

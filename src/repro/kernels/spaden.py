@@ -31,6 +31,7 @@ from repro.core.spmv import (
     spaden_spmv_simulated,
     spaden_spmv_simulated_many,
 )
+from repro.exec.modes import KernelCapabilities
 from repro.formats.bitbsr import BitBSRMatrix
 from repro.formats.csr import CSRMatrix
 from repro.gpu.counters import ExecutionStats
@@ -64,7 +65,14 @@ class SpadenKernel(SpMVKernel):
 
     name = "spaden"
     label = "Spaden"
-    uses_tensor_cores = True
+    capabilities = KernelCapabilities(
+        tensor_cores=True,
+        batch=True,
+        simulate=True,
+        simulate_batch=True,
+        overflow_check=True,
+        fallback_tier=0,
+    )
 
     def prepare(self, csr: CSRMatrix) -> PreparedOperand:
         start = time.perf_counter()

@@ -15,6 +15,8 @@ import numpy as np
 
 from repro.constants import BLOCK_DIM, WARP_SIZE
 from repro.core.spmv import spaden_spmv
+import dataclasses
+
 from repro.formats.bitbsr import BitBSRMatrix
 from repro.formats.csr import CSRMatrix
 from repro.kernels.base import KernelProfile, PreparedOperand, register_kernel
@@ -29,7 +31,11 @@ class SpadenNoTCKernel(SpadenKernel):
 
     name = "spaden-no-tc"
     label = "Spaden w/o TC"
-    uses_tensor_cores = False
+    # inherits Spaden's batch/simulate paths; runs on CUDA cores and
+    # takes the chain slot right after the tensor-core original
+    capabilities = dataclasses.replace(
+        SpadenKernel.capabilities, tensor_cores=False, fallback_tier=10
+    )
 
     def prepare(self, csr: CSRMatrix) -> PreparedOperand:
         prepared = super().prepare(csr)

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
+import dataclasses
+
 from repro.constants import BLOCK_DIM, WARP_SIZE
 from repro.core.spmv import spaden_spmv
 from repro.formats.bitbsr import BitBSRMatrix
@@ -28,7 +30,8 @@ class SpadenWMMAKernel(SpadenKernel):
 
     name = "spaden-wmma"
     label = "Spaden (WMMA path)"
-    uses_tensor_cores = True
+    # an ablation, not a production path: it stays out of the fallback chain
+    capabilities = dataclasses.replace(SpadenKernel.capabilities, fallback_tier=None)
 
     def prepare(self, csr) -> PreparedOperand:
         prepared = super().prepare(csr)

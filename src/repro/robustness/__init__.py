@@ -8,16 +8,16 @@ Three pieces work together:
 * :mod:`repro.robustness.faults`, a seeded registry of named corruption
   models that break exactly the invariants the verifiers guard,
 * :mod:`repro.robustness.dispatch`, a kernel dispatcher that catches
-  those failures and falls back along
-  ``spaden -> spaden-no-tc -> cusparse-csr -> csr-scalar``, logging each
-  degradation instead of crashing.
+  those failures and falls back along the registry-derived chain
+  (``spaden -> spaden-no-tc -> cusparse-csr -> csr-scalar`` with the
+  built-in kernels), logging each degradation instead of crashing.
 
 See ``docs/robustness.md`` for the invariant-by-invariant mapping to the
-paper's §4.2 format definition.
+paper's §4.2 format definition, and ``docs/architecture.md`` for the
+execution layer the dispatcher is built on.
 """
 
 from repro.robustness.dispatch import (
-    DEFAULT_CHAIN,
     DegradationEvent,
     DispatchResult,
     dispatch_spmv,
@@ -45,3 +45,13 @@ __all__ = [
     "get_fault",
     "inject_lane_fault",
 ]
+
+
+def __getattr__(name: str):
+    # live view of the registry-derived chain (PEP 562), mirroring
+    # repro.robustness.dispatch.DEFAULT_CHAIN
+    if name == "DEFAULT_CHAIN":
+        from repro.exec import default_chain
+
+        return default_chain()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

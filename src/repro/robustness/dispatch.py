@@ -2,85 +2,65 @@
 
 Production SpMV must return a correct ``y`` even when the fast path is
 unavailable — a corrupted bitBSR conversion, a perturbed fragment map, an
-fp16 accumulator overflow.  :func:`dispatch_spmv` wraps the kernel
-registry with a fallback chain
+fp16 accumulator overflow.  :func:`dispatch_spmv` walks the
+capability-derived fallback chain (see
+:func:`repro.exec.default_chain`; with the built-in registry that is
 
     spaden -> spaden-no-tc -> cusparse-csr -> csr-scalar
 
-and walks it until one kernel survives all four stages:
-
-``prepare``
-    convert the pristine CSR into the kernel's format,
-``verify``
-    deep-verify every :class:`~repro.formats.base.SparseMatrix` in the
-    prepared operand, and for tensor-core kernels check the simulated
-    fragment layout tables against the §3 mapping,
-``run``
-    execute the SpMV (optionally through the lane-accurate simulator
-    with accumulator-overflow checking),
-``check``
-    reject a non-finite or mis-shaped ``y``.
-
-Any :class:`~repro.errors.ReproError` at any stage is recorded as a
-:class:`DegradationEvent` — cause, stage, and the fallback taken — and
-the chain advances.  Events are folded into
+) until one kernel survives all four stages of
+:func:`repro.exec.execute` — ``prepare`` / ``verify`` / ``run`` /
+``check``.  Any :class:`~repro.errors.ReproError` at any stage is
+recorded as a :class:`DegradationEvent` — cause, stage, and the fallback
+taken — and the chain advances.  Events are folded into
 :attr:`repro.gpu.counters.ExecutionStats.degradation_log` so profiling
 surfaces *why* an execution was slow, not just that it was.
 
 Each fallback re-prepares from the caller's CSR, so an injected fault in
 one kernel's converted operand never contaminates the next kernel's
 attempt: the chain degrades performance, never correctness.
+
+This module is now a thin wrapper over :mod:`repro.exec` (which owns the
+stage machine and the chain walker); it keeps the PR-1 surface —
+``DEFAULT_CHAIN``, :class:`DegradationEvent`, :class:`DispatchResult`,
+:func:`dispatch_spmv` — stable for existing callers.
 """
 
 from __future__ import annotations
 
-import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.errors import KernelError, NumericalError, ReproError
-from repro.formats.base import SparseMatrix
+from repro.errors import KernelError
+from repro.exec import (
+    DegradationEvent,
+    ExecutionMode,
+    default_chain,
+    execute_chain,
+    verify_operand,
+)
 from repro.formats.csr import CSRMatrix
 from repro.gpu.counters import ExecutionStats
-from repro.gpu.fragment import verify_lane_mapping
-from repro.kernels.base import PreparedOperand, get_kernel
+from repro.kernels.base import PreparedOperand
 
 __all__ = ["DEFAULT_CHAIN", "DegradationEvent", "DispatchResult", "dispatch_spmv"]
-
-#: Fastest-first fallback order: the paper's method, its CUDA-core
-#: variant, the cuSPARSE-style vector kernel, and the always-works
-#: scalar baseline.
-DEFAULT_CHAIN: tuple[str, ...] = (
-    "spaden",
-    "spaden-no-tc",
-    "cusparse-csr",
-    "csr-scalar",
-)
 
 #: Stage names in execution order, for reference.
 STAGES = ("prepare", "verify", "run", "check")
 
+# kept for engine/back-compat imports; the implementation lives in exec
+_verify_operand = verify_operand
 
-@dataclass(frozen=True)
-class DegradationEvent:
-    """One abandoned kernel attempt."""
 
-    #: Kernel that failed.
-    kernel: str
-    #: Stage the failure surfaced in: prepare / verify / run / check.
-    stage: str
-    #: Exception class name (e.g. ``"BitmapPopcountError"``).
-    cause: str
-    #: The exception message.
-    detail: str
-    #: Kernel tried next, or ``None`` if the chain was exhausted.
-    fallback: str | None
-
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        nxt = f" -> {self.fallback}" if self.fallback else " (chain exhausted)"
-        return f"[{self.kernel}/{self.stage}] {self.cause}: {self.detail}{nxt}"
+def __getattr__(name: str):
+    # DEFAULT_CHAIN is derived from the kernel registry, which fills in
+    # when repro.kernels imports — too late for a module-level constant
+    # here, so it is computed on first attribute access (PEP 562).
+    if name == "DEFAULT_CHAIN":
+        return default_chain()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -104,34 +84,10 @@ class DispatchResult:
         return bool(self.events)
 
 
-def _operand_matrices(prepared: PreparedOperand):
-    """Every SparseMatrix inside a prepared operand (data may be a tuple)."""
-    data = prepared.data
-    items = data if isinstance(data, (tuple, list)) else (data,)
-    return [m for m in items if isinstance(m, SparseMatrix)]
-
-
-def _verify_operand(kernel, prepared: PreparedOperand) -> None:
-    for matrix in _operand_matrices(prepared):
-        matrix.verify(deep=True)
-    if kernel.uses_tensor_cores:
-        verify_lane_mapping()
-
-
-def _check_result(y: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
-    y = np.asarray(y)
-    if y.shape != (shape[0],):
-        raise NumericalError(f"result has shape {y.shape}, expected ({shape[0]},)")
-    if not np.isfinite(y).all():
-        row = int(np.flatnonzero(~np.isfinite(y))[0])
-        raise NumericalError(f"non-finite result: y[{row}] = {y[row]!r}")
-    return y.astype(np.float32)
-
-
 def dispatch_spmv(
     csr: CSRMatrix,
     x: np.ndarray,
-    chain: Sequence[str] = DEFAULT_CHAIN,
+    chain: Sequence[str] | None = None,
     *,
     deep_verify: bool = True,
     simulate: bool = False,
@@ -139,54 +95,41 @@ def dispatch_spmv(
 ) -> DispatchResult:
     """Compute ``y = A @ x`` with graceful degradation along ``chain``.
 
-    ``deep_verify=False`` skips the pre-flight verification stage (for
-    callers who amortize it elsewhere); corruption then surfaces at the
-    ``run`` or ``check`` stage instead of crashing.  ``simulate`` routes
-    kernels that expose a lane-accurate ``simulate`` method through the
-    simulator with accumulator-overflow checking (use for
-    verification-scale matrices only).  ``corrupt_hook(name, prepared)``
-    is a fault-injection seam for tests: it may mutate a kernel's
-    freshly prepared operand before verification.
+    ``chain`` defaults to the registry-derived
+    :func:`~repro.exec.default_chain`.  ``deep_verify=False`` skips the
+    pre-flight verification stage (for callers who amortize it
+    elsewhere); corruption then surfaces at the ``run`` or ``check``
+    stage instead of crashing.  ``simulate`` routes kernels with the
+    SIMULATED capability through the lane-accurate simulator with
+    accumulator-overflow checking (use for verification-scale matrices
+    only); kernels without it run numerically.  ``corrupt_hook(name,
+    prepared)`` is a fault-injection seam for tests: it may mutate a
+    kernel's freshly prepared operand before verification.
 
     Raises :class:`~repro.errors.KernelError` only if *every* kernel in
     the chain fails.
     """
-    if not chain:
-        raise KernelError("empty kernel chain")
-    x = np.asarray(x)
-    events: list[DegradationEvent] = []
-    attempts: list[str] = []
 
-    for i, name in enumerate(chain):
-        fallback = chain[i + 1] if i + 1 < len(chain) else None
-        attempts.append(name)
-        stage = "prepare"
-        try:
-            kernel = get_kernel(name)
-            prepared = kernel.prepare(csr)
-            if corrupt_hook is not None:
-                corrupt_hook(name, prepared)
-            if deep_verify:
-                stage = "verify"
-                _verify_operand(kernel, prepared)
-            stage = "run"
-            if simulate and hasattr(kernel, "simulate"):
-                kwargs = {}
-                if "check_overflow" in inspect.signature(kernel.simulate).parameters:
-                    kwargs["check_overflow"] = True
-                y, stats = kernel.simulate(prepared, x, **kwargs)
-            else:
-                y = kernel.run(prepared, x)
-                stats = ExecutionStats()
-            stage = "check"
-            y = _check_result(y, prepared.shape)
-        except ReproError as exc:
-            events.append(
-                DegradationEvent(name, stage, type(exc).__name__, str(exc), fallback)
-            )
-            continue
-        stats.degradation_log.extend(events)
-        return DispatchResult(y=y, kernel=name, events=events, attempts=attempts, stats=stats)
+    def pick_mode(kernel) -> ExecutionMode:
+        if simulate and kernel.capabilities.simulate:
+            return ExecutionMode.SIMULATED
+        return ExecutionMode.NUMERIC
 
-    summary = "; ".join(f"{e.kernel}/{e.stage}: {e.cause}" for e in events)
-    raise KernelError(f"all kernels in chain {tuple(chain)} failed ({summary})")
+    result = execute_chain(
+        csr,
+        np.asarray(x),
+        chain,
+        mode=pick_mode,
+        faults=(corrupt_hook,) if corrupt_hook is not None else (),
+        check_overflow=simulate,
+        deep_verify=deep_verify,
+    )
+    stats = result.stats if result.stats is not None else ExecutionStats()
+    stats.degradation_log.extend(result.events)
+    return DispatchResult(
+        y=result.y,
+        kernel=result.kernel,
+        events=result.events,
+        attempts=result.attempts,
+        stats=stats,
+    )

@@ -86,13 +86,12 @@ class TestDegenerateInputs:
         assert Y.shape == (3, csr.nrows) and Y.dtype == np.float32
         assert not Y.any()
 
-        if hasattr(kernel, "simulate"):
+        if kernel.capabilities.simulate:
             y_sim, stats = kernel.simulate(prepared, x)
             assert y_sim.shape == (csr.nrows,) and y_sim.dtype == np.float32
             assert not np.asarray(y_sim).any()
             assert stats.global_store_bytes >= 0
 
-        if hasattr(kernel, "simulate_many"):
             Y_sim, _ = kernel.simulate_many(prepared, X)
             assert Y_sim.shape == (3, csr.nrows) and Y_sim.dtype == np.float32
             assert not np.asarray(Y_sim).any()

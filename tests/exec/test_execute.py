@@ -1,0 +1,180 @@
+"""Cross-kernel identity tests for the unified execution layer.
+
+For every registered kernel, :func:`repro.exec.execute` must be a
+behavior-preserving wrapper: NUMERIC results bitwise-equal to the legacy
+``prepare + run`` path, batched execution equal to stacked
+single-vector runs, and (where the capability is declared) SIMULATED
+results matching NUMERIC with counters consistent with the analytic
+profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError, NumericalError
+from repro.exec import ExecutionMode, check_result, execute, spmv
+from repro.formats.csr import CSRMatrix
+from repro.kernels import available_kernels, get_kernel
+
+ALL_KERNELS = available_kernels()
+SIMULATE_KERNELS = [n for n in ALL_KERNELS if get_kernel(n).capabilities.simulate]
+
+
+@pytest.fixture
+def csr(small_coo) -> CSRMatrix:
+    return CSRMatrix.from_coo(small_coo)
+
+
+@pytest.mark.parametrize("name", ALL_KERNELS)
+def test_numeric_bitwise_equals_legacy_run(name, csr, x_small):
+    kernel = get_kernel(name)
+    legacy = kernel.run(kernel.prepare(csr), x_small)
+
+    result = execute(name, csr, x_small)
+    assert result.mode is ExecutionMode.NUMERIC
+    assert result.kernel == name
+    assert result.stats is None and result.profile is None
+    assert not result.degraded and result.attempts == [name]
+    assert np.array_equal(result.y, legacy)
+    assert result.y.dtype == np.float32
+
+
+@pytest.mark.parametrize("name", ALL_KERNELS)
+def test_batched_equals_stacked_singles(name, csr, rng):
+    X = rng.standard_normal((4, csr.ncols)).astype(np.float32)
+    batched = execute(name, csr, X)
+    assert batched.y.shape == (4, csr.nrows)
+    singles = np.stack([execute(name, csr, x).y for x in X])
+    assert np.array_equal(batched.y, singles)
+
+
+@pytest.mark.parametrize("name", SIMULATE_KERNELS)
+def test_simulated_matches_numeric_and_profile(name, csr, x_small):
+    numeric = execute(name, csr, x_small)
+    simulated = execute(name, csr, x_small, mode=ExecutionMode.SIMULATED)
+    assert simulated.stats is not None
+    np.testing.assert_allclose(simulated.y, numeric.y, rtol=1e-4, atol=1e-4)
+
+    profiled = execute(name, csr, x_small, mode=ExecutionMode.PROFILED)
+    assert profiled.profile is not None
+    # The simulator measures what the profiler predicts: the stored
+    # result bytes agree exactly on every simulate-capable kernel.
+    assert simulated.stats.global_store_bytes == profiled.profile.stats.global_store_bytes
+
+
+@pytest.mark.parametrize("name", [n for n in ALL_KERNELS if n not in SIMULATE_KERNELS])
+def test_simulated_rejected_without_capability(name, csr, x_small):
+    with pytest.raises(KernelError, match="does not support SIMULATED execution"):
+        execute(name, csr, x_small, mode=ExecutionMode.SIMULATED)
+
+
+def test_profiled_carries_profile_and_matches_numeric(csr, x_small):
+    numeric = execute("spaden", csr, x_small)
+    profiled = execute("spaden", csr, x_small, mode=ExecutionMode.PROFILED)
+    assert profiled.profile is not None and profiled.profile.kernel_name == "spaden"
+    assert np.array_equal(profiled.y, numeric.y)
+
+
+def test_profiled_rejects_batches(csr, rng):
+    X = rng.standard_normal((2, csr.ncols)).astype(np.float32)
+    with pytest.raises(KernelError, match="PROFILED execution takes a single vector"):
+        execute("spaden", csr, X, mode=ExecutionMode.PROFILED)
+
+
+def test_prepared_operand_is_reused_not_reprepared(csr, x_small):
+    kernel = get_kernel("spaden")
+    prepared = kernel.prepare(csr)
+    result = execute(kernel, prepared, x_small)
+    assert result.operand is prepared
+    assert result.prepare_seconds == 0.0
+
+
+def test_spmv_convenience_wrapper(csr, x_small):
+    result = spmv(csr, x_small)
+    assert result.kernel == "spaden"
+    assert np.array_equal(result.y, execute("spaden", csr, x_small).y)
+
+
+def test_exec_stage_tagging(csr, x_small):
+    """Errors escape ``execute`` tagged with the stage they surfaced in."""
+    prepared = get_kernel("csr-scalar").prepare(csr)
+    with pytest.raises(KernelError) as info:
+        execute("spaden", prepared, x_small)
+    assert info.value.exec_stage == "run"
+
+
+class TestUnifiedValidator:
+    """`run`/`run_many`/`simulate`/`simulate_many` share one validator,
+    so the rejection messages are identical regardless of entry point."""
+
+    def test_mismatched_operand_message(self, csr, x_small):
+        prepared = get_kernel("csr-scalar").prepare(csr)
+        kernel = get_kernel("spaden")
+        expected = "operand prepared for 'csr-scalar' passed to 'spaden'"
+        for call in (
+            lambda: kernel.run(prepared, x_small),
+            lambda: kernel.run_many(prepared, np.stack([x_small])),
+            lambda: kernel.simulate(prepared, x_small),
+            lambda: kernel.simulate_many(prepared, np.stack([x_small])),
+        ):
+            with pytest.raises(KernelError) as info:
+                call()
+            assert str(info.value) == expected
+
+    def test_bad_1d_shape_message(self, csr):
+        kernel = get_kernel("spaden")
+        prepared = kernel.prepare(csr)
+        bad = np.ones(csr.ncols + 3, np.float32)
+        expected = f"x has shape {bad.shape}, expected ({csr.ncols},)"
+        for call in (lambda: kernel.run(prepared, bad), lambda: kernel.simulate(prepared, bad)):
+            with pytest.raises(KernelError) as info:
+                call()
+            assert str(info.value) == expected
+
+    def test_bad_2d_shape_message(self, csr):
+        kernel = get_kernel("spaden")
+        prepared = kernel.prepare(csr)
+        bad = np.ones((2, csr.ncols + 3), np.float32)
+        expected = f"X has shape {bad.shape}, expected (k, {csr.ncols})"
+        for call in (
+            lambda: kernel.run_many(prepared, bad),
+            lambda: kernel.simulate_many(prepared, bad),
+        ):
+            with pytest.raises(KernelError) as info:
+                call()
+            assert str(info.value) == expected
+
+    def test_1d_input_to_batch_entry_rejected(self, csr, x_small):
+        kernel = get_kernel("spaden")
+        prepared = kernel.prepare(csr)
+        with pytest.raises(KernelError, match=r"X has shape .* expected \(k, "):
+            kernel.run_many(prepared, x_small)
+
+
+class TestCheckResult:
+    def test_single_shape_mismatch(self):
+        with pytest.raises(NumericalError, match=r"result has shape \(3,\), expected \(4,\)"):
+            check_result(np.zeros(3), (4, 7))
+
+    def test_single_non_finite(self):
+        y = np.array([0.0, np.inf, 0.0])
+        with pytest.raises(NumericalError, match=r"non-finite result: y\[1\]"):
+            check_result(y, (3, 7))
+
+    def test_batch_shape_mismatch(self):
+        with pytest.raises(
+            NumericalError, match=r"batch result has shape \(2, 3\), expected \(2, 4\)"
+        ):
+            check_result(np.zeros((2, 3)), (4, 7), k=2)
+
+    def test_batch_non_finite(self):
+        Y = np.zeros((2, 3))
+        Y[1, 2] = np.nan
+        with pytest.raises(NumericalError, match=r"non-finite batch result: Y\[1, 2\]"):
+            check_result(Y, (3, 7), k=2)
+
+    def test_valid_results_cast_to_float32(self):
+        out = check_result(np.zeros(3, np.float64), (3, 7))
+        assert out.dtype == np.float32

@@ -1,0 +1,113 @@
+"""Tracer installation and fault hooks as composable middleware."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exec import (
+    ExecutionMode,
+    OperandFault,
+    TracerStack,
+    execute,
+    install_tracers,
+)
+from repro.formats.csr import CSRMatrix
+from repro.gpu import instrument
+from repro.gpu.instrument import Tracer, tracing
+
+
+class CountingTracer(Tracer):
+    def __init__(self):
+        self.warps = 0
+        self.accesses = 0
+
+    def on_warp_begin(self, warp) -> None:
+        self.warps += 1
+
+    def on_global_access(self, *args, **kwargs) -> None:
+        self.accesses += 1
+
+
+@pytest.fixture
+def csr(small_coo) -> CSRMatrix:
+    return CSRMatrix.from_coo(small_coo)
+
+
+def test_execute_installs_tracer_for_run_stage_only(csr, x_small):
+    tracer = CountingTracer()
+    execute("spaden", csr, x_small, mode=ExecutionMode.SIMULATED, tracers=(tracer,))
+    assert tracer.warps > 0
+    assert tracer.accesses > 0
+    # The installation is scoped to the run stage: the slot is empty after.
+    assert instrument.get_tracer() is None
+
+
+def test_tracer_stack_fans_out(csr, x_small):
+    first, second = CountingTracer(), CountingTracer()
+    execute(
+        "spaden", csr, x_small, mode=ExecutionMode.SIMULATED, tracers=(first, second)
+    )
+    assert first.warps == second.warps > 0
+    assert first.accesses == second.accesses > 0
+
+
+def test_tracer_stack_forwards_in_order():
+    order = []
+
+    class Recorder(Tracer):
+        def __init__(self, tag):
+            self.tag = tag
+
+        def on_warp_begin(self, warp) -> None:
+            order.append(self.tag)
+
+    stack = TracerStack([Recorder("a"), Recorder("b")])
+    stack.on_warp_begin(None)
+    assert order == ["a", "b"]
+
+
+def test_empty_tracers_preserve_ambient_tracer(csr, x_small):
+    """``execute(tracers=())`` must not clobber a tracer the caller has
+    already installed (the sanitizer wraps whole engine calls this way)."""
+    ambient = CountingTracer()
+    with tracing(ambient):
+        execute("spaden", csr, x_small, mode=ExecutionMode.SIMULATED)
+    assert ambient.warps > 0
+
+
+def test_nonempty_tracers_replace_ambient(csr, x_small):
+    ambient, explicit = CountingTracer(), CountingTracer()
+    with tracing(ambient):
+        execute(
+            "spaden", csr, x_small, mode=ExecutionMode.SIMULATED, tracers=(explicit,)
+        )
+    assert ambient.warps == 0
+    assert explicit.warps > 0
+
+
+def test_install_tracers_empty_is_noop():
+    ambient = CountingTracer()
+    with tracing(ambient):
+        with install_tracers(()):
+            assert instrument.get_tracer() is ambient
+
+
+def test_operand_fault_bookkeeping(csr, x_small):
+    log = []
+    fault = OperandFault(lambda name, prepared: log.append(prepared.kernel_name))
+    execute("spaden", csr, x_small, faults=(fault,))
+    execute("csr-scalar", csr, x_small, faults=(fault,))
+    assert fault.fired == ["spaden", "csr-scalar"]
+    assert log == ["spaden", "csr-scalar"]
+
+
+def test_faults_see_the_freshly_prepared_operand(csr, x_small):
+    seen = {}
+
+    def probe(kernel_name, prepared):
+        seen["shape"] = prepared.shape
+
+    result = execute("spaden", csr, x_small, faults=(probe,))
+    assert seen["shape"] == (csr.nrows, csr.ncols)
+    assert np.array_equal(result.y, execute("spaden", csr, x_small).y)

@@ -1,0 +1,91 @@
+"""Capability declarations and their registration-time verification."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.exec import ExecutionMode, KernelCapabilities
+from repro.kernels import available_kernels, get_kernel
+from repro.kernels.base import SpMVKernel, _verify_capabilities
+from repro.kernels.csr_scalar import CSRScalarKernel
+from repro.kernels.spaden import SpadenKernel
+
+
+def test_supports_and_modes():
+    plain = KernelCapabilities()
+    assert plain.supports(ExecutionMode.NUMERIC)
+    assert plain.supports(ExecutionMode.PROFILED)
+    assert not plain.supports(ExecutionMode.SIMULATED)
+    assert plain.modes == (ExecutionMode.NUMERIC, ExecutionMode.PROFILED)
+
+    simulating = KernelCapabilities(simulate=True)
+    assert simulating.supports(ExecutionMode.SIMULATED)
+    assert simulating.modes == tuple(ExecutionMode)
+
+
+def test_every_registered_kernel_declares_capabilities():
+    for name in available_kernels():
+        caps = get_kernel(name).capabilities
+        assert isinstance(caps, KernelCapabilities), name
+
+
+def test_spaden_declares_the_full_surface():
+    caps = SpadenKernel.capabilities
+    assert caps.tensor_cores and caps.batch
+    assert caps.simulate and caps.simulate_batch and caps.overflow_check
+    assert caps.fallback_tier == 0
+
+
+def test_wmma_variant_stays_out_of_the_chain():
+    from repro.kernels.spaden_wmma import SpadenWMMAKernel
+
+    assert SpadenWMMAKernel.capabilities.fallback_tier is None
+
+
+def test_declared_flag_without_backing_method_rejected():
+    class Overclaiming(CSRScalarKernel):
+        name = "test-overclaiming"
+        capabilities = dataclasses.replace(
+            CSRScalarKernel.capabilities, simulate_batch=True
+        )
+
+    with pytest.raises(ValueError, match="declares simulate_batch=True"):
+        _verify_capabilities(Overclaiming)
+
+
+def test_backing_method_without_declared_flag_rejected():
+    class Underclaiming(CSRScalarKernel):
+        name = "test-underclaiming"
+        capabilities = dataclasses.replace(CSRScalarKernel.capabilities, simulate=False)
+
+    with pytest.raises(ValueError, match="declares simulate=False"):
+        _verify_capabilities(Underclaiming)
+
+
+def test_simulate_batch_requires_simulate():
+    class BatchOnly(SpMVKernel):
+        name = "test-batch-only"
+        capabilities = KernelCapabilities(simulate_batch=True)
+
+        def simulate_many(self, prepared, X, check_overflow=False):  # pragma: no cover
+            raise NotImplementedError
+
+    with pytest.raises(ValueError, match="simulate_batch requires simulate"):
+        _verify_capabilities(BatchOnly)
+
+
+def test_overflow_check_requires_simulate():
+    class OverflowOnly(SpMVKernel):
+        name = "test-overflow-only"
+        capabilities = KernelCapabilities(overflow_check=True)
+
+    with pytest.raises(ValueError, match="overflow_check requires simulate"):
+        _verify_capabilities(OverflowOnly)
+
+
+def test_base_class_capabilities_are_empty():
+    caps = SpMVKernel.capabilities
+    assert caps == KernelCapabilities()
+    assert caps.fallback_tier is None

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.bench",
     "repro.analysis",
     "repro.engine",
+    "repro.exec",
 ]
 
 
