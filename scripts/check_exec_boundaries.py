@@ -10,7 +10,12 @@ docstrings and comments never trips the gate) and fails on:
 * direct ``.run(`` / ``.run_many(`` / ``.simulate(`` /
   ``.simulate_many(`` method calls outside ``repro/exec/`` and
   ``repro/kernels/`` — consumer layers call
-  :func:`repro.exec.execute` instead.
+  :func:`repro.exec.execute` instead;
+* any import inside ``repro/obs/`` of a repro package other than
+  ``repro.errors`` and ``repro.obs`` itself — observability observes
+  through the ``repro.exec.middleware`` seam; it must never reach into
+  kernels, the simulated GPU, or the engine, so enabling it cannot
+  perturb results.
 
 Run from the repo root: ``python scripts/check_exec_boundaries.py``.
 Exits 1 with one line per violation.
@@ -30,6 +35,32 @@ ENTRY_POINTS = {"run", "run_many", "simulate", "simulate_many"}
 
 #: Directories allowed to touch kernel entry points directly.
 EXEMPT = ("exec", "kernels")
+
+#: Import prefixes ``repro.obs`` modules may use beside the stdlib.
+OBS_ALLOWED_PREFIXES = ("repro.errors", "repro.obs")
+
+
+def _obs_violations(path: Path, tree: ast.AST) -> list[str]:
+    """Imports that would let the observability layer act instead of observe."""
+    rel = path.relative_to(SRC.parent.parent)
+    found = []
+    for node in ast.walk(tree):
+        targets: list[str] = []
+        if isinstance(node, ast.Import):
+            targets = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            targets = [node.module]
+        for name in targets:
+            if name == "repro" or name.startswith("repro."):
+                if not any(
+                    name == p or name.startswith(p + ".") for p in OBS_ALLOWED_PREFIXES
+                ):
+                    found.append(
+                        f"{rel}:{node.lineno}: repro.obs imports {name!r} — "
+                        f"observability may only import repro.errors and repro.obs.*; "
+                        f"producers feed it through the middleware seam"
+                    )
+    return found
 
 
 def _violations(path: Path, tree: ast.AST, exempt: bool) -> list[str]:
@@ -71,6 +102,8 @@ def main() -> int:
         exempt = top in EXEMPT
         tree = ast.parse(path.read_text(), filename=str(path))
         violations.extend(_violations(path, tree, exempt))
+        if top == "obs":
+            violations.extend(_obs_violations(path, tree))
     for line in violations:
         print(line)
     if violations:

@@ -39,6 +39,16 @@ from repro.errors import LaneOwnershipError, RaceError
 from repro.gpu import fragment as _fragment
 from repro.gpu.fragment import FragmentKind, portion_of_register
 from repro.gpu.instrument import Tracer, tracing
+from repro.obs import get_registry
+
+
+def _count_finding(finding: str) -> None:
+    """Mirror one sanitizer finding into the process-wide registry."""
+    get_registry().counter(
+        "sanitizer_findings_total",
+        "Races and lane-ownership violations the sanitizer observed.",
+        labels=("finding",),
+    ).inc(finding=finding)
 
 __all__ = [
     "CoalescingEntry",
@@ -125,6 +135,45 @@ class SanitizerReport:
     def clean(self) -> bool:
         """True when no race or ownership violation was observed."""
         return not self.races and not self.ownership_violations
+
+    def as_dict(self) -> dict:
+        """Serializable findings, the shape ``RunReport.sanitizer`` holds."""
+        return {
+            "warps_observed": self.warps_observed,
+            "global_accesses": self.global_accesses,
+            "fragment_accesses": self.fragment_accesses,
+            "races": [
+                {
+                    "array": r.array,
+                    "index": r.index,
+                    "first": list(r.first),
+                    "second": list(r.second),
+                }
+                for r in self.races
+            ],
+            "ownership_violations": [
+                {
+                    "fragment_kind": o.fragment_kind,
+                    "lane": o.lane,
+                    "register": o.register,
+                    "portion": o.portion,
+                    "expected": list(o.expected),
+                    "actual": list(o.actual),
+                }
+                for o in self.ownership_violations
+            ],
+            "coalescing": [
+                {
+                    "array": e.array,
+                    "kind": e.kind,
+                    "instructions": e.instructions,
+                    "achieved_sectors": e.achieved_sectors,
+                    "ideal_sectors": e.ideal_sectors,
+                    "efficiency": e.efficiency,
+                }
+                for (_name, _kind), e in sorted(self.coalescing.items())
+            ],
+        }
 
     @property
     def load_efficiency(self) -> float:
@@ -231,6 +280,7 @@ class Sanitizer(Tracer):
             if key in self._seen_ownership:
                 continue
             self._seen_ownership.add(key)
+            _count_finding("ownership")
             record = OwnershipRecord(
                 fragment_kind=fragment.kind.value,
                 lane=lane,
@@ -286,6 +336,7 @@ class Sanitizer(Tracer):
     ) -> None:
         record = RaceRecord(array=element[0], index=element[1], first=first, second=second)
         self.report.races.append(record)
+        _count_finding("race")
         if self.halt_on_violation:
             raise RaceError(
                 f"cross-warp data race: {record}",

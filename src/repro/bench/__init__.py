@@ -1,6 +1,6 @@
 """Shared benchmark harness: suite loading, profile caching, reporting."""
 
-from repro.bench.engine import EngineBenchResult, bench_engine
+from repro.bench.engine import EngineBenchResult, append_obs_trajectory, bench_engine
 from repro.bench.harness import (
     EVALUATED_METHODS,
     FIG8_METHODS,
@@ -15,6 +15,7 @@ __all__ = [
     "EVALUATED_METHODS",
     "EngineBenchResult",
     "FIG8_METHODS",
+    "append_obs_trajectory",
     "bench_engine",
     "bench_scale",
     "load_suite",

@@ -17,21 +17,37 @@ Three measurements per configuration:
 Results are plain wall-clock dicts (no :class:`KernelProfile` involved),
 so they bypass the ``.bench_cache`` on-disk memoization entirely and the
 bench cache version is unaffected.
+
+Each run also folds its observability state — engine / cache / kernel
+counters, degradation events, the span timeline — into a
+:class:`~repro.obs.RunReport` carried on the result, and
+:func:`append_obs_trajectory` appends that to the ``BENCH_obs.json``
+trajectory artifact CI uploads, so perf regressions are trackable
+across PRs.
 """
 
 from __future__ import annotations
 
+import json
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from repro.engine import SpMVEngine
+from repro.errors import ObservabilityError
+from repro.exec.middleware import stage_span
 from repro.formats.csr import CSRMatrix
 from repro.kernels.base import get_kernel
 from repro.matrices.random import random_coo
 
-__all__ = ["EngineBenchResult", "bench_engine", "format_report"]
+__all__ = [
+    "EngineBenchResult",
+    "append_obs_trajectory",
+    "bench_engine",
+    "format_report",
+]
 
 
 @dataclass(frozen=True)
@@ -51,6 +67,9 @@ class EngineBenchResult:
     bitwise_equal: bool
     #: Cache hit rate after each warm round of single-vector requests.
     hit_curve: tuple[float, ...]
+    #: The run's merged observability document
+    #: (:meth:`~repro.obs.RunReport.as_dict` form).
+    run_report: dict = field(default_factory=dict)
 
     @property
     def cold_per_vector(self) -> float:
@@ -102,26 +121,40 @@ def bench_engine(
     vectors = [rng.standard_normal(ncols).astype(np.float32) for _ in range(batch)]
     kern = get_kernel(kernel)
 
-    start = time.perf_counter()
-    cold_results = []
-    for x in vectors:
-        cold_results.append(execute(kern, csr, x).y)
-    cold_seconds = time.perf_counter() - start
+    with stage_span("bench.engine.cold", kernel=kernel, batch=batch):
+        start = time.perf_counter()
+        cold_results = []
+        for x in vectors:
+            cold_results.append(execute(kern, csr, x).y)
+        cold_seconds = time.perf_counter() - start
 
     engine = SpMVEngine(kernel)
-    start = time.perf_counter()
-    batched_results = engine.spmv_many([(csr, x) for x in vectors])
-    batched_seconds = time.perf_counter() - start
+    with stage_span("bench.engine.batched", kernel=kernel, batch=batch):
+        start = time.perf_counter()
+        batched_results = engine.spmv_many([(csr, x) for x in vectors])
+        batched_seconds = time.perf_counter() - start
 
     bitwise_equal = all(
         np.array_equal(cold, warm) for cold, warm in zip(cold_results, batched_results)
     )
 
-    hit_curve = []
-    for i in range(rounds):
-        engine.spmv(csr, vectors[i % batch])
-        hit_curve.append(engine.cache.stats.hit_rate)
+    with stage_span("bench.engine.warm", kernel=kernel, rounds=rounds):
+        hit_curve = []
+        for i in range(rounds):
+            engine.spmv(csr, vectors[i % batch])
+            hit_curve.append(engine.cache.stats.hit_rate)
 
+    report = engine.run_report(
+        meta={
+            "source": "bench_engine",
+            "nrows": nrows,
+            "ncols": ncols,
+            "density": density,
+            "batch": batch,
+            "rounds": rounds,
+            "seed": seed,
+        }
+    )
     return EngineBenchResult(
         kernel=kernel,
         nrows=nrows,
@@ -132,7 +165,47 @@ def bench_engine(
         batched_seconds=batched_seconds,
         bitwise_equal=bitwise_equal,
         hit_curve=tuple(hit_curve),
+        run_report=report.as_dict(),
     )
+
+
+def append_obs_trajectory(path: str | Path, result: EngineBenchResult) -> int:
+    """Append one bench run to the ``BENCH_obs.json`` trajectory.
+
+    The artifact is a JSON list, one entry per recorded run —
+    ``{"recorded_unix": ..., "bench": <result minus the report>,
+    "report": <RunReport dict>}`` — so successive PRs (and the CI
+    artifact trail) can diff amortized timings, cache hit rates and
+    degradation counts over time.  Returns the trajectory length after
+    appending.  A file holding anything other than a JSON list is a
+    structured error, never silently overwritten.
+    """
+    path = Path(path)
+    trajectory: list = []
+    if path.exists() and path.read_text(encoding="utf-8").strip():
+        try:
+            trajectory = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(
+                f"{path} is not valid JSON ({exc}); refusing to overwrite"
+            ) from exc
+        if not isinstance(trajectory, list):
+            raise ObservabilityError(
+                f"{path} holds a {type(trajectory).__name__}, expected a "
+                f"trajectory list; refusing to overwrite"
+            )
+    bench = result.as_dict()
+    report = bench.pop("run_report", {})
+    trajectory.append(
+        {
+            "recorded_unix": round(time.time(), 3),
+            "bench": bench,
+            "report": report,
+        }
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n", encoding="utf-8")
+    return len(trajectory)
 
 
 def format_report(result: EngineBenchResult) -> str:
@@ -148,4 +221,12 @@ def format_report(result: EngineBenchResult) -> str:
         f"  bitwise   : {'equal' if result.bitwise_equal else 'MISMATCH'}",
         "  hit curve : " + " ".join(f"{r:.2f}" for r in result.hit_curve),
     ]
+    report = result.run_report
+    if report:
+        spans = report.get("spans", [])
+        degradations = len(report.get("degradation_events", []))
+        lines.append(
+            f"  obs       : {len(spans)} spans, {degradations} degradation(s), "
+            f"{len(report.get('metrics', {}).get('metrics', []))} metrics"
+        )
     return "\n".join(lines)

@@ -124,17 +124,31 @@ def prune_bench_cache() -> int:
     return removed
 
 
+def _count_profile_cache(result: str) -> None:
+    from repro.obs import get_registry
+
+    get_registry().counter(
+        "bench_profile_cache_total",
+        "On-disk bench profile memoization lookups, by outcome.",
+        labels=("result",),
+    ).inc(result=result)
+
+
 def _cached_profile(matrix: GeneratedMatrix, method: str, scale: float) -> KernelProfile:
     key = f"{matrix.name}-{scale}-{method}.pkl"
     path = _CACHE_DIR / key
     if path.exists():
         profile = _load_cached(path)
         if profile is not None:
+            _count_profile_cache("hit")
             return profile
         path.unlink(missing_ok=True)
     from repro.exec import ExecutionMode, execute
+    from repro.exec.middleware import stage_span
 
-    result = execute(method, matrix.csr, matrix.dense_vector(), mode=ExecutionMode.PROFILED)
+    _count_profile_cache("miss")
+    with stage_span("bench.profile", matrix=matrix.name, method=method, scale=scale):
+        result = execute(method, matrix.csr, matrix.dense_vector(), mode=ExecutionMode.PROFILED)
     profile = result.profile
     _CACHE_DIR.mkdir(exist_ok=True)
     path.write_bytes(pickle.dumps({"version": _CACHE_VERSION, "profile": profile}))

@@ -10,6 +10,10 @@ Usage::
     python -m repro.cli verify  --matrix consph [--fault bitmap-bit-flip]
     python -m repro.cli analyze [--kernels spaden,csr-scalar] [--no-lint]
     python -m repro.cli engine  [--batch 32] [--nrows 2048] [--kernel spaden]
+                                [--obs-out BENCH_obs.json]
+    python -m repro.cli report  --matrix consph [--batch 8] [--simulate]
+                                [--fault bitmap-bit-flip] [--sanitize]
+                                [--jsonl run_report.jsonl] [--prometheus metrics.txt]
 """
 
 from __future__ import annotations
@@ -258,7 +262,7 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_engine(args) -> int:
-    from repro.bench.engine import bench_engine, format_report
+    from repro.bench.engine import append_obs_trajectory, bench_engine, format_report
 
     result = bench_engine(
         args.nrows,
@@ -270,10 +274,111 @@ def _cmd_engine(args) -> int:
         seed=args.seed,
     )
     print(format_report(result))
+    if args.obs_out:
+        length = append_obs_trajectory(args.obs_out, result)
+        print(f"[obs trajectory {args.obs_out}: {length} run(s)]")
     if not result.bitwise_equal:
         print("FAIL: batched results diverge from per-vector run()")
         return 1
     return 0
+
+
+def _cmd_report(args) -> int:
+    """Run a small sample workload and print the merged RunReport.
+
+    The workload exercises every silo the report folds: an engine batch
+    (engine + cache + kernel counters, spans through the exec seam),
+    optionally the simulator (merged ExecutionStats), optionally a
+    fault-injected dispatch (degradation events) and a sanitizer sweep
+    (findings).  ``--jsonl`` additionally writes the JSON-lines export
+    and verifies the round trip parses back equal.
+    """
+    import numpy as np
+
+    from repro.engine import SpMVEngine
+    from repro.matrices import generate_matrix
+    from repro.obs import RunReport, format_run_report, reset_observability, to_prometheus
+
+    reset_observability()  # scope the report to this run
+
+    g = generate_matrix(args.matrix, scale=args.scale)
+    engine = SpMVEngine(args.kernel)
+    rng = np.random.default_rng(args.seed)
+    vectors = [
+        rng.standard_normal(g.csr.ncols).astype(np.float32) for _ in range(args.batch)
+    ]
+    engine.spmv_many([(g.csr, x) for x in vectors], simulate=args.simulate)
+    # a warm repeat so the cache section shows hits next to misses
+    engine.spmv(g.csr, vectors[0], simulate=args.simulate)
+
+    events = list(engine.stats.degradation_log)
+    if args.fault:
+        from repro.formats.base import SparseMatrix
+        from repro.robustness import corrupt, dispatch_spmv, get_fault, inject_lane_fault
+
+        model = get_fault(args.fault)
+        x = g.dense_vector()
+        if model.formats:
+            fired = []
+
+            def hook(kernel_name, prepared):
+                data = prepared.data
+                if fired or not isinstance(data, SparseMatrix):
+                    return
+                if data.format_name in model.formats:
+                    prepared.data, _ = corrupt(data, model.name, seed=args.seed)
+                    fired.append(kernel_name)
+
+            dispatched = dispatch_spmv(g.csr, x, corrupt_hook=hook)
+        else:
+            with inject_lane_fault(seed=args.seed):
+                dispatched = dispatch_spmv(g.csr, x)
+        events.extend(dispatched.events)
+
+    sanitizer_report = None
+    if args.sanitize:
+        from repro.analysis import sanitize_kernel, small_suite
+
+        suite = small_suite(seed=args.seed)
+        csr, x = next(iter(suite.values()))
+        sanitizer_report = sanitize_kernel(
+            args.kernel, csr, x, halt_on_violation=False
+        ).report
+
+    from repro.obs import build_run_report
+
+    report = build_run_report(
+        meta={
+            "command": "report",
+            "matrix": args.matrix,
+            "scale": args.scale,
+            "kernel": args.kernel,
+            "batch": args.batch,
+            "simulate": bool(args.simulate),
+            "fault": args.fault,
+        },
+        engine=engine,
+        events=events,
+        sanitizer_report=sanitizer_report,
+    )
+    print(format_run_report(report))
+
+    failed = False
+    if args.jsonl:
+        count = report.write_jsonl(args.jsonl)
+        restored = RunReport.load_jsonl(args.jsonl)
+        if restored == report:
+            print(f"[jsonl {args.jsonl}: {count} events, round-trip ok]")
+        else:
+            print(f"[jsonl {args.jsonl}: ROUND-TRIP MISMATCH]")
+            failed = True
+    if args.prometheus:
+        from pathlib import Path
+
+        text = to_prometheus()
+        Path(args.prometheus).write_text(text)
+        print(f"[prometheus {args.prometheus}: {len(text.splitlines())} lines]")
+    return 1 if failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -339,7 +444,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rounds", type=int, default=8)
     p.add_argument("--kernel", default="spaden")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--obs-out",
+        default=None,
+        help="append this run's RunReport to a BENCH_obs.json trajectory",
+    )
     p.set_defaults(func=_cmd_engine)
+
+    p = sub.add_parser(
+        "report",
+        help="run a sample engine workload and print the merged RunReport "
+        "(kernel + cache + engine stats, degradations, span timings)",
+    )
+    p.add_argument("--matrix", default="consph")
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--kernel", default="spaden")
+    p.add_argument("--batch", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--simulate", action="store_true", help="route batches through the simulator")
+    p.add_argument("--fault", default=None, help="also dispatch once with this fault injected")
+    p.add_argument("--sanitize", action="store_true", help="fold a sanitizer sweep into the report")
+    p.add_argument("--jsonl", default=None, help="write the JSON-lines export and verify round trip")
+    p.add_argument("--prometheus", default=None, help="write the Prometheus text exposition")
+    p.set_defaults(func=_cmd_report)
     return parser
 
 

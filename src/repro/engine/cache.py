@@ -24,6 +24,7 @@ from dataclasses import dataclass, fields
 from repro.errors import KernelError
 from repro.formats.csr import CSRMatrix
 from repro.kernels.base import PreparedOperand
+from repro.obs import get_registry
 
 __all__ = ["CacheStats", "OperandCache", "matrix_fingerprint"]
 
@@ -34,13 +35,19 @@ DEFAULT_CACHE_BYTES: int = 256 * 1024 * 1024
 def matrix_fingerprint(csr: CSRMatrix) -> str:
     """Content hash of a CSR matrix (shape + all three arrays).
 
-    Blake2b over the raw bytes: structurally identical matrices map to
-    the same key regardless of object identity, and any in-place edit of
-    pointers, indices or values changes the key.
+    Blake2b over each array's dtype, length and raw bytes: structurally
+    identical matrices map to the same key regardless of object
+    identity, and any in-place edit of pointers, indices or values
+    changes the key.  The dtype/length framing keeps arrays with
+    identical byte content but different element types apart (an int32
+    ``[1, 0]`` and an int64 ``[1]`` share raw bytes) and pins the
+    boundary between adjacent arrays, so bytes can never shift from one
+    array into the next and still hash the same.
     """
     h = hashlib.blake2b(digest_size=16)
     h.update(repr(csr.shape).encode())
     for array in (csr.row_pointers, csr.col_indices, csr.values):
+        h.update(f"{array.dtype.str}:{array.size};".encode())
         h.update(array.tobytes())
     return h.hexdigest()
 
@@ -72,14 +79,42 @@ class CacheStats:
 
 
 class OperandCache:
-    """LRU cache of prepared operands under a device-bytes budget."""
+    """LRU cache of prepared operands under a device-bytes budget.
 
-    def __init__(self, device_bytes_budget: int = DEFAULT_CACHE_BYTES):
+    ``name`` labels this cache's series in the process-wide metrics
+    registry (hit/miss/eviction/rejection counters and the
+    resident-bytes gauge); instances sharing a name aggregate.
+    """
+
+    def __init__(self, device_bytes_budget: int = DEFAULT_CACHE_BYTES, name: str = "default"):
         if device_bytes_budget <= 0:
             raise KernelError("device_bytes_budget must be positive")
         self.device_bytes_budget = int(device_bytes_budget)
+        self.name = name
         self._entries: OrderedDict[tuple[str, str], PreparedOperand] = OrderedDict()
+        self._resident_bytes = 0
         self.stats = CacheStats()
+
+    # -- observability -------------------------------------------------------
+    def _count_event(self, event: str, amount: int = 1) -> None:
+        get_registry().counter(
+            "operand_cache_events_total",
+            "Operand-cache lookups and retention outcomes.",
+            labels=("cache", "event"),
+        ).inc(amount, cache=self.name, event=event)
+
+    def _publish_residency(self) -> None:
+        registry = get_registry()
+        registry.gauge(
+            "operand_cache_resident_bytes",
+            "Device bytes held by resident prepared operands.",
+            labels=("cache",),
+        ).set(self._resident_bytes, cache=self.name)
+        registry.gauge(
+            "operand_cache_entries",
+            "Prepared operands currently resident.",
+            labels=("cache",),
+        ).set(len(self._entries), cache=self.name)
 
     # -- bookkeeping ---------------------------------------------------------
     def __len__(self) -> int:
@@ -90,8 +125,13 @@ class OperandCache:
 
     @property
     def resident_bytes(self) -> int:
-        """Device bytes currently held by resident operands."""
-        return sum(op.device_bytes for op in self._entries.values())
+        """Device bytes currently held by resident operands.
+
+        Maintained as a running total through ``put`` / ``invalidate`` /
+        ``clear``, so eviction decisions are O(1) per entry instead of
+        re-summing every resident operand.
+        """
+        return self._resident_bytes
 
     def keys(self) -> list[tuple[str, str]]:
         """Resident keys, least- to most-recently used."""
@@ -103,9 +143,11 @@ class OperandCache:
         operand = self._entries.get(key)
         if operand is None:
             self.stats.misses += 1
+            self._count_event("miss")
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        self._count_event("hit")
         return operand
 
     def put(self, key: tuple[str, str], operand: PreparedOperand) -> None:
@@ -114,24 +156,47 @@ class OperandCache:
         An operand larger than the entire budget is never retained (it
         would evict everything and still not fit); it is counted in
         ``stats.rejected`` and the caller simply keeps its reference for
-        the current execution.
+        the current execution.  If the same key held a smaller resident
+        operand, dropping it counts as an eviction — the entry leaves
+        the cache to respect the budget, exactly like an LRU eviction.
         """
         if operand.device_bytes > self.device_bytes_budget:
-            self._entries.pop(key, None)
+            displaced = self._entries.pop(key, None)
+            if displaced is not None:
+                self._resident_bytes -= displaced.device_bytes
+                self.stats.evictions += 1
+                self._count_event("eviction")
             self.stats.rejected += 1
+            self._count_event("rejected")
+            self._publish_residency()
             return
+        replaced = self._entries.get(key)
+        if replaced is not None:
+            self._resident_bytes -= replaced.device_bytes
         self._entries[key] = operand
         self._entries.move_to_end(key)
-        while self.resident_bytes > self.device_bytes_budget:
-            evicted_key, _ = self._entries.popitem(last=False)
+        self._resident_bytes += operand.device_bytes
+        while self._resident_bytes > self.device_bytes_budget:
+            evicted_key, evicted = self._entries.popitem(last=False)
+            self._resident_bytes -= evicted.device_bytes
             self.stats.evictions += 1
+            self._count_event("eviction")
             if evicted_key == key:  # cannot happen (size checked), safety net
                 break
+        self._publish_residency()
 
     def invalidate(self, key: tuple[str, str]) -> bool:
         """Drop one entry (e.g. a poisoned operand); True if it was resident."""
-        return self._entries.pop(key, None) is not None
+        dropped = self._entries.pop(key, None)
+        if dropped is None:
+            return False
+        self._resident_bytes -= dropped.device_bytes
+        self._count_event("invalidation")
+        self._publish_residency()
+        return True
 
     def clear(self) -> None:
         """Drop every resident operand (counters are preserved)."""
         self._entries.clear()
+        self._resident_bytes = 0
+        self._publish_residency()

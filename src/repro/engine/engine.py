@@ -39,11 +39,21 @@ from repro.exec import (
     execute_chain,
     verify_operand,
 )
+from repro.exec.middleware import stage_span
 from repro.formats.csr import CSRMatrix
 from repro.gpu.counters import ExecutionStats
 from repro.kernels.base import PreparedOperand, get_kernel
+from repro.obs import get_registry
 
 __all__ = ["EngineStats", "SpMVEngine"]
+
+
+def _count_requests(kernel: str, amount: int) -> None:
+    get_registry().counter(
+        "engine_requests_total",
+        "Individual SpMV requests served by the engine.",
+        labels=("kernel",),
+    ).inc(amount, kernel=kernel)
 
 
 @dataclass
@@ -120,7 +130,7 @@ class SpMVEngine:
         if not self.chain:
             raise KernelError("empty kernel chain")
         self.deep_verify = deep_verify
-        self.cache = OperandCache(cache_bytes)
+        self.cache = OperandCache(cache_bytes, name=f"engine:{kernel}")
         self.stats = EngineStats()
         self._queue: list[tuple[CSRMatrix, np.ndarray]] = []
 
@@ -162,15 +172,19 @@ class SpMVEngine:
             return ExecutionMode.NUMERIC
 
         try:
-            result = execute_chain(
-                csr,
-                X,
-                self.chain,
-                mode=pick_mode,
-                prepare=lambda name: self._prepared(name, csr, fingerprint),
-                # never let a poisoned operand serve the next request
-                invalidate=lambda name: self.cache.invalidate((name, fingerprint)),
-            )
+            with stage_span(
+                "engine.batch", kernel=self.kernel_name, k=k, simulate=simulate
+            ) as batch_span:
+                result = execute_chain(
+                    csr,
+                    X,
+                    self.chain,
+                    mode=pick_mode,
+                    prepare=lambda name: self._prepared(name, csr, fingerprint),
+                    # never let a poisoned operand serve the next request
+                    invalidate=lambda name: self.cache.invalidate((name, fingerprint)),
+                )
+                batch_span.attributes["served_by"] = result.kernel
         except ChainExhaustedError as exc:
             self.stats.degradation_log.extend(exc.events)
             raise
@@ -181,12 +195,25 @@ class SpMVEngine:
         self.stats.degradation_log.extend(result.events)
         if result.stats is not None:
             self.stats.execution.merge(result.stats)
+        registry = get_registry()
+        registry.counter(
+            "engine_batches_total",
+            "Micro-batched executions issued by the engine.",
+            labels=("kernel",),
+        ).inc(kernel=self.kernel_name)
+        registry.histogram(
+            "engine_batch_size",
+            "Vectors per engine micro-batch.",
+            labels=("kernel",),
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+        ).observe(k, kernel=self.kernel_name)
         return result.y
 
     # -- public API ----------------------------------------------------------
     def spmv(self, csr: CSRMatrix, x: np.ndarray, *, simulate: bool = False) -> np.ndarray:
         """Synchronous single SpMV through the cache (batch of one)."""
         self.stats.requests += 1
+        _count_requests(self.kernel_name, 1)
         x = np.asarray(x)
         if x.ndim != 1 or x.shape[0] != csr.ncols:
             raise KernelError(f"x has shape {x.shape}, expected ({csr.ncols},)")
@@ -210,6 +237,7 @@ class SpMVEngine:
         """
         requests = list(requests)
         self.stats.requests += len(requests)
+        _count_requests(self.kernel_name, len(requests))
         groups: dict[str, dict] = {}
         for position, (csr, x) in enumerate(requests):
             x = np.asarray(x)
@@ -250,6 +278,7 @@ class SpMVEngine:
 
         def bound_spmv(x: np.ndarray) -> np.ndarray:
             self.stats.requests += 1
+            _count_requests(self.kernel_name, 1)
             x = np.asarray(x)
             if x.ndim != 1 or x.shape[0] != csr.ncols:
                 raise KernelError(f"x has shape {x.shape}, expected ({csr.ncols},)")
@@ -258,3 +287,16 @@ class SpMVEngine:
 
         bound_spmv.__doc__ = f"Engine-cached SpMV bound to a {csr.shape} matrix."
         return bound_spmv
+
+    def run_report(self, meta: dict | None = None):
+        """This engine's state folded into a :class:`~repro.obs.RunReport`.
+
+        Merges the engine counters, the merged simulator counters, the
+        operand-cache counters and the degradation log with the
+        process-wide span timeline and metrics registry.
+        """
+        from repro.obs import build_run_report
+
+        base = {"kernel": self.kernel_name, "chain": list(self.chain)}
+        base.update(meta or {})
+        return build_run_report(meta=base, engine=self)

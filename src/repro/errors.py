@@ -205,3 +205,8 @@ class KernelError(ReproError):
 
 class DatasetError(ReproError):
     """A matrix-generator or registry request cannot be satisfied."""
+
+
+class ObservabilityError(ReproError):
+    """A metrics/span/report request is malformed (bad name, label
+    mismatch, kind conflict, or an unparseable exported document)."""

@@ -21,12 +21,22 @@ import numpy as np
 
 from repro.errors import KernelError, ReproError
 from repro.exec.executor import Operand, execute
-from repro.exec.middleware import FaultHook
+from repro.exec.middleware import FaultHook, stage_span
 from repro.exec.modes import ExecutionMode
 from repro.exec.result import DegradationEvent, ExecutionResult
 from repro.formats.csr import CSRMatrix
 from repro.gpu.instrument import Tracer
 from repro.kernels.base import PreparedOperand, get_kernel, registered_kernels
+from repro.obs import get_registry
+
+
+def _count_degradation(event: DegradationEvent) -> None:
+    """Record one abandoned attempt in the process-wide registry."""
+    get_registry().counter(
+        "exec_degradations_total",
+        "Kernel attempts abandoned by the chain walker, by failing stage.",
+        labels=("kernel", "exec_stage", "cause"),
+    ).inc(kernel=event.kernel, exec_stage=event.stage, cause=event.cause)
 
 __all__ = ["ChainExhaustedError", "default_chain", "execute_chain"]
 
@@ -95,35 +105,45 @@ def execute_chain(
 
     events: list[DegradationEvent] = []
     attempts: list[str] = []
-    for i, name in enumerate(chain):
-        fallback = chain[i + 1] if i + 1 < len(chain) else None
-        attempts.append(name)
-        try:
-            kernel = get_kernel(name)
-            operand: Operand = prepare(name) if prepare is not None else csr
-            result = execute(
-                kernel,
-                operand,
-                x,
-                mode=mode(kernel) if callable(mode) else mode,
-                tracers=tracers,
-                faults=faults,
-                check_overflow=check_overflow,
-                deep_verify=deep_verify,
-            )
-        except ReproError as exc:
-            stage = getattr(exc, "exec_stage", "prepare")
-            events.append(
-                DegradationEvent(name, stage, type(exc).__name__, str(exc), fallback)
-            )
-            if invalidate is not None:
-                invalidate(name)
-            continue
-        result.events = events
-        result.attempts = attempts
-        return result
+    with stage_span("exec.chain", chain=",".join(chain)) as chain_span:
+        for i, name in enumerate(chain):
+            fallback = chain[i + 1] if i + 1 < len(chain) else None
+            attempts.append(name)
+            try:
+                with stage_span("exec.attempt", kernel=name, position=i) as attempt:
+                    kernel = get_kernel(name)
+                    operand: Operand = prepare(name) if prepare is not None else csr
+                    result = execute(
+                        kernel,
+                        operand,
+                        x,
+                        mode=mode(kernel) if callable(mode) else mode,
+                        tracers=tracers,
+                        faults=faults,
+                        check_overflow=check_overflow,
+                        deep_verify=deep_verify,
+                    )
+                    attempt.attributes["outcome"] = "ok"
+            except ReproError as exc:
+                stage = getattr(exc, "exec_stage", "prepare")
+                event = DegradationEvent(name, stage, type(exc).__name__, str(exc), fallback)
+                events.append(event)
+                _count_degradation(event)
+                if invalidate is not None:
+                    invalidate(name)
+                continue
+            chain_span.attributes["kernel"] = name
+            chain_span.attributes["degradations"] = len(events)
+            result.events = events
+            result.attempts = attempts
+            return result
 
-    summary = "; ".join(f"{e.kernel}/{e.stage}: {e.cause}" for e in events)
-    raise ChainExhaustedError(
-        f"all kernels in chain {tuple(chain)} failed ({summary})", events
-    )
+        chain_span.attributes["exhausted"] = True
+        get_registry().counter(
+            "exec_chain_exhausted_total",
+            "Chain walks in which every kernel failed.",
+        ).inc()
+        summary = "; ".join(f"{e.kernel}/{e.stage}: {e.cause}" for e in events)
+        raise ChainExhaustedError(
+            f"all kernels in chain {tuple(chain)} failed ({summary})", events
+        )

@@ -29,7 +29,7 @@ from typing import Sequence, Union
 import numpy as np
 
 from repro.errors import KernelError, NumericalError, ReproError
-from repro.exec.middleware import FaultHook, apply_faults, install_tracers
+from repro.exec.middleware import FaultHook, apply_faults, install_tracers, stage_span
 from repro.exec.modes import ExecutionMode
 from repro.exec.result import ExecutionResult
 from repro.formats.base import SparseMatrix
@@ -37,8 +37,27 @@ from repro.formats.csr import CSRMatrix
 from repro.gpu.fragment import verify_lane_mapping
 from repro.gpu.instrument import Tracer
 from repro.kernels.base import PreparedOperand, SpMVKernel, get_kernel
+from repro.obs import get_registry
 
 __all__ = ["check_result", "execute", "verify_operand"]
+
+
+def _record_execution(kernel_name: str, mode: ExecutionMode, status: str) -> None:
+    """Count one finished (or failed) ``execute()`` in the registry."""
+    get_registry().counter(
+        "exec_executions_total",
+        "Kernel invocations through the exec seam, by outcome.",
+        labels=("kernel", "mode", "status"),
+    ).inc(kernel=kernel_name, mode=mode.name, status=status)
+
+
+def _observe_stage_seconds(stage: str, kernel_name: str, seconds: float) -> None:
+    """Record one stage's host seconds into the stage histogram."""
+    get_registry().histogram(
+        "exec_stage_seconds",
+        "Host seconds per exec stage, by kernel.",
+        labels=("exec_stage", "kernel"),
+    ).observe(seconds, exec_stage=stage, kernel=kernel_name)
 
 KernelRef = Union[str, SpMVKernel]
 Operand = Union[CSRMatrix, PreparedOperand]
@@ -107,58 +126,94 @@ def execute(
     host-side and stays uninstrumented); ``faults`` are applied to the
     freshly prepared operand; ``check_overflow`` is forwarded to the
     simulated entry points.  Any :class:`~repro.errors.ReproError`
-    escapes with ``exc.exec_stage`` set to the failing stage.
+    escapes with ``exc.exec_stage`` set to the failing stage — argument
+    validation (an unknown kernel, an unsupported mode, a batch handed
+    to PROFILED) fails under ``prepare``, before anything has run.
+
+    Each stage runs inside an observability span (``exec.prepare`` /
+    ``exec.verify`` / ``exec.run`` / ``exec.check``, under one
+    ``exec.execute`` root) and feeds the process-wide metrics registry;
+    both are passive, so results and simulator counters are identical
+    with or without anything reading them.
     """
     stage = "prepare"
+    kernel_label = kernel if isinstance(kernel, str) else kernel.name
     try:
-        if isinstance(kernel, str):
-            kernel = get_kernel(kernel)
-        caps = kernel.capabilities
-        if not caps.supports(mode):
-            raise KernelError(
-                f"kernel {kernel.name!r} does not support {mode.name} execution "
-                f"(capabilities: {', '.join(m.name for m in caps.modes)})"
-            )
-        prepare_seconds = 0.0
-        if isinstance(operand, PreparedOperand):
-            prepared = operand
-        else:
-            start = time.perf_counter()
-            prepared = kernel.prepare(operand)
-            prepare_seconds = time.perf_counter() - start
-        apply_faults(kernel.name, prepared, faults)
-
-        if deep_verify:
-            stage = "verify"
-            verify_operand(kernel, prepared)
-
-        stage = "run"
-        xs = np.asarray(x)
-        batched = xs.ndim != 1
-        if batched and mode is ExecutionMode.PROFILED:
-            raise KernelError(
-                f"PROFILED execution takes a single vector, got X with shape {xs.shape}"
-            )
-        stats = None
-        profile = None
-        start = time.perf_counter()
-        with install_tracers(tracers):
-            if mode is ExecutionMode.SIMULATED:
-                if batched:
-                    y, stats = kernel.simulate_many(prepared, xs, check_overflow=check_overflow)
+        with stage_span("exec.execute", kernel=kernel_label, mode=mode.name) as root:
+            if isinstance(kernel, str):
+                kernel = get_kernel(kernel)
+                kernel_label = kernel.name
+                root.attributes["kernel"] = kernel.name
+            caps = kernel.capabilities
+            if not caps.supports(mode):
+                raise KernelError(
+                    f"kernel {kernel.name!r} does not support {mode.name} execution "
+                    f"(capabilities: {', '.join(m.name for m in caps.modes)})"
+                )
+            xs = np.asarray(x)
+            batched = xs.ndim != 1
+            if batched and mode is ExecutionMode.PROFILED:
+                # pure argument validation: nothing ran, so this must
+                # not escape tagged exec_stage="run"
+                raise KernelError(
+                    f"PROFILED execution takes a single vector, got X with shape {xs.shape}"
+                )
+            prepare_seconds = 0.0
+            with stage_span(
+                "exec.prepare", exec_stage="prepare", kernel=kernel.name
+            ) as prep_span:
+                if isinstance(operand, PreparedOperand):
+                    prepared = operand
+                    prep_span.attributes["cached"] = True
                 else:
-                    y, stats = kernel.simulate(prepared, xs, check_overflow=check_overflow)
-            else:
-                y = kernel.run_many(prepared, xs) if batched else kernel.run(prepared, xs)
-                if mode is ExecutionMode.PROFILED:
-                    profile = kernel.profile(prepared, xs)
-        run_seconds = time.perf_counter() - start
+                    start = time.perf_counter()
+                    prepared = kernel.prepare(operand)
+                    prepare_seconds = time.perf_counter() - start
+                    prep_span.attributes["cached"] = False
+                    _observe_stage_seconds("prepare", kernel.name, prepare_seconds)
+                apply_faults(kernel.name, prepared, faults)
 
-        stage = "check"
-        y = check_result(y, prepared.shape, k=xs.shape[0] if batched else None)
+            if deep_verify:
+                stage = "verify"
+                with stage_span("exec.verify", exec_stage="verify", kernel=kernel.name):
+                    verify_operand(kernel, prepared)
+
+            stage = "run"
+            stats = None
+            profile = None
+            with stage_span(
+                "exec.run",
+                exec_stage="run",
+                kernel=kernel.name,
+                mode=mode.name,
+                batched=batched,
+            ):
+                start = time.perf_counter()
+                with install_tracers(tracers):
+                    if mode is ExecutionMode.SIMULATED:
+                        if batched:
+                            y, stats = kernel.simulate_many(
+                                prepared, xs, check_overflow=check_overflow
+                            )
+                        else:
+                            y, stats = kernel.simulate(
+                                prepared, xs, check_overflow=check_overflow
+                            )
+                    else:
+                        y = kernel.run_many(prepared, xs) if batched else kernel.run(prepared, xs)
+                        if mode is ExecutionMode.PROFILED:
+                            profile = kernel.profile(prepared, xs)
+                run_seconds = time.perf_counter() - start
+            _observe_stage_seconds("run", kernel.name, run_seconds)
+
+            stage = "check"
+            with stage_span("exec.check", exec_stage="check", kernel=kernel.name):
+                y = check_result(y, prepared.shape, k=xs.shape[0] if batched else None)
     except ReproError as exc:
         exc.exec_stage = stage
+        _record_execution(kernel_label, mode, f"error:{stage}")
         raise
+    _record_execution(kernel.name, mode, "ok")
     return ExecutionResult(
         y=y,
         kernel=kernel.name,

@@ -1,7 +1,7 @@
 """Composable middleware around a kernel invocation.
 
-Two concerns used to be wired by hand at every call site and are lifted
-here instead:
+Three concerns used to be wired by hand at every call site and are
+lifted here instead:
 
 Tracers
     :mod:`repro.gpu.instrument` holds a *single* global tracer slot.
@@ -18,6 +18,14 @@ Faults
     mutate a freshly prepared operand — the fault-injection seam the
     robustness tests drive.  :class:`OperandFault` wraps a hook with
     bookkeeping of which kernels it fired on.
+
+Observability
+    :func:`stage_span` opens one :mod:`repro.obs` span around an exec
+    stage (or a chain attempt, or an engine batch).  It is the *only*
+    route through which the observability layer sees an execution: obs
+    code never touches kernels directly (the boundary gate enforces
+    it), and the span is passive — errors propagate untouched, results
+    are never read back.
 """
 
 from __future__ import annotations
@@ -27,11 +35,22 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence, TYPE_CHECKING
 
 from repro.gpu.instrument import Tracer, tracing
+from repro.obs import span as _obs_span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.kernels.base import PreparedOperand
 
-__all__ = ["OperandFault", "TracerStack", "apply_faults", "install_tracers"]
+__all__ = ["OperandFault", "TracerStack", "apply_faults", "install_tracers", "stage_span"]
+
+
+def stage_span(name: str, **attributes: object):
+    """Open an observability span on the process-wide log.
+
+    The middleware seam consumers and the executor instrument through;
+    yields the live :class:`~repro.obs.Span` so callers may refine
+    attributes (e.g. the resolved kernel name) while it is open.
+    """
+    return _obs_span(name, **attributes)
 
 #: Signature every operand fault satisfies.
 FaultHook = Callable[[str, "PreparedOperand"], None]

@@ -1,0 +1,69 @@
+"""``repro.obs`` — the unified observability layer.
+
+One subsystem, three products, all fed by the ``repro.exec`` seam:
+
+* a process-wide **metrics registry** (:mod:`repro.obs.metrics`) of
+  labeled counters, gauges and histograms every producer — executor,
+  chain walker, engine, operand cache, dispatcher, sanitizer, bench —
+  records into;
+* **span-based tracing** (:mod:`repro.obs.spans`): one span per exec
+  stage, per chain attempt, per engine batch, carrying
+  ``exec_stage`` / ``kernel`` / ``mode`` attributes;
+* **exporters** (:mod:`repro.obs.export`, :mod:`repro.obs.report`):
+  Prometheus-style text, JSON-lines event logs, and the merged
+  :class:`RunReport` that folds ``ExecutionStats``, ``CacheStats``,
+  ``EngineStats``, degradation events and sanitizer findings into one
+  serializable document (``repro.cli report``).
+
+Observation is strictly passive: this package never invokes kernels
+(enforced by ``scripts/check_exec_boundaries.py``) and nothing on the
+numeric/simulated/profiled paths reads it back, so results and
+simulator counters are bitwise-identical with observability enabled.
+"""
+
+from repro.obs.export import read_jsonl, to_prometheus, write_jsonl
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+    get_registry,
+    reset_metrics,
+)
+from repro.obs.report import (
+    RunReport,
+    SCHEMA_VERSION,
+    build_run_report,
+    format_run_report,
+)
+from repro.obs.spans import Span, SpanLog, get_span_log, reset_spans, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "RunReport",
+    "SCHEMA_VERSION",
+    "Span",
+    "SpanLog",
+    "build_run_report",
+    "format_run_report",
+    "get_registry",
+    "get_span_log",
+    "read_jsonl",
+    "reset_metrics",
+    "reset_observability",
+    "reset_spans",
+    "span",
+    "to_prometheus",
+    "write_jsonl",
+]
+
+
+def reset_observability() -> None:
+    """Clear the process-wide metrics registry and span log together."""
+    reset_metrics()
+    reset_spans()

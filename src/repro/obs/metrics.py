@@ -1,0 +1,275 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Every producer in the repo (the exec stage machine, the chain walker,
+:class:`~repro.engine.SpMVEngine`, the operand cache, the degradation
+dispatcher, the sanitizer, the bench harness) records into one
+:class:`MetricsRegistry` so a run's counters can be exported together —
+as a Prometheus-style text page (:func:`repro.obs.export.to_prometheus`)
+or folded into a :class:`~repro.obs.report.RunReport`.
+
+The model is deliberately Prometheus-shaped:
+
+* a **metric** has a name, a kind (``counter`` / ``gauge`` /
+  ``histogram``), help text, and a fixed tuple of label names;
+* each distinct label-value assignment is a **series** holding one
+  value (or, for histograms, a count / sum / bucket vector);
+* registration is idempotent — asking for an existing name returns the
+  existing metric, and a kind or label-schema mismatch is a structured
+  :class:`~repro.errors.ObservabilityError` instead of a silent alias.
+
+Metrics are *observation only*: nothing in the numeric, simulated or
+profiled paths reads them back, so enabling observability can never
+perturb results (the bitwise-identity contract of the exec layer).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Iterable, Mapping
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "get_registry",
+    "reset_metrics",
+]
+
+#: Default histogram buckets, tuned for host-side stage timings
+#: (microseconds through tens of seconds).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+class Metric:
+    """Base of the three metric kinds; owns the labeled series map."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", label_names: tuple[str, ...] = ()):
+        if not _NAME_RE.match(name):
+            raise ObservabilityError(f"invalid metric name {name!r}")
+        for label in label_names:
+            if not _NAME_RE.match(label):
+                raise ObservabilityError(f"invalid label name {label!r} on {name!r}")
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._series: dict[tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+
+    # -- series addressing ----------------------------------------------------
+    def _key(self, labels: Mapping[str, object]) -> tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ObservabilityError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[n]) for n in self.label_names)
+
+    def series(self) -> dict[tuple[str, ...], object]:
+        """Snapshot of every labeled series (label values -> value)."""
+        with self._lock:
+            return dict(self._series)
+
+    def labeled(self) -> list[tuple[dict, object]]:
+        """Series as ``({label: value}, value)`` pairs, insertion-ordered."""
+        return [
+            (dict(zip(self.label_names, key)), value)
+            for key, value in self.series().items()
+        ]
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "label_names": list(self.label_names),
+            "series": [
+                {"labels": labels, "value": value} for labels, value in self.labeled()
+            ],
+        }
+
+
+class Counter(Metric):
+    """Monotonically increasing count (events, bytes, degradations)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._series.get(self._key(labels), 0)
+
+
+class Gauge(Metric):
+    """A value that goes both ways (resident bytes, queue depth)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        with self._lock:
+            self._series[self._key(labels)] = value
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        return self._series.get(self._key(labels), 0)
+
+
+class Histogram(Metric):
+    """Cumulative-bucket distribution (stage seconds, batch sizes)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        label_names: tuple[str, ...] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help, label_names)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ObservabilityError(f"histogram {name!r} needs at least one bucket")
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = {
+                    "count": 0,
+                    "sum": 0.0,
+                    "buckets": [0] * len(self.buckets),
+                }
+                self._series[key] = series
+            series["count"] += 1
+            series["sum"] += float(value)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series["buckets"][i] += 1
+
+    def count(self, **labels: object) -> int:
+        series = self._series.get(self._key(labels))
+        return series["count"] if series else 0
+
+    def sum(self, **labels: object) -> float:
+        series = self._series.get(self._key(labels))
+        return series["sum"] if series else 0.0
+
+    def series(self) -> dict[tuple[str, ...], object]:
+        with self._lock:
+            return {
+                key: {
+                    "count": s["count"],
+                    "sum": s["sum"],
+                    "buckets": list(s["buckets"]),
+                }
+                for key, s in self._series.items()
+            }
+
+
+class MetricsRegistry:
+    """Name-keyed collection of metrics with idempotent registration."""
+
+    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def __init__(self):
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _register(self, cls, name: str, help: str, labels: tuple[str, ...], **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or type(existing) is not cls:
+                    raise ObservabilityError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                if existing.label_names != tuple(labels):
+                    raise ObservabilityError(
+                        f"metric {name!r} already registered with labels "
+                        f"{existing.label_names}, got {tuple(labels)}"
+                    )
+                return existing
+            metric = cls(name, help, tuple(labels), **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", labels: tuple[str, ...] = ()) -> Counter:
+        return self._register(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: tuple[str, ...] = ()) -> Gauge:
+        return self._register(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: tuple[str, ...] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram, name, help, labels, buckets=buckets)
+
+    # -- introspection --------------------------------------------------------
+    def get(self, name: str) -> Metric | None:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def metrics(self) -> list[Metric]:
+        """Registered metrics in registration order."""
+        with self._lock:
+            return list(self._metrics.values())
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot of every metric and series."""
+        return {"metrics": [m.as_dict() for m in self.metrics()]}
+
+    def reset(self) -> None:
+        """Drop every metric (registrations included) — test isolation."""
+        with self._lock:
+            self._metrics.clear()
+
+
+#: The process-wide registry every producer records into.
+_GLOBAL = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry`."""
+    return _GLOBAL
+
+
+def reset_metrics() -> None:
+    """Clear the process-wide registry (between runs / tests)."""
+    _GLOBAL.reset()

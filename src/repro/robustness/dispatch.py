@@ -124,6 +124,13 @@ def dispatch_spmv(
         check_overflow=simulate,
         deep_verify=deep_verify,
     )
+    from repro.obs import get_registry
+
+    get_registry().counter(
+        "dispatch_total",
+        "Graceful-degradation dispatches, by outcome.",
+        labels=("status",),
+    ).inc(status="degraded" if result.events else "clean")
     stats = result.stats if result.stats is not None else ExecutionStats()
     stats.degradation_log.extend(result.events)
     return DispatchResult(

@@ -52,6 +52,46 @@ class TestFingerprint:
         b = CSRMatrix((2, 6), np.zeros(3, np.int64), [], [])
         assert matrix_fingerprint(a) != matrix_fingerprint(b)
 
+    def test_dtype_disambiguates_identical_bytes(self):
+        """Regression: the old hash covered only raw bytes, so an int32
+        ``[1, 0]`` and an int64 ``[1]`` (same little-endian bytes)
+        collided.  CSRMatrix coerces index dtypes at construction, so
+        the collision is reproduced with a duck-typed stub carrying the
+        exact four attributes the fingerprint reads."""
+        import types
+
+        def stub(col_indices):
+            return types.SimpleNamespace(
+                shape=(1, 2),
+                row_pointers=np.array([0, 2], np.int64),
+                col_indices=col_indices,
+                values=np.array([1.5, 2.5], np.float32),
+            )
+
+        a = stub(np.array([1, 0], np.int32))
+        b = stub(np.array([1], np.int64))
+        assert a.col_indices.tobytes() == b.col_indices.tobytes()  # the trap
+        assert matrix_fingerprint(a) != matrix_fingerprint(b)
+
+    def test_array_boundary_pinned(self):
+        """Bytes cannot shift between adjacent arrays and hash the same:
+        the per-array length framing keeps ``indices=[1,2] values=[3]``
+        apart from ``indices=[1] values=[2,3]``."""
+        import types
+
+        def stub(col_indices, values):
+            # row_pointers held constant so only the boundary moves
+            return types.SimpleNamespace(
+                shape=(1, 4),
+                row_pointers=np.array([0, 2], np.int64),
+                col_indices=np.asarray(col_indices, np.int32),
+                values=np.asarray(values, np.int32).view(np.float32),
+            )
+
+        a = stub([1, 2], [3])
+        b = stub([1], [2, 3])
+        assert matrix_fingerprint(a) != matrix_fingerprint(b)
+
 
 class TestOperandCache:
     def test_hit_miss_counters(self):
@@ -88,6 +128,47 @@ class TestOperandCache:
         assert ("spaden", "small") in cache  # nothing evicted for it
         assert cache.stats.rejected == 1
         assert cache.stats.evictions == 0
+
+    def test_oversized_replacement_counts_the_displaced_entry(self):
+        """Regression: an oversized ``put`` over a *resident* key used to
+        drop the old entry without counting an eviction, so
+        ``evictions`` understated every entry that left the cache."""
+        cache = OperandCache(100)
+        cache.put(("spaden", "a"), _operand("small", 80))
+        cache.put(("spaden", "a"), _operand("huge", 101))
+        assert ("spaden", "a") not in cache
+        assert cache.stats.rejected == 1
+        assert cache.stats.evictions == 1  # the displaced resident entry
+        assert cache.resident_bytes == 0
+
+    def test_resident_bytes_running_total_consistent(self):
+        """The running total must equal the sum over resident operands
+        after every mutation (regression for the O(n) recomputation it
+        replaced), and never exceed the budget."""
+        cache = OperandCache(250)
+
+        def check():
+            actual = sum(op.device_bytes for op in cache._entries.values())
+            assert cache.resident_bytes == actual
+            assert cache.resident_bytes <= 250
+
+        for name, size in [("a", 100), ("b", 100), ("c", 60), ("a", 40), ("big", 999)]:
+            cache.put(("spaden", name), _operand(name, size))
+            check()
+        cache.invalidate(("spaden", "c"))
+        check()
+        cache.invalidate(("spaden", "absent"))
+        check()
+        cache.clear()
+        check()
+        assert cache.resident_bytes == 0
+
+    def test_same_key_replacement_does_not_leak_bytes(self):
+        cache = OperandCache(1000)
+        cache.put(("spaden", "a"), _operand("v1", 400))
+        cache.put(("spaden", "a"), _operand("v2", 300))
+        assert cache.resident_bytes == 300
+        assert len(cache) == 1
 
     def test_invalidate(self):
         cache = OperandCache(1000)

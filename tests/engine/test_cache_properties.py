@@ -1,0 +1,114 @@
+"""Property test: the operand cache against a brute-force model.
+
+Randomized ``put`` / ``get`` / ``invalidate`` sequences drive an
+:class:`~repro.engine.cache.OperandCache` next to a trivially-correct
+reference (an ordered dict re-summed from scratch), checking after every
+operation that
+
+* the LRU key order matches the model exactly,
+* ``resident_bytes`` equals the re-summed total and never exceeds the
+  budget,
+* the four counters reconcile: every lookup is a hit or a miss, and
+  every ``put`` either retains, rejects, or displaces counted entries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import OperandCache
+from repro.kernels.base import PreparedOperand
+
+BUDGET = 500
+KEYS = [("spaden", name) for name in "abcdef"]
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.sampled_from(KEYS), st.integers(1, 700)),
+        st.tuples(st.just("get"), st.sampled_from(KEYS), st.just(0)),
+        st.tuples(st.just("invalidate"), st.sampled_from(KEYS), st.just(0)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _operand(size: int) -> PreparedOperand:
+    return PreparedOperand(
+        kernel_name="spaden",
+        data=f"op-{size}",
+        shape=(8, 8),
+        nnz=1,
+        device_bytes=size,
+        preprocessing_seconds=0.0,
+    )
+
+
+class Model:
+    """Straight-line reference implementation of the cache contract."""
+
+    def __init__(self):
+        self.entries: OrderedDict[tuple, int] = OrderedDict()
+        self.hits = self.misses = self.evictions = self.rejected = 0
+
+    def resident(self) -> int:
+        return sum(self.entries.values())
+
+    def get(self, key):
+        if key in self.entries:
+            self.entries.move_to_end(key)
+            self.hits += 1
+        else:
+            self.misses += 1
+
+    def put(self, key, size):
+        if size > BUDGET:
+            if self.entries.pop(key, None) is not None:
+                self.evictions += 1
+            self.rejected += 1
+            return
+        self.entries.pop(key, None)
+        self.entries[key] = size
+        while self.resident() > BUDGET:
+            self.entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, key):
+        self.entries.pop(key, None)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_ops)
+def test_cache_matches_model(ops):
+    cache = OperandCache(BUDGET, name="property")
+    model = Model()
+    lookups = 0
+    for action, key, size in ops:
+        if action == "put":
+            cache.put(key, _operand(size))
+            model.put(key, size)
+        elif action == "get":
+            cache.get(key)
+            model.get(key)
+            lookups += 1
+        else:
+            cache.invalidate(key)
+            model.invalidate(key)
+
+        # LRU order, residency, budget
+        assert cache.keys() == list(model.entries)
+        assert cache.resident_bytes == model.resident()
+        assert cache.resident_bytes <= BUDGET
+
+        # counter reconciliation
+        s = cache.stats
+        assert (s.hits, s.misses, s.evictions, s.rejected) == (
+            model.hits,
+            model.misses,
+            model.evictions,
+            model.rejected,
+        )
+        assert s.hits + s.misses == lookups

@@ -79,8 +79,12 @@ def test_profiled_carries_profile_and_matches_numeric(csr, x_small):
 
 def test_profiled_rejects_batches(csr, rng):
     X = rng.standard_normal((2, csr.ncols)).astype(np.float32)
-    with pytest.raises(KernelError, match="PROFILED execution takes a single vector"):
+    with pytest.raises(KernelError, match="PROFILED execution takes a single vector") as info:
         execute("spaden", csr, X, mode=ExecutionMode.PROFILED)
+    # Regression: pure argument validation — nothing ran, so the error
+    # must be tagged under "prepare", not "run" (a chain walker would
+    # otherwise log a phantom run-stage degradation).
+    assert info.value.exec_stage == "prepare"
 
 
 def test_prepared_operand_is_reused_not_reprepared(csr, x_small):

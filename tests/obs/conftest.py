@@ -1,0 +1,13 @@
+"""Observability tests run against pristine process-wide state."""
+
+import pytest
+
+from repro.obs import reset_observability
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    """Reset the global registry and span log around every test."""
+    reset_observability()
+    yield
+    reset_observability()

@@ -1,0 +1,70 @@
+"""Exporters: Prometheus text rendering and the JSON-lines codec."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import MetricsRegistry, read_jsonl, to_prometheus, write_jsonl
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self, registry):
+        registry.counter("events_total", "Events seen.", labels=("kind",)).inc(
+            2, kind="hit"
+        )
+        registry.gauge("resident_bytes", "Bytes held.").set(640)
+        text = to_prometheus(registry)
+        assert "# HELP events_total Events seen." in text
+        assert "# TYPE events_total counter" in text
+        assert 'events_total{kind="hit"} 2' in text
+        assert "# TYPE resident_bytes gauge" in text
+        assert "resident_bytes 640" in text
+        assert text.endswith("\n")
+
+    def test_histogram_expansion(self, registry):
+        h = registry.histogram("stage_seconds", labels=("stage",), buckets=(0.1, 1.0))
+        h.observe(0.05, stage="run")
+        h.observe(0.5, stage="run")
+        text = to_prometheus(registry)
+        assert 'stage_seconds_bucket{stage="run",le="0.1"} 1' in text
+        assert 'stage_seconds_bucket{stage="run",le="1"} 2' in text
+        assert 'stage_seconds_bucket{stage="run",le="+Inf"} 2' in text
+        assert 'stage_seconds_sum{stage="run"} 0.55' in text
+        assert 'stage_seconds_count{stage="run"} 2' in text
+
+    def test_label_escaping(self, registry):
+        registry.counter("c_total", labels=("detail",)).inc(detail='say "hi"\nbye')
+        text = to_prometheus(registry)
+        assert r'c_total{detail="say \"hi\"\nbye"} 1' in text
+
+    def test_empty_registry_renders_empty(self, registry):
+        assert to_prometheus(registry) == ""
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        events = [{"record": "meta", "data": {"k": 1}}, {"record": "span", "data": {}}]
+        path = tmp_path / "events.jsonl"
+        assert write_jsonl(path, events) == 2
+        assert read_jsonl(path) == events
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n')
+        assert read_jsonl(path) == [{"a": 1}, {"b": 2}]
+
+    def test_malformed_line_names_its_number(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"a": 1}\n{not json\n')
+        with pytest.raises(ObservabilityError, match="events.jsonl:2"):
+            read_jsonl(path)
+
+    def test_non_object_event_rejected(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ObservabilityError, match="must be a JSON object"):
+            read_jsonl(path)

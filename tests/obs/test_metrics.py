@@ -1,0 +1,129 @@
+"""Metrics registry semantics: kinds, labels, idempotency, snapshots."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    reset_metrics,
+)
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_accumulates_per_label_series(self, registry):
+        c = registry.counter("events_total", "Events.", labels=("kind",))
+        c.inc(kind="hit")
+        c.inc(3, kind="hit")
+        c.inc(kind="miss")
+        assert c.value(kind="hit") == 4
+        assert c.value(kind="miss") == 1
+        assert c.value(kind="never") == 0
+
+    def test_rejects_decrease(self, registry):
+        c = registry.counter("events_total")
+        with pytest.raises(ObservabilityError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_rejects_label_mismatch(self, registry):
+        c = registry.counter("events_total", labels=("kind",))
+        with pytest.raises(ObservabilityError, match="takes labels"):
+            c.inc(flavor="hit")
+        with pytest.raises(ObservabilityError, match="takes labels"):
+            c.inc()  # missing the declared label
+
+    def test_label_values_stringified(self, registry):
+        c = registry.counter("events_total", labels=("position",))
+        c.inc(position=0)
+        assert c.value(position="0") == 1
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("resident_bytes", labels=("cache",))
+        g.set(100, cache="a")
+        g.inc(50, cache="a")
+        g.dec(25, cache="a")
+        assert g.value(cache="a") == 125
+        assert g.value(cache="b") == 0
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self, registry):
+        h = registry.histogram("seconds", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        series = h.series()[()]
+        # cumulative: <=0.1 -> 1, <=1.0 -> 3, <=10.0 -> 4; count holds all 5
+        assert series["buckets"] == [1, 3, 4]
+        assert series["count"] == 5
+        assert series["sum"] == pytest.approx(56.05)
+        assert h.count() == 5 and h.sum() == pytest.approx(56.05)
+
+    def test_needs_buckets(self, registry):
+        with pytest.raises(ObservabilityError, match="at least one bucket"):
+            registry.histogram("seconds", buckets=())
+
+    def test_buckets_sorted(self, registry):
+        h = registry.histogram("seconds", buckets=(10.0, 0.1, 1.0))
+        assert h.buckets == (0.1, 1.0, 10.0)
+
+
+class TestRegistry:
+    def test_registration_idempotent(self, registry):
+        a = registry.counter("x_total", "Help.", labels=("k",))
+        b = registry.counter("x_total", "Help.", labels=("k",))
+        assert a is b
+        assert len(registry) == 1
+
+    def test_kind_conflict_rejected(self, registry):
+        registry.counter("x_total")
+        with pytest.raises(ObservabilityError, match="already registered as counter"):
+            registry.gauge("x_total")
+
+    def test_label_schema_conflict_rejected(self, registry):
+        registry.counter("x_total", labels=("a",))
+        with pytest.raises(ObservabilityError, match="already registered with labels"):
+            registry.counter("x_total", labels=("b",))
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(ObservabilityError, match="invalid metric name"):
+            registry.counter("1bad")
+        with pytest.raises(ObservabilityError, match="invalid label name"):
+            registry.counter("ok_total", labels=("bad-label",))
+
+    def test_as_dict_is_json_ready(self, registry):
+        c = registry.counter("x_total", "Help.", labels=("k",))
+        c.inc(k="a")
+        snapshot = registry.as_dict()
+        [metric] = snapshot["metrics"]
+        assert metric["name"] == "x_total"
+        assert metric["kind"] == "counter"
+        assert metric["series"] == [{"labels": {"k": "a"}, "value": 1}]
+
+    def test_contains_and_get(self, registry):
+        registry.gauge("g")
+        assert "g" in registry and isinstance(registry.get("g"), Gauge)
+        assert "absent" not in registry and registry.get("absent") is None
+
+    def test_metric_kinds(self, registry):
+        assert isinstance(registry.counter("c"), Counter)
+        assert isinstance(registry.gauge("g"), Gauge)
+        assert isinstance(registry.histogram("h"), Histogram)
+
+
+class TestGlobalRegistry:
+    def test_reset_drops_registrations(self):
+        get_registry().counter("tmp_total").inc()
+        assert "tmp_total" in get_registry()
+        reset_metrics()
+        assert "tmp_total" not in get_registry()
+        assert len(get_registry()) == 0

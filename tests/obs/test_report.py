@@ -1,0 +1,126 @@
+"""RunReport: building from live producers and lossless round trips."""
+
+import numpy as np
+import pytest
+
+from repro.engine import SpMVEngine
+from repro.errors import ObservabilityError
+from repro.formats.csr import CSRMatrix
+from repro.obs import (
+    SCHEMA_VERSION,
+    RunReport,
+    build_run_report,
+    format_run_report,
+)
+
+
+@pytest.fixture
+def engine_report(small_coo, rng) -> RunReport:
+    csr = CSRMatrix.from_coo(small_coo)
+    X = rng.standard_normal((3, csr.ncols)).astype(np.float32)
+    engine = SpMVEngine("spaden")
+    engine.spmv_many([(csr, x) for x in X])
+    engine.spmv(csr, X[0])
+    return engine.run_report(meta={"source": "test"})
+
+
+class TestBuild:
+    def test_engine_supplies_every_section(self, engine_report):
+        report = engine_report
+        assert report.schema_version == SCHEMA_VERSION
+        assert report.meta["source"] == "test"
+        assert report.meta["kernel"] == "spaden"
+        assert report.engine_stats["requests"] == 4
+        assert report.engine_stats["batches"] == 2
+        # nested silos live in their own sections, not inside engine_stats
+        assert "execution" not in report.engine_stats
+        assert "degradation_log" not in report.engine_stats
+        assert report.cache_stats["hits"] == 1 and report.cache_stats["misses"] == 1
+        assert report.degradation_events == []
+        assert any(s["name"] == "engine.batch" for s in report.spans)
+        names = [m["name"] for m in report.metrics["metrics"]]
+        assert "engine_requests_total" in names
+        assert "operand_cache_events_total" in names
+
+    def test_all_payloads_json_native(self, engine_report):
+        import json
+
+        d = engine_report.as_dict()
+        assert json.loads(json.dumps(d)) == d
+
+    def test_empty_build_defaults(self):
+        report = build_run_report(meta={"only": "meta"})
+        assert report.kernel_stats == {}
+        assert report.cache_stats == {}
+        assert report.engine_stats == {}
+        assert report.sanitizer == {}
+        assert report.degradation_events == []
+
+
+class TestRoundTrip:
+    def test_jsonl_lines_round_trip_equal(self, engine_report):
+        lines = engine_report.to_jsonl_lines()
+        assert engine_report == RunReport.from_jsonl_lines(lines)
+
+    def test_file_round_trip_equal(self, engine_report, tmp_path):
+        path = tmp_path / "report.jsonl"
+        n = engine_report.write_jsonl(path)
+        assert n == len(engine_report.to_events())
+        assert RunReport.load_jsonl(path) == engine_report
+
+    def test_event_stream_shape(self, engine_report):
+        events = engine_report.to_events()
+        assert events[0]["record"] == "meta"
+        assert events[0]["schema_version"] == SCHEMA_VERSION
+        records = {e["record"] for e in events}
+        assert {"kernel_stats", "cache_stats", "engine_stats", "metrics", "span"} <= records
+
+    def test_unknown_record_rejected(self):
+        events = [
+            {"record": "meta", "schema_version": SCHEMA_VERSION, "data": {}},
+            {"record": "surprise", "data": {}},
+        ]
+        with pytest.raises(ObservabilityError, match="unknown run-report record"):
+            RunReport.from_events(events)
+
+    def test_missing_meta_rejected(self):
+        with pytest.raises(ObservabilityError, match="no 'meta' header"):
+            RunReport.from_events([{"record": "span", "data": {}}])
+
+    def test_schema_mismatch_rejected(self):
+        events = [{"record": "meta", "schema_version": SCHEMA_VERSION + 1, "data": {}}]
+        with pytest.raises(ObservabilityError, match="unsupported"):
+            RunReport.from_events(events)
+
+    def test_malformed_line_rejected_with_lineno(self):
+        with pytest.raises(ObservabilityError, match="line 2"):
+            RunReport.from_jsonl_lines(['{"record": "meta"}', "{oops"])
+
+
+class TestFormat:
+    def test_summary_mentions_every_populated_section(self, engine_report):
+        text = format_run_report(engine_report)
+        assert text.startswith("== RunReport ==")
+        assert "source=test" in text
+        assert "engine: 4 requests in 2 batches" in text
+        assert "cache: 1 hits / 1 misses" in text
+        assert "degradations: 0" in text
+        assert "engine.batch" in text
+        assert "metrics:" in text
+
+    def test_degradation_lines(self):
+        report = RunReport(
+            meta={"m": 1},
+            degradation_events=[
+                {
+                    "kernel": "spaden",
+                    "stage": "verify",
+                    "cause": "BitmapPopcountError",
+                    "detail": "bad popcount",
+                    "fallback": "spaden-no-tc",
+                }
+            ],
+        )
+        text = format_run_report(report)
+        assert "degradations: 1" in text
+        assert "[spaden/verify] BitmapPopcountError: bad popcount -> spaden-no-tc" in text
