@@ -15,7 +15,13 @@ docstrings and comments never trips the gate) and fails on:
   ``repro.errors`` and ``repro.obs`` itself — observability observes
   through the ``repro.exec.middleware`` seam; it must never reach into
   kernels, the simulated GPU, or the engine, so enabling it cannot
-  perturb results.
+  perturb results;
+* likewise any import inside ``repro/resilience/`` beyond
+  ``repro.errors`` / ``repro.obs`` / ``repro.resilience`` — the
+  resilience primitives (deadlines, retry policies, circuit breakers)
+  are pure policy objects the exec layer consults; if they could import
+  kernels or the engine, installing a policy could change what a
+  request computes.
 
 Run from the repo root: ``python scripts/check_exec_boundaries.py``.
 Exits 1 with one line per violation.
@@ -36,12 +42,28 @@ ENTRY_POINTS = {"run", "run_many", "simulate", "simulate_many"}
 #: Directories allowed to touch kernel entry points directly.
 EXEMPT = ("exec", "kernels")
 
-#: Import prefixes ``repro.obs`` modules may use beside the stdlib.
-OBS_ALLOWED_PREFIXES = ("repro.errors", "repro.obs")
+#: Passive packages: per top-level directory, the repro import prefixes
+#: its modules may use beside the stdlib, and why the fence exists.
+#: Both layers are *consulted* by the exec seam, never the other way
+#: around — so enabling them cannot change what a request computes.
+IMPORT_FENCES = {
+    "obs": (
+        ("repro.errors", "repro.obs"),
+        "observability may only import repro.errors and repro.obs.*; "
+        "producers feed it through the middleware seam",
+    ),
+    "resilience": (
+        ("repro.errors", "repro.obs", "repro.resilience"),
+        "resilience policies may only import repro.errors, repro.obs and "
+        "repro.resilience.*; the exec layer consults them, never vice versa",
+    ),
+}
 
 
-def _obs_violations(path: Path, tree: ast.AST) -> list[str]:
-    """Imports that would let the observability layer act instead of observe."""
+def _import_violations(
+    path: Path, tree: ast.AST, package: str, allowed: tuple[str, ...], reason: str
+) -> list[str]:
+    """Imports that would let a passive layer act instead of being consulted."""
     rel = path.relative_to(SRC.parent.parent)
     found = []
     for node in ast.walk(tree):
@@ -52,13 +74,10 @@ def _obs_violations(path: Path, tree: ast.AST) -> list[str]:
             targets = [node.module]
         for name in targets:
             if name == "repro" or name.startswith("repro."):
-                if not any(
-                    name == p or name.startswith(p + ".") for p in OBS_ALLOWED_PREFIXES
-                ):
+                if not any(name == p or name.startswith(p + ".") for p in allowed):
                     found.append(
-                        f"{rel}:{node.lineno}: repro.obs imports {name!r} — "
-                        f"observability may only import repro.errors and repro.obs.*; "
-                        f"producers feed it through the middleware seam"
+                        f"{rel}:{node.lineno}: repro.{package} imports {name!r} — "
+                        f"{reason}"
                     )
     return found
 
@@ -102,8 +121,9 @@ def main() -> int:
         exempt = top in EXEMPT
         tree = ast.parse(path.read_text(), filename=str(path))
         violations.extend(_violations(path, tree, exempt))
-        if top == "obs":
-            violations.extend(_obs_violations(path, tree))
+        if top in IMPORT_FENCES:
+            allowed, reason = IMPORT_FENCES[top]
+            violations.extend(_import_violations(path, tree, top, allowed, reason))
     for line in violations:
         print(line)
     if violations:

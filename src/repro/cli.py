@@ -14,6 +14,8 @@ Usage::
     python -m repro.cli report  --matrix consph [--batch 8] [--simulate]
                                 [--fault bitmap-bit-flip] [--sanitize]
                                 [--jsonl run_report.jsonl] [--prometheus metrics.txt]
+    python -m repro.cli chaos   [--seed 0] [--requests 48] [--batch 8]
+                                [--probabilities 0,0.5,0.9] [--out BENCH_chaos.json]
 """
 
 from __future__ import annotations
@@ -381,6 +383,41 @@ def _cmd_report(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_chaos(args) -> int:
+    """Replay a seeded fault campaign against a resilient engine.
+
+    Exit status is the campaign verdict: nonzero if any request was
+    lost (queued but neither answered nor errored) or any served ``y``
+    disagreed with the CSR reference — the two things the resilience
+    layer is never allowed to trade away.
+    """
+    from repro.bench.chaos import append_chaos_trajectory, bench_chaos, format_chaos_report
+    from repro.obs import reset_observability
+
+    reset_observability()  # scope the folded report to this campaign
+
+    probabilities = tuple(
+        float(p.strip()) for p in args.probabilities.split(",") if p.strip()
+    )
+    result = bench_chaos(
+        args.nrows,
+        args.ncols or args.nrows,
+        args.density,
+        kernel=args.kernel,
+        requests=args.requests,
+        batch=args.batch,
+        probabilities=probabilities,
+        stall_fraction=args.stall_fraction,
+        deadline_seconds=args.deadline,
+        seed=args.seed,
+    )
+    print(format_chaos_report(result))
+    if args.out:
+        length = append_chaos_trajectory(args.out, result)
+        print(f"[chaos trajectory {args.out}: {length} campaign(s)]")
+    return 1 if result.lost or result.incorrect else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -467,6 +504,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jsonl", default=None, help="write the JSON-lines export and verify round trip")
     p.add_argument("--prometheus", default=None, help="write the Prometheus text exposition")
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "chaos",
+        help="replay a seeded fault campaign against a resilient engine "
+        "(deadlines + retries + circuit breakers) and report outcome "
+        "rates, breaker transitions and recovery latency",
+    )
+    p.add_argument("--nrows", type=int, default=160)
+    p.add_argument("--ncols", type=int, default=0, help="defaults to --nrows")
+    p.add_argument("--density", type=float, default=0.03)
+    p.add_argument("--kernel", default="spaden")
+    p.add_argument("--requests", type=int, default=48, help="requests per sweep point")
+    p.add_argument("--batch", type=int, default=8, help="requests per flush round")
+    p.add_argument(
+        "--probabilities",
+        default="0,0.5,0.9",
+        help="comma-separated fault probabilities to sweep",
+    )
+    p.add_argument(
+        "--stall-fraction",
+        type=float,
+        default=0.15,
+        help="fraction of faults that stall the clock instead of corrupting",
+    )
+    p.add_argument("--deadline", type=float, default=8.0, help="virtual seconds per batch")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--out",
+        default=None,
+        help="append the campaign to a BENCH_chaos.json trajectory",
+    )
+    p.set_defaults(func=_cmd_chaos)
     return parser
 
 

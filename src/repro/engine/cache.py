@@ -64,6 +64,9 @@ class CacheStats:
     evictions: int = 0
     #: Operands larger than the whole budget, served but never retained.
     rejected: int = 0
+    #: Entries dropped through :meth:`OperandCache.invalidate` — the
+    #: quarantine path (poisoned operands evicted on kernel failure).
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -191,6 +194,7 @@ class OperandCache:
         if dropped is None:
             return False
         self._resident_bytes -= dropped.device_bytes
+        self.stats.invalidations += 1
         self._count_event("invalidation")
         self._publish_residency()
         return True

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field, fields
 
 import numpy as np
 
-from repro.errors import KernelError
+from repro.errors import KernelError, ReproError
 from repro.engine.cache import DEFAULT_CACHE_BYTES, OperandCache, matrix_fingerprint
 from repro.exec import (
     ChainExhaustedError,
@@ -39,11 +39,12 @@ from repro.exec import (
     execute_chain,
     verify_operand,
 )
-from repro.exec.middleware import stage_span
+from repro.exec.middleware import FaultHook, stage_span
 from repro.formats.csr import CSRMatrix
 from repro.gpu.counters import ExecutionStats
 from repro.kernels.base import PreparedOperand, get_kernel
 from repro.obs import get_registry
+from repro.resilience import ResiliencePolicy
 
 __all__ = ["EngineStats", "SpMVEngine"]
 
@@ -108,6 +109,15 @@ class SpMVEngine:
     ``deep_verify`` re-runs the deep
     format verifiers on every freshly prepared operand — cache hits skip
     it, matching the "amortize verification" contract of PR 1.
+
+    ``resilience`` installs a :class:`~repro.resilience.ResiliencePolicy`:
+    a per-batch deadline, same-kernel retries on retryable causes, and
+    per-kernel circuit breakers the chain walker consults before
+    attempting a kernel.  The policy's breaker trip and the engine's
+    poisoned-entry cache eviction fire on the same failure, so a sick
+    kernel is quarantined and its cached operand dropped together.
+    ``None`` (the default) leaves every request on the exact pre-policy
+    path — results are bit-identical.
     """
 
     def __init__(
@@ -118,6 +128,7 @@ class SpMVEngine:
         chain: tuple[str, ...] | None = None,
         degrade: bool = True,
         deep_verify: bool = False,
+        resilience: ResiliencePolicy | None = None,
     ):
         get_kernel(kernel)  # fail fast on unknown names
         self.kernel_name = kernel
@@ -130,6 +141,7 @@ class SpMVEngine:
         if not self.chain:
             raise KernelError("empty kernel chain")
         self.deep_verify = deep_verify
+        self.resilience = resilience
         self.cache = OperandCache(cache_bytes, name=f"engine:{kernel}")
         self.stats = EngineStats()
         self._queue: list[tuple[CSRMatrix, np.ndarray]] = []
@@ -153,15 +165,23 @@ class SpMVEngine:
 
     # -- execution -----------------------------------------------------------
     def _execute_batch(
-        self, csr: CSRMatrix, fingerprint: str, X: np.ndarray, simulate: bool
+        self,
+        csr: CSRMatrix,
+        fingerprint: str,
+        X: np.ndarray,
+        simulate: bool,
+        faults: tuple[FaultHook, ...] = (),
     ) -> np.ndarray:
         """Run one same-matrix batch down the degradation chain.
 
         The chain walk itself lives in :func:`repro.exec.execute_chain`;
-        the engine contributes its cache-through ``prepare`` hook and the
-        poisoned-entry eviction on abandoned attempts.
+        the engine contributes its cache-through ``prepare`` hook, the
+        poisoned-entry eviction on abandoned attempts, and — when a
+        :class:`~repro.resilience.ResiliencePolicy` is installed — the
+        batch deadline, the retry policy and the breaker board.
         """
         k = X.shape[0]
+        policy = self.resilience
 
         def pick_mode(kernel) -> ExecutionMode:
             # simulate only where one simulated decode serves the whole
@@ -180,9 +200,14 @@ class SpMVEngine:
                     X,
                     self.chain,
                     mode=pick_mode,
+                    faults=faults,
                     prepare=lambda name: self._prepared(name, csr, fingerprint),
                     # never let a poisoned operand serve the next request
                     invalidate=lambda name: self.cache.invalidate((name, fingerprint)),
+                    deep_verify=policy.deep_verify if policy is not None else False,
+                    deadline=policy.new_deadline() if policy is not None else None,
+                    retry=policy.retry if policy is not None else None,
+                    breakers=policy.breakers if policy is not None else None,
                 )
                 batch_span.attributes["served_by"] = result.kernel
         except ChainExhaustedError as exc:
@@ -226,6 +251,8 @@ class SpMVEngine:
         requests: list[tuple[CSRMatrix, np.ndarray]],
         *,
         simulate: bool = False,
+        return_errors: bool = False,
+        faults: tuple[FaultHook, ...] = (),
     ) -> list[np.ndarray]:
         """Serve a queue of ``(matrix, x)`` requests with micro-batching.
 
@@ -234,6 +261,14 @@ class SpMVEngine:
         executed as one multi-vector ``run_many``; results come back in
         the original request order and each equals the corresponding
         per-vector :meth:`spmv` bitwise.
+
+        With ``return_errors=True`` a failing micro-batch (chain
+        exhausted, deadline missed) does not abort the whole call:
+        every request of the failed group gets the
+        :class:`~repro.errors.ReproError` *instance* at its position
+        and the remaining groups still execute — no request is ever
+        silently dropped.  ``faults`` is the fault-injection seam,
+        forwarded to every attempt (the chaos harness drives it).
         """
         requests = list(requests)
         self.stats.requests += len(requests)
@@ -250,10 +285,17 @@ class SpMVEngine:
             group["positions"].append(position)
             group["xs"].append(x.astype(np.float32))
 
-        results: list[np.ndarray | None] = [None] * len(requests)
+        results: list[np.ndarray | ReproError | None] = [None] * len(requests)
         for fingerprint, group in groups.items():
             X = np.stack(group["xs"]) if group["xs"] else np.zeros((0, 0), np.float32)
-            Y = self._execute_batch(group["csr"], fingerprint, X, simulate)
+            try:
+                Y = self._execute_batch(group["csr"], fingerprint, X, simulate, faults)
+            except ReproError as exc:
+                if not return_errors:
+                    raise
+                for position in group["positions"]:
+                    results[position] = exc
+                continue
             for j, position in enumerate(group["positions"]):
                 results[position] = Y[j]
         return results
@@ -263,10 +305,37 @@ class SpMVEngine:
         self._queue.append((csr, np.asarray(x)))
         return len(self._queue) - 1
 
-    def flush(self, *, simulate: bool = False) -> list[np.ndarray]:
-        """Execute every queued request as micro-batches; clears the queue."""
+    def flush(
+        self,
+        *,
+        simulate: bool = False,
+        return_errors: bool = False,
+        faults: tuple[FaultHook, ...] = (),
+    ) -> list[np.ndarray]:
+        """Execute every queued request as micro-batches; clears the queue.
+
+        A mid-flush failure can never lose requests: if the underlying
+        :meth:`spmv_many` raises (``return_errors=False``, one group's
+        chain exhausted or deadline missed), the *entire* flushed queue
+        is restored — ahead of anything submitted meanwhile — before the
+        error propagates, so the caller may fix the condition and flush
+        again.  With ``return_errors=True`` the queue is consumed and
+        each failed request carries its error in the result list
+        instead.
+        """
         queue, self._queue = self._queue, []
-        return self.spmv_many(queue, simulate=simulate) if queue else []
+        if not queue:
+            return []
+        try:
+            return self.spmv_many(
+                queue, simulate=simulate, return_errors=return_errors, faults=faults
+            )
+        except BaseException:
+            # requeue every request of this flush (results were never
+            # delivered, so re-running them is safe), preserving order
+            # relative to anything submitted while we were failing
+            self._queue = queue + self._queue
+            raise
 
     def operator(self, csr: CSRMatrix):
         """Bind a matrix into a plain ``x -> y`` callable for the apps.

@@ -210,3 +210,41 @@ class DatasetError(ReproError):
 class ObservabilityError(ReproError):
     """A metrics/span/report request is malformed (bad name, label
     mismatch, kind conflict, or an unparseable exported document)."""
+
+
+class ResilienceError(ReproError):
+    """A resilience policy is misconfigured (non-positive deadline
+    budget, empty retry schedule, breaker thresholds outside [0, 1],
+    ...).  Raised at construction time, never during a request."""
+
+
+class DeadlineExceededError(ReproError):
+    """A request ran out of its time budget at a stage boundary.
+
+    The execution layer checks the request's :class:`~repro.resilience.Deadline`
+    between stages (``prepare`` / ``verify`` / ``run`` / ``check``) and
+    between chain attempts (``dispatch``); the *first* checkpoint past
+    expiry raises.  Structured attributes locate the miss without
+    parsing the message:
+
+    * ``stage``   — the checkpoint that observed expiry,
+    * ``elapsed`` — seconds since the deadline started,
+    * ``budget``  — the budget the request was admitted with.
+
+    Deadline misses are terminal: the degradation chain re-raises them
+    instead of falling back (a slower kernel cannot beat a clock that
+    has already run out), and the retry taxonomy classifies them fatal.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: str | None = None,
+        elapsed: float | None = None,
+        budget: float | None = None,
+    ):
+        super().__init__(message)
+        self.stage = stage
+        self.elapsed = elapsed
+        self.budget = budget

@@ -11,6 +11,20 @@ recording a :class:`~repro.exec.result.DegradationEvent` per abandoned
 attempt.  Hooks let the engine keep its cache-through prepare
 (``prepare=``) and poisoned-entry eviction (``invalidate=``) without
 reimplementing the walk.
+
+The walker is also where the :mod:`repro.resilience` policies act:
+
+* an open **circuit breaker** skips its kernel up front — no prepare,
+  no verify, no run — recording a ``circuit-open`` degradation event;
+* a **retry policy** re-attempts the *same* kernel on retryable causes
+  (after evicting any poisoned cached operand, so the retry re-prepares
+  from the pristine CSR) with seeded backoff, before degrading;
+* a **deadline** is checked between attempts and inside each attempt's
+  stage machine; a :class:`~repro.errors.DeadlineExceededError` is
+  terminal — it propagates instead of degrading, because a slower
+  fallback cannot beat a clock that already ran out.
+
+All three default to ``None`` and cost nothing when absent.
 """
 
 from __future__ import annotations
@@ -19,15 +33,19 @@ from typing import Callable, Sequence, Union
 
 import numpy as np
 
-from repro.errors import KernelError, ReproError
+from repro.errors import DeadlineExceededError, KernelError, ReproError
 from repro.exec.executor import Operand, execute
-from repro.exec.middleware import FaultHook, stage_span
+from repro.exec.middleware import FaultHook, deadline_checkpoint, stage_span
 from repro.exec.modes import ExecutionMode
 from repro.exec.result import DegradationEvent, ExecutionResult
 from repro.formats.csr import CSRMatrix
 from repro.gpu.instrument import Tracer
 from repro.kernels.base import PreparedOperand, get_kernel, registered_kernels
 from repro.obs import get_registry
+from repro.resilience import RECOVERABLE_EXCEPTIONS, RetryClass
+from repro.resilience.breaker import BreakerBoard
+from repro.resilience.deadline import Deadline
+from repro.resilience.retry import RetryPolicy
 
 
 def _count_degradation(event: DegradationEvent) -> None:
@@ -37,6 +55,14 @@ def _count_degradation(event: DegradationEvent) -> None:
         "Kernel attempts abandoned by the chain walker, by failing stage.",
         labels=("kernel", "exec_stage", "cause"),
     ).inc(kernel=event.kernel, exec_stage=event.stage, cause=event.cause)
+
+
+def _count_retry(kernel: str, cause: str) -> None:
+    get_registry().counter(
+        "exec_retries_total",
+        "Same-kernel re-attempts on retryable causes, before degradation.",
+        labels=("kernel", "cause"),
+    ).inc(kernel=kernel, cause=cause)
 
 __all__ = ["ChainExhaustedError", "default_chain", "execute_chain"]
 
@@ -84,6 +110,9 @@ def execute_chain(
     deep_verify: bool = False,
     prepare: Callable[[str], PreparedOperand] | None = None,
     invalidate: Callable[[str], None] | None = None,
+    deadline: Deadline | None = None,
+    retry: RetryPolicy | None = None,
+    breakers: BreakerBoard | None = None,
 ) -> ExecutionResult:
     """Walk ``chain`` through :func:`~repro.exec.execute` until one wins.
 
@@ -92,7 +121,26 @@ def execute_chain(
     operand never contaminates the next kernel's attempt.  A failing
     attempt is recorded as a :class:`DegradationEvent` — with the stage
     the executor tagged on the exception — and ``invalidate`` (if given)
-    is told to drop any cached state for that kernel.
+    is told to drop any cached state for that kernel.  Beside
+    :class:`~repro.errors.ReproError`, the safelisted recoverable
+    exceptions (:data:`~repro.resilience.RECOVERABLE_EXCEPTIONS`:
+    ``MemoryError``, ``ArithmeticError``) degrade the same way; true
+    corruption — ``KeyboardInterrupt``, programming errors — always
+    propagates.
+
+    With ``breakers``, each kernel's circuit is consulted *before* any
+    work: an open circuit records a ``circuit-open`` event (stage
+    ``"dispatch"``) and falls through without attempting execution, and
+    every real attempt's outcome is fed back to the board — on the same
+    failure that triggers ``invalidate``, so the quarantine (breaker
+    trip) and the cache eviction happen together.  With ``retry``,
+    retryable causes (see :func:`~repro.resilience.classify_exception`)
+    are re-attempted on the same kernel with seeded backoff — after
+    ``invalidate``, so the retry re-prepares — and only the final
+    failure degrades.  ``deadline`` is checked between attempts and at
+    every stage boundary inside them; a miss raises
+    :class:`~repro.errors.DeadlineExceededError` without walking
+    further.
 
     The returned result carries the accumulated ``events`` and the full
     ``attempts`` list.  Raises :class:`ChainExhaustedError` (a
@@ -105,33 +153,78 @@ def execute_chain(
 
     events: list[DegradationEvent] = []
     attempts: list[str] = []
+
+    def abandon(name: str, stage: str, cause: str, detail: str, fallback: str | None):
+        event = DegradationEvent(name, stage, cause, detail, fallback)
+        events.append(event)
+        _count_degradation(event)
+
     with stage_span("exec.chain", chain=",".join(chain)) as chain_span:
         for i, name in enumerate(chain):
             fallback = chain[i + 1] if i + 1 < len(chain) else None
-            attempts.append(name)
-            try:
-                with stage_span("exec.attempt", kernel=name, position=i) as attempt:
-                    kernel = get_kernel(name)
-                    operand: Operand = prepare(name) if prepare is not None else csr
-                    result = execute(
-                        kernel,
-                        operand,
-                        x,
-                        mode=mode(kernel) if callable(mode) else mode,
-                        tracers=tracers,
-                        faults=faults,
-                        check_overflow=check_overflow,
-                        deep_verify=deep_verify,
-                    )
-                    attempt.attributes["outcome"] = "ok"
-            except ReproError as exc:
-                stage = getattr(exc, "exec_stage", "prepare")
-                event = DegradationEvent(name, stage, type(exc).__name__, str(exc), fallback)
-                events.append(event)
-                _count_degradation(event)
-                if invalidate is not None:
-                    invalidate(name)
+            if breakers is not None and not breakers.allow(name):
+                # quarantined: skipped up front, nothing prepared or run
+                abandon(
+                    name,
+                    "dispatch",
+                    "circuit-open",
+                    f"circuit for kernel {name!r} is "
+                    f"{breakers.state(name).value}; skipped without attempting",
+                    fallback,
+                )
                 continue
+            attempts.append(name)
+            result = None
+            for try_number in range(retry.max_attempts if retry is not None else 1):
+                deadline_checkpoint(deadline, "dispatch")
+                try:
+                    with stage_span(
+                        "exec.attempt", kernel=name, position=i, try_number=try_number
+                    ) as attempt:
+                        kernel = get_kernel(name)
+                        operand: Operand = prepare(name) if prepare is not None else csr
+                        result = execute(
+                            kernel,
+                            operand,
+                            x,
+                            mode=mode(kernel) if callable(mode) else mode,
+                            tracers=tracers,
+                            faults=faults,
+                            check_overflow=check_overflow,
+                            deep_verify=deep_verify,
+                            deadline=deadline,
+                        )
+                        attempt.attributes["outcome"] = "ok"
+                except DeadlineExceededError:
+                    # terminal: no fallback can beat an expired clock
+                    raise
+                except (ReproError,) + RECOVERABLE_EXCEPTIONS as exc:
+                    stage = getattr(exc, "exec_stage", "prepare")
+                    cause = type(exc).__name__
+                    if invalidate is not None:
+                        # quarantine first: a poisoned cached operand must
+                        # not serve the retry (or the next request)
+                        invalidate(name)
+                    if (
+                        retry is not None
+                        and try_number + 1 < retry.max_attempts
+                        and retry.classify(exc) is RetryClass.RETRYABLE
+                    ):
+                        delay = retry.delay(try_number)
+                        if deadline is None or deadline.remaining() > delay:
+                            _count_retry(name, cause)
+                            retry.sleep(delay)
+                            continue
+                    if breakers is not None:
+                        breakers.record_failure(name)
+                    abandon(name, stage, cause, str(exc), fallback)
+                    break
+                else:
+                    break
+            if result is None:
+                continue
+            if breakers is not None:
+                breakers.record_success(name)
             chain_span.attributes["kernel"] = name
             chain_span.attributes["degradations"] = len(events)
             result.events = events

@@ -29,7 +29,13 @@ from typing import Sequence, Union
 import numpy as np
 
 from repro.errors import KernelError, NumericalError, ReproError
-from repro.exec.middleware import FaultHook, apply_faults, install_tracers, stage_span
+from repro.exec.middleware import (
+    FaultHook,
+    apply_faults,
+    deadline_checkpoint,
+    install_tracers,
+    stage_span,
+)
 from repro.exec.modes import ExecutionMode
 from repro.exec.result import ExecutionResult
 from repro.formats.base import SparseMatrix
@@ -38,6 +44,8 @@ from repro.gpu.fragment import verify_lane_mapping
 from repro.gpu.instrument import Tracer
 from repro.kernels.base import PreparedOperand, SpMVKernel, get_kernel
 from repro.obs import get_registry
+from repro.resilience import RECOVERABLE_EXCEPTIONS
+from repro.resilience.deadline import Deadline
 
 __all__ = ["check_result", "execute", "verify_operand"]
 
@@ -112,6 +120,7 @@ def execute(
     faults: Sequence[FaultHook] = (),
     check_overflow: bool = False,
     deep_verify: bool = False,
+    deadline: Deadline | None = None,
 ) -> ExecutionResult:
     """Run one SpMV through the full stage machine; returns the result.
 
@@ -125,10 +134,18 @@ def execute(
     ``tracers`` are installed around the run stage only (``prepare`` is
     host-side and stays uninstrumented); ``faults`` are applied to the
     freshly prepared operand; ``check_overflow`` is forwarded to the
-    simulated entry points.  Any :class:`~repro.errors.ReproError`
-    escapes with ``exc.exec_stage`` set to the failing stage — argument
-    validation (an unknown kernel, an unsupported mode, a batch handed
-    to PROFILED) fails under ``prepare``, before anything has run.
+    simulated entry points.  Any :class:`~repro.errors.ReproError` — or
+    a safelisted recoverable non-Repro exception
+    (:data:`~repro.resilience.RECOVERABLE_EXCEPTIONS`) — escapes with
+    ``exc.exec_stage`` set to the failing stage; argument validation
+    (an unknown kernel, an unsupported mode, a batch handed to
+    PROFILED) fails under ``prepare``, before anything has run.
+
+    ``deadline`` (a :class:`~repro.resilience.Deadline`) is checked at
+    every stage boundary: the first boundary past the budget raises
+    :class:`~repro.errors.DeadlineExceededError` tagged with that
+    stage, and the in-flight stage is never interrupted.  ``None``
+    (the default) skips every checkpoint.
 
     Each stage runs inside an observability span (``exec.prepare`` /
     ``exec.verify`` / ``exec.run`` / ``exec.check``, under one
@@ -158,6 +175,7 @@ def execute(
                 raise KernelError(
                     f"PROFILED execution takes a single vector, got X with shape {xs.shape}"
                 )
+            deadline_checkpoint(deadline, "prepare")
             prepare_seconds = 0.0
             with stage_span(
                 "exec.prepare", exec_stage="prepare", kernel=kernel.name
@@ -175,10 +193,12 @@ def execute(
 
             if deep_verify:
                 stage = "verify"
+                deadline_checkpoint(deadline, "verify")
                 with stage_span("exec.verify", exec_stage="verify", kernel=kernel.name):
                     verify_operand(kernel, prepared)
 
             stage = "run"
+            deadline_checkpoint(deadline, "run")
             stats = None
             profile = None
             with stage_span(
@@ -207,9 +227,14 @@ def execute(
             _observe_stage_seconds("run", kernel.name, run_seconds)
 
             stage = "check"
+            deadline_checkpoint(deadline, "check")
             with stage_span("exec.check", exec_stage="check", kernel=kernel.name):
                 y = check_result(y, prepared.shape, k=xs.shape[0] if batched else None)
-    except ReproError as exc:
+    except (ReproError,) + RECOVERABLE_EXCEPTIONS as exc:
+        # recoverable non-Repro exceptions (MemoryError, ArithmeticError)
+        # get the same stage tag so the chain walker can attribute them;
+        # anything else — KeyboardInterrupt, programming errors —
+        # propagates untouched
         exc.exec_stage = stage
         _record_execution(kernel_label, mode, f"error:{stage}")
         raise

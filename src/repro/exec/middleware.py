@@ -26,6 +26,13 @@ Observability
     code never touches kernels directly (the boundary gate enforces
     it), and the span is passive — errors propagate untouched, results
     are never read back.
+
+Deadlines
+    :func:`deadline_checkpoint` is the enforcement point for the
+    :mod:`repro.resilience` time budgets: the executor calls it at
+    every stage boundary, and the chain walker between attempts.  A
+    ``None`` deadline makes it a no-op, so requests without a budget
+    pay nothing.
 """
 
 from __future__ import annotations
@@ -39,8 +46,25 @@ from repro.obs import span as _obs_span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.kernels.base import PreparedOperand
+    from repro.resilience.deadline import Deadline
 
-__all__ = ["OperandFault", "TracerStack", "apply_faults", "install_tracers", "stage_span"]
+__all__ = [
+    "OperandFault",
+    "TracerStack",
+    "apply_faults",
+    "deadline_checkpoint",
+    "install_tracers",
+    "stage_span",
+]
+
+
+def deadline_checkpoint(deadline: "Deadline | None", stage: str) -> None:
+    """Raise :class:`~repro.errors.DeadlineExceededError` if the budget
+    is spent; no-op without a deadline.  The stage machine is the
+    checkpoint — no watchdog threads, no signal handlers: new work
+    simply refuses to start once the budget is gone."""
+    if deadline is not None:
+        deadline.check(stage)
 
 
 def stage_span(name: str, **attributes: object):

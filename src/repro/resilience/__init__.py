@@ -1,0 +1,61 @@
+"""``repro.resilience`` — serving-grade failure policy, kernel-agnostic.
+
+The degradation machinery of PR 1/PR 4 is purely reactive: every
+request walks the fallback chain from the top, with no notion of time
+budgets, retryable-vs-fatal causes, or a kernel's recent health.  This
+package supplies the missing substrate as plain policy objects the
+execution layer consults:
+
+* :class:`Deadline` — a per-request time budget checked at exec stage
+  boundaries (:mod:`repro.resilience.deadline`);
+* :class:`RetryPolicy` + :func:`classify_exception` — seeded, jittered
+  exponential backoff over the retryable cause class
+  (:mod:`repro.resilience.retry`);
+* :class:`CircuitBreaker` / :class:`BreakerBoard` — per-kernel
+  closed → open → half-open quarantine over a sliding outcome window
+  (:mod:`repro.resilience.breaker`);
+* :class:`ResiliencePolicy` — the bundle the engine installs
+  (:mod:`repro.resilience.policy`);
+* :class:`ManualClock` — the injectable time source that makes all of
+  the above deterministic and instant under test
+  (:mod:`repro.resilience.clock`).
+
+Policy stays decoupled from mechanism: this package imports only the
+stdlib, :mod:`repro.errors` and :mod:`repro.obs` (enforced by
+``scripts/check_exec_boundaries.py``, like the obs gate), and nothing
+here ever invokes a kernel — :mod:`repro.exec` reads the policy and
+acts on it.  With no policy installed every seam is pass-through and
+results are bit-identical.
+"""
+
+from repro.resilience.breaker import (
+    BreakerBoard,
+    BreakerConfig,
+    BreakerState,
+    BreakerTransition,
+    CircuitBreaker,
+)
+from repro.resilience.clock import ManualClock
+from repro.resilience.deadline import Deadline
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.retry import (
+    RECOVERABLE_EXCEPTIONS,
+    RetryClass,
+    RetryPolicy,
+    classify_exception,
+)
+
+__all__ = [
+    "BreakerBoard",
+    "BreakerConfig",
+    "BreakerState",
+    "BreakerTransition",
+    "CircuitBreaker",
+    "Deadline",
+    "ManualClock",
+    "RECOVERABLE_EXCEPTIONS",
+    "RetryClass",
+    "RetryPolicy",
+    "ResiliencePolicy",
+    "classify_exception",
+]

@@ -1,0 +1,261 @@
+"""Per-kernel circuit breakers: closed → open → half-open.
+
+The degradation chain of PR 1/PR 4 is memoryless — a kernel that has
+failed a hundred consecutive requests is still attempted (prepare,
+verify, run) on request one hundred and one before falling back.  A
+:class:`CircuitBreaker` remembers: a sliding window of recent outcomes
+(the same success/failure signal the chain walker already feeds into
+``exec_degradations_total``) drives a three-state machine —
+
+``closed``
+    healthy; every request is allowed and its outcome recorded.  When
+    the window holds at least ``min_volume`` outcomes and the failure
+    rate reaches ``failure_threshold``, the breaker **opens**.
+``open``
+    the kernel is quarantined; :meth:`CircuitBreaker.allow` answers
+    ``False`` and the chain walker skips it *without attempting
+    execution*, recording a ``circuit-open`` degradation event.  After
+    ``cooldown_seconds`` the next request transitions to half-open.
+``half-open``
+    up to ``half_open_probes`` trial requests are let through.  The
+    first success closes the breaker (window cleared — history from the
+    sick period must not re-trip it); the first failure re-opens it and
+    restarts the cooldown.
+
+Everything is deterministic given the injectable clock; transitions are
+kept on the breaker (for reports) and mirrored into :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ResilienceError
+from repro.obs import get_registry
+
+__all__ = [
+    "BreakerBoard",
+    "BreakerConfig",
+    "BreakerState",
+    "BreakerTransition",
+    "CircuitBreaker",
+]
+
+
+class BreakerState(enum.Enum):
+    """Where a breaker sits in the closed → open → half-open cycle."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+#: Gauge encoding of the state (0 = healthy .. 2 = quarantined).
+_STATE_VALUE = {BreakerState.CLOSED: 0, BreakerState.HALF_OPEN: 1, BreakerState.OPEN: 2}
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One state change of one breaker, at clock time ``at``."""
+
+    breaker: str
+    old: str
+    new: str
+    at: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.at:g}] {self.breaker}: {self.old} -> {self.new}"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Shared thresholds for every breaker on a board."""
+
+    #: Sliding-window length (recent outcomes considered).
+    window: int = 16
+    #: Failure rate in the window that opens the breaker.
+    failure_threshold: float = 0.5
+    #: Minimum outcomes in the window before the rate is trusted.
+    min_volume: int = 4
+    #: Seconds an open breaker waits before probing.
+    cooldown_seconds: float = 30.0
+    #: Trial requests admitted while half-open.
+    half_open_probes: int = 1
+
+    def __post_init__(self):
+        if self.window < 1:
+            raise ResilienceError(f"window must be >= 1, got {self.window!r}")
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise ResilienceError(
+                f"failure_threshold must be in (0, 1], got {self.failure_threshold!r}"
+            )
+        if not 1 <= self.min_volume <= self.window:
+            raise ResilienceError(
+                f"min_volume must be in [1, window], got {self.min_volume!r}"
+            )
+        if self.cooldown_seconds < 0:
+            raise ResilienceError("cooldown_seconds must be non-negative")
+        if self.half_open_probes < 1:
+            raise ResilienceError(
+                f"half_open_probes must be >= 1, got {self.half_open_probes!r}"
+            )
+
+
+def _publish_state(name: str, state: BreakerState) -> None:
+    get_registry().gauge(
+        "resilience_breaker_state",
+        "Breaker state per kernel (0 closed, 1 half-open, 2 open).",
+        labels=("kernel",),
+    ).set(_STATE_VALUE[state], kernel=name)
+
+
+def _count_transition(name: str, old: BreakerState, new: BreakerState) -> None:
+    get_registry().counter(
+        "resilience_breaker_transitions_total",
+        "Breaker state changes, by kernel and edge.",
+        labels=("kernel", "old", "new"),
+    ).inc(kernel=name, old=old.value, new=new.value)
+
+
+class CircuitBreaker:
+    """The three-state machine for one kernel."""
+
+    def __init__(
+        self,
+        name: str,
+        config: BreakerConfig | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.name = name
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self.state = BreakerState.CLOSED
+        self._window: deque[bool] = deque(maxlen=self.config.window)
+        self._opened_at = 0.0
+        self._probes = 0
+        self.transitions: list[BreakerTransition] = []
+        _publish_state(name, self.state)
+
+    # -- state machine -------------------------------------------------------
+    def _transition(self, new: BreakerState) -> None:
+        old, self.state = self.state, new
+        self.transitions.append(
+            BreakerTransition(self.name, old.value, new.value, self._clock())
+        )
+        _count_transition(self.name, old, new)
+        _publish_state(self.name, new)
+
+    @property
+    def failure_rate(self) -> float:
+        """Failures over the current window (0.0 when empty)."""
+        if not self._window:
+            return 0.0
+        return sum(1 for ok in self._window if not ok) / len(self._window)
+
+    def allow(self) -> bool:
+        """May the next request attempt this kernel?
+
+        Open breakers answer ``False`` until the cooldown elapses, then
+        flip to half-open; half-open breakers admit at most
+        ``half_open_probes`` outstanding trials.
+        """
+        if self.state is BreakerState.OPEN:
+            if self._clock() - self._opened_at < self.config.cooldown_seconds:
+                return False
+            self._transition(BreakerState.HALF_OPEN)
+            self._probes = 0
+        if self.state is BreakerState.HALF_OPEN:
+            if self._probes >= self.config.half_open_probes:
+                return False
+            self._probes += 1
+            return True
+        return True
+
+    def record_success(self) -> None:
+        """Feed one successful attempt (closes a half-open breaker)."""
+        if self.state is BreakerState.HALF_OPEN:
+            self._window.clear()
+            self._probes = 0
+            self._transition(BreakerState.CLOSED)
+        elif self.state is BreakerState.CLOSED:
+            self._window.append(True)
+        # OPEN: a straggler from before the trip; the quarantine stands.
+
+    def record_failure(self) -> None:
+        """Feed one failed attempt (may open the breaker)."""
+        if self.state is BreakerState.HALF_OPEN:
+            self._probes = 0
+            self._opened_at = self._clock()
+            self._transition(BreakerState.OPEN)
+        elif self.state is BreakerState.CLOSED:
+            self._window.append(False)
+            if (
+                len(self._window) >= self.config.min_volume
+                and self.failure_rate >= self.config.failure_threshold
+            ):
+                self._window.clear()
+                self._opened_at = self._clock()
+                self._transition(BreakerState.OPEN)
+        # OPEN: already quarantined.
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "state": self.state.value,
+            "failure_rate": self.failure_rate,
+            "window": len(self._window),
+            "transitions": len(self.transitions),
+        }
+
+
+class BreakerBoard:
+    """Lazily-created breakers keyed by kernel name, one shared config.
+
+    The seam :func:`repro.exec.execute_chain` consults: ``allow(name)``
+    up front, ``record_success`` / ``record_failure`` per attempt
+    outcome.  Names never seen answer as fresh closed breakers.
+    """
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, name: str) -> CircuitBreaker:
+        board = self._breakers
+        if name not in board:
+            board[name] = CircuitBreaker(name, self.config, clock=self._clock)
+        return board[name]
+
+    def allow(self, name: str) -> bool:
+        return self.breaker(name).allow()
+
+    def record_success(self, name: str) -> None:
+        self.breaker(name).record_success()
+
+    def record_failure(self, name: str) -> None:
+        self.breaker(name).record_failure()
+
+    def state(self, name: str) -> BreakerState:
+        return self.breaker(name).state
+
+    def transitions(self) -> list[BreakerTransition]:
+        """Every transition on the board, in clock (then insertion) order."""
+        merged = [t for b in self._breakers.values() for t in b.transitions]
+        return sorted(merged, key=lambda t: t.at)
+
+    def states(self) -> dict[str, str]:
+        return {name: b.state.value for name, b in sorted(self._breakers.items())}
+
+    def as_dict(self) -> dict:
+        return {name: b.as_dict() for name, b in sorted(self._breakers.items())}

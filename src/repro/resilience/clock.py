@@ -1,0 +1,42 @@
+"""Injectable time sources for the resilience layer.
+
+Every resilience primitive (deadlines, retry backoff, breaker
+cooldowns) reads time through a ``clock()`` callable and waits through a
+``sleep(seconds)`` callable, both injectable.  Production code passes
+nothing and gets :func:`time.monotonic` / :func:`time.sleep`; tests and
+the chaos harness pass a :class:`ManualClock`, which makes every
+timeout, backoff and cooldown deterministic and instant — the virtual
+second is the unit, nothing ever actually blocks.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ManualClock"]
+
+
+class ManualClock:
+    """A virtual clock that only moves when told to.
+
+    Doubles as both sides of the time contract: calling the instance
+    returns the current virtual time (``clock=manual``), and
+    :meth:`sleep` advances it (``sleep=manual.sleep``), so a retry
+    policy's backoff visibly consumes a deadline's budget without any
+    wall-clock waiting.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+        #: Every ``sleep`` duration requested, in order (test hook).
+        self.sleeps: list[float] = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward (a stalled kernel, an expensive stage)."""
+        self.now += float(seconds)
+
+    def sleep(self, seconds: float) -> None:
+        """Advance in place of blocking; records the request."""
+        self.sleeps.append(float(seconds))
+        self.advance(seconds)

@@ -1,0 +1,51 @@
+"""The bundle consumers install: deadlines + retries + breakers.
+
+:class:`ResiliencePolicy` is what the engine (and any future serving
+front-end) carries instead of three loose knobs.  Every field is
+optional and ``None`` means "feature off", so an engine constructed
+without a policy — or with the default empty one — behaves **exactly**
+as before: no checkpoints, no retries, no breaker consultation, results
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.resilience.breaker import BreakerBoard
+from repro.resilience.deadline import Deadline
+from repro.resilience.retry import RetryPolicy
+
+__all__ = ["ResiliencePolicy"]
+
+
+@dataclass
+class ResiliencePolicy:
+    """Per-consumer resilience configuration.
+
+    * ``deadline_seconds`` — budget granted to each unit of work (one
+      engine batch / one chain walk); ``None`` disables checkpoints.
+    * ``retry`` — a :class:`~repro.resilience.retry.RetryPolicy` applied
+      per kernel to retryable causes before the chain degrades.
+    * ``breakers`` — a :class:`~repro.resilience.breaker.BreakerBoard`
+      consulted by the chain walker to skip quarantined kernels.
+    * ``deep_verify`` — run the deep format verifiers inside every
+      attempt (chaos campaigns turn this on so injected structural
+      corruption is caught at the ``verify`` stage instead of surfacing
+      as a wrong result).
+    * ``clock`` — the time source new deadlines are minted against.
+    """
+
+    deadline_seconds: float | None = None
+    retry: RetryPolicy | None = None
+    breakers: BreakerBoard | None = None
+    deep_verify: bool = False
+    clock: Callable[[], float] = time.monotonic
+
+    def new_deadline(self) -> Deadline | None:
+        """Mint the next unit of work's deadline (``None`` when off)."""
+        if self.deadline_seconds is None:
+            return None
+        return Deadline(self.deadline_seconds, clock=self.clock)

@@ -1,0 +1,144 @@
+"""Retry policies: cause taxonomy + seeded, jittered exponential backoff.
+
+Not every failure deserves a second attempt on the *same* kernel.  The
+taxonomy here splits the exception hierarchy of :mod:`repro.errors`
+(plus the safelisted non-Repro exceptions the chain walker recovers
+from) into two classes:
+
+RETRYABLE
+    transient by nature — an injected/in-flight data corruption caught
+    by deep verification (:class:`~repro.errors.VerificationError`), an
+    fp16/accumulator overflow that a re-run on freshly prepared state
+    may clear (:class:`~repro.errors.NumericalError`), allocation
+    pressure (:class:`MemoryError`) and stray arithmetic faults
+    (:class:`ArithmeticError`).  The chain walker evicts the poisoned
+    operand first, so a retry re-prepares from the pristine CSR.
+
+FATAL
+    deterministic — invocation/validation errors
+    (:class:`~repro.errors.KernelError`,
+    :class:`~repro.errors.ConversionError`), simulator-contract
+    violations, and expired deadlines
+    (:class:`~repro.errors.DeadlineExceededError`: no amount of
+    retrying beats a clock that already ran out).  The chain degrades
+    to the next kernel immediately.
+
+Backoff is exponential with bounded multiplicative jitter, seeded so a
+campaign replays bit-for-bit, and sleeps through an injectable callable
+so tests are instant.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import (
+    DeadlineExceededError,
+    NumericalError,
+    ReproError,
+    ResilienceError,
+    VerificationError,
+)
+
+__all__ = [
+    "RECOVERABLE_EXCEPTIONS",
+    "RetryClass",
+    "RetryPolicy",
+    "classify_exception",
+]
+
+#: Non-Repro exceptions a kernel attempt may be abandoned (and retried)
+#: on.  Everything else that is not a :class:`~repro.errors.ReproError`
+#: — ``KeyboardInterrupt``, ``SystemExit``, programming errors like
+#: ``TypeError`` — propagates untouched: masking it would hide true
+#: corruption.  ``ArithmeticError`` covers ``FloatingPointError``,
+#: ``OverflowError`` and ``ZeroDivisionError``.
+RECOVERABLE_EXCEPTIONS: tuple[type[BaseException], ...] = (
+    MemoryError,
+    ArithmeticError,
+)
+
+
+class RetryClass(enum.Enum):
+    """Whether a failure cause is worth re-attempting on the same kernel."""
+
+    RETRYABLE = "retryable"
+    FATAL = "fatal"
+
+
+def classify_exception(exc: BaseException) -> RetryClass:
+    """Map one failure to the taxonomy above.
+
+    Order matters: :class:`~repro.errors.DeadlineExceededError` is fatal
+    even though it is a :class:`~repro.errors.ReproError`, and
+    :class:`~repro.errors.VerificationError` is retryable even though
+    its :class:`~repro.errors.FormatError` parent is not.
+    """
+    if isinstance(exc, DeadlineExceededError):
+        return RetryClass.FATAL
+    if isinstance(exc, (NumericalError, VerificationError)):
+        return RetryClass.RETRYABLE
+    if isinstance(exc, ReproError):
+        return RetryClass.FATAL
+    if isinstance(exc, RECOVERABLE_EXCEPTIONS):
+        return RetryClass.RETRYABLE
+    return RetryClass.FATAL
+
+
+@dataclass
+class RetryPolicy:
+    """Seeded exponential backoff over the retryable cause class.
+
+    ``max_attempts`` counts *total* tries per kernel (1 = no retries);
+    attempt ``n``'s delay is ``min(max_delay, base_delay *
+    multiplier**n)`` scaled by a jitter factor drawn uniformly from
+    ``[1 - jitter, 1 + jitter]`` out of a private ``random.Random(seed)``
+    — same seed, same schedule.  ``sleep`` is injectable
+    (:meth:`~repro.resilience.clock.ManualClock.sleep` makes backoff
+    consume a virtual deadline instead of wall time).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+    sleep: Callable[[float], None] = time.sleep
+    _rng: random.Random = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ResilienceError(
+                f"max_attempts must be >= 1, got {self.max_attempts!r}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ResilienceError("retry delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ResilienceError(f"multiplier must be >= 1, got {self.multiplier!r}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ResilienceError(f"jitter must be in [0, 1], got {self.jitter!r}")
+        self._rng = random.Random(self.seed)
+
+    def classify(self, exc: BaseException) -> RetryClass:
+        return classify_exception(exc)
+
+    def delay(self, attempt: int) -> float:
+        """Jittered delay before retry number ``attempt`` (0-based).
+
+        Consumes one draw from the seeded jitter stream per call, so a
+        replayed campaign sees the identical schedule.
+        """
+        base = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        factor = 1.0 - self.jitter + 2.0 * self.jitter * self._rng.random()
+        return base * factor
+
+    def backoff(self, attempt: int) -> float:
+        """Compute :meth:`delay` and sleep it; returns the slept seconds."""
+        seconds = self.delay(attempt)
+        self.sleep(seconds)
+        return seconds

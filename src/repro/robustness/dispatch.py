@@ -92,6 +92,9 @@ def dispatch_spmv(
     deep_verify: bool = True,
     simulate: bool = False,
     corrupt_hook: Callable[[str, PreparedOperand], None] | None = None,
+    deadline=None,
+    retry=None,
+    breakers=None,
 ) -> DispatchResult:
     """Compute ``y = A @ x`` with graceful degradation along ``chain``.
 
@@ -105,6 +108,10 @@ def dispatch_spmv(
     only); kernels without it run numerically.  ``corrupt_hook(name,
     prepared)`` is a fault-injection seam for tests: it may mutate a
     kernel's freshly prepared operand before verification.
+
+    ``deadline`` / ``retry`` / ``breakers`` thread the
+    :mod:`repro.resilience` policies into the chain walk (see
+    :func:`repro.exec.execute_chain`); all default to off.
 
     Raises :class:`~repro.errors.KernelError` only if *every* kernel in
     the chain fails.
@@ -123,6 +130,9 @@ def dispatch_spmv(
         faults=(corrupt_hook,) if corrupt_hook is not None else (),
         check_overflow=simulate,
         deep_verify=deep_verify,
+        deadline=deadline,
+        retry=retry,
+        breakers=breakers,
     )
     from repro.obs import get_registry
 

@@ -201,5 +201,5 @@ class TestMetrics:
         assert d["requests"] == 3 and d["batches"] == 1
         assert d["prepare_seconds"] >= 0.0
         c = engine.cache.stats.as_dict()
-        assert set(c) == {"hits", "misses", "evictions", "rejected"}
+        assert set(c) == {"hits", "misses", "evictions", "rejected", "invalidations"}
         assert engine.stats.amortized_run_seconds >= 0.0

@@ -1,0 +1,238 @@
+"""Resilience policies threaded through the chain walker.
+
+Covers the four behaviors the serving layer leans on — open circuits
+skipped without attempting, retries healing transient corruption,
+deadlines terminal (no fallback), the recoverable-exception safelist —
+plus the passivity contract: with no policy installed, results are
+bitwise identical and the walk is byte-for-byte the pre-resilience one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlineExceededError, ReproError, VerificationError
+from repro.exec import ChainExhaustedError, execute_chain
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.obs import get_registry
+from repro.resilience import (
+    BreakerBoard,
+    BreakerConfig,
+    Deadline,
+    ManualClock,
+    RetryPolicy,
+)
+
+from tests.conftest import make_random_dense
+
+CHAIN = ("spaden", "csr-scalar")
+
+
+@pytest.fixture
+def csr(rng) -> CSRMatrix:
+    return CSRMatrix.from_coo(
+        COOMatrix.from_dense(make_random_dense(rng, 48, 40, 0.12))
+    )
+
+
+@pytest.fixture
+def x(rng, csr) -> np.ndarray:
+    return rng.standard_normal(csr.ncols).astype(np.float32)
+
+
+def _tripped_board(name: str) -> BreakerBoard:
+    clock = ManualClock()
+    board = BreakerBoard(
+        BreakerConfig(window=4, min_volume=1, failure_threshold=0.5, cooldown_seconds=100.0),
+        clock=clock,
+    )
+    board.record_failure(name)
+    assert board.state(name).value == "open"
+    return board
+
+
+class TestCircuitSkip:
+    def test_open_circuit_skipped_without_attempting(self, csr, x):
+        board = _tripped_board("spaden")
+        prepared_for = []
+
+        result = execute_chain(
+            csr,
+            x,
+            CHAIN,
+            breakers=board,
+            faults=(lambda name, prepared: prepared_for.append(name),),
+        )
+        # spaden was never prepared, verified, or run — only csr-scalar
+        assert prepared_for == ["csr-scalar"]
+        assert result.kernel == "csr-scalar"
+        assert result.attempts == ["csr-scalar"]
+        [event] = result.events
+        assert event.kernel == "spaden"
+        assert event.stage == "dispatch"
+        assert event.cause == "circuit-open"
+        assert event.fallback == "csr-scalar"
+        assert np.allclose(result.y, csr.matvec(x), rtol=1e-2, atol=1e-2)
+
+    def test_success_feeds_the_board(self, csr, x):
+        board = BreakerBoard(BreakerConfig(window=4), clock=ManualClock())
+        execute_chain(csr, x, CHAIN, breakers=board)
+        assert board.states() == {"spaden": "closed"}
+        assert board.breaker("spaden").failure_rate == 0.0
+
+    def test_all_circuits_open_exhausts_the_chain(self, csr, x):
+        board = _tripped_board("spaden")
+        board.record_failure("csr-scalar")
+        with pytest.raises(ChainExhaustedError) as info:
+            execute_chain(csr, x, CHAIN, breakers=board)
+        assert all(e.cause == "circuit-open" for e in info.value.events)
+
+
+class TestRetry:
+    def test_retry_heals_transient_corruption(self, csr, x):
+        clock = ManualClock()
+        failures = []
+
+        def transient(name, prepared):
+            # first attempt only: the retry re-prepares and sails through
+            if not failures:
+                failures.append(name)
+                raise VerificationError("transient bit flip")
+
+        retry = RetryPolicy(max_attempts=2, jitter=0.0, sleep=clock.sleep, seed=0)
+        result = execute_chain(csr, x, CHAIN, faults=(transient,), retry=retry)
+        assert failures == ["spaden"]
+        assert result.kernel == "spaden"  # healed in place, no degradation
+        assert result.events == []
+        assert result.attempts == ["spaden"]
+        assert clock.sleeps == [retry.base_delay]  # one backoff, jitter off
+
+    def test_fatal_cause_degrades_without_retry(self, csr, x):
+        calls = []
+
+        def fatal(name, prepared):
+            if name == "spaden":
+                calls.append(name)
+                raise ReproError("deterministic misconfiguration")
+
+        retry = RetryPolicy(max_attempts=3, sleep=lambda s: None, seed=0)
+        result = execute_chain(csr, x, CHAIN, faults=(fatal,), retry=retry)
+        assert calls == ["spaden"]  # exactly one attempt, no retries
+        assert result.kernel == "csr-scalar"
+        assert [e.kernel for e in result.events] == ["spaden"]
+
+    def test_exhausted_retries_degrade_with_the_last_cause(self, csr, x):
+        clock = ManualClock()
+
+        def always(name, prepared):
+            if name == "spaden":
+                raise VerificationError("persistent corruption")
+
+        retry = RetryPolicy(max_attempts=3, jitter=0.0, sleep=clock.sleep, seed=0)
+        result = execute_chain(csr, x, CHAIN, faults=(always,), retry=retry)
+        assert result.kernel == "csr-scalar"
+        [event] = result.events
+        assert event.cause == "VerificationError"
+        assert len(clock.sleeps) == 2  # attempts 1->2 and 2->3
+
+    def test_backoff_never_overruns_the_deadline(self, csr, x):
+        clock = ManualClock()
+
+        def always(name, prepared):
+            if name == "spaden":
+                raise VerificationError("persistent corruption")
+
+        deadline = Deadline(1.0, clock=clock)
+        retry = RetryPolicy(
+            max_attempts=5, base_delay=10.0, jitter=0.0, sleep=clock.sleep, seed=0
+        )
+        # delay (10s) exceeds remaining budget (1s): degrade immediately
+        # instead of sleeping through the deadline
+        result = execute_chain(
+            csr, x, CHAIN, faults=(always,), retry=retry, deadline=deadline
+        )
+        assert result.kernel == "csr-scalar"
+        assert clock.sleeps == []
+
+
+class TestDeadline:
+    def test_expired_deadline_is_terminal_not_degradable(self, csr, x):
+        clock = ManualClock()
+        deadline = Deadline(5.0, clock=clock)
+        clock.advance(10.0)
+        with pytest.raises(DeadlineExceededError) as info:
+            execute_chain(csr, x, CHAIN, deadline=deadline)
+        # no fallback was consulted: the error names the dispatch boundary
+        assert info.value.stage == "dispatch"
+
+    def test_mid_attempt_expiry_skips_later_stages(self, csr, x):
+        clock = ManualClock()
+        deadline = Deadline(5.0, clock=clock)
+
+        def stall(name, prepared):
+            clock.advance(100.0)  # a wedged conversion
+
+        with pytest.raises(DeadlineExceededError) as info:
+            execute_chain(csr, x, CHAIN, faults=(stall,), deadline=deadline)
+        assert info.value.stage == "run"  # caught at the next checkpoint
+        assert info.value.elapsed >= 100.0
+
+    def test_deadline_with_headroom_changes_nothing(self, csr, x):
+        clock = ManualClock()
+        plain = execute_chain(csr, x, CHAIN)
+        guarded = execute_chain(csr, x, CHAIN, deadline=Deadline(1e9, clock=clock))
+        assert np.array_equal(plain.y, guarded.y)
+
+
+class TestRecoverableSafelist:
+    @pytest.mark.parametrize("exc_type", [MemoryError, FloatingPointError])
+    def test_safelisted_exceptions_degrade_with_stage_tag(self, csr, x, exc_type):
+        def bomb(name, prepared):
+            if name == "spaden":
+                raise exc_type("resource fault")
+
+        result = execute_chain(csr, x, CHAIN, faults=(bomb,))
+        assert result.kernel == "csr-scalar"
+        [event] = result.events
+        assert event.kernel == "spaden"
+        assert event.cause == exc_type.__name__
+        assert event.stage == "prepare"  # fault hooks fire inside prepare
+
+    def test_true_corruption_propagates_untouched(self, csr, x):
+        def interrupt(name, prepared):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            execute_chain(csr, x, CHAIN, faults=(interrupt,))
+
+
+class TestPassivity:
+    def test_no_policy_is_bitwise_identical(self, csr, x):
+        before = execute_chain(csr, x, CHAIN)
+        after = execute_chain(
+            csr, x, CHAIN, deadline=None, retry=None, breakers=None
+        )
+        assert np.array_equal(before.y, after.y)
+        assert before.kernel == after.kernel
+        assert before.attempts == after.attempts
+
+    def test_no_policy_emits_no_resilience_metrics(self, csr, x):
+        registry = get_registry()
+
+        def series_total(name):
+            metric = registry.get(name)
+            if metric is None:
+                return 0.0
+            return sum(v for _labels, v in metric.labeled())
+
+        baseline = {
+            name: series_total(name)
+            for name in (
+                "exec_retries_total",
+                "resilience_deadline_exceeded_total",
+                "resilience_breaker_transitions_total",
+            )
+        }
+        execute_chain(csr, x, CHAIN)
+        for name, value in baseline.items():
+            assert series_total(name) == value, name

@@ -1,0 +1,150 @@
+"""Circuit-breaker lifecycle: closed -> open -> half-open -> closed."""
+
+import pytest
+
+from repro.errors import ResilienceError
+from repro.resilience import (
+    BreakerBoard,
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    ManualClock,
+)
+
+CFG = BreakerConfig(window=4, failure_threshold=0.5, min_volume=4, cooldown_seconds=10.0)
+
+
+def _trip(breaker: CircuitBreaker, failures: int = 4) -> None:
+    for _ in range(failures):
+        breaker.record_failure()
+
+
+class TestLifecycle:
+    def test_starts_closed_and_allows(self):
+        breaker = CircuitBreaker("spaden", CFG, clock=ManualClock())
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_opens_at_threshold_with_min_volume(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker("spaden", CFG, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED  # volume 3 < min_volume 4
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN  # 4/4 failures >= 0.5
+        assert not breaker.allow()
+
+    def test_mixed_window_trips_on_the_failure_that_crosses(self):
+        breaker = CircuitBreaker("spaden", CFG, clock=ManualClock())
+        breaker.record_success()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED  # 1/3, volume short
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN  # 2/4 reaches the 0.5 threshold
+
+    def test_successes_keep_low_failure_rate_closed(self):
+        breaker = CircuitBreaker("spaden", CFG, clock=ManualClock())
+        for _ in range(10):
+            breaker.record_success()
+        breaker.record_failure()  # 1/4 of the window < 0.5
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_cooldown_gates_the_half_open_probe(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker("spaden", CFG, clock=clock)
+        _trip(breaker)
+        clock.advance(9.999)
+        assert not breaker.allow()  # still cooling down
+        clock.advance(0.001)
+        assert breaker.allow()  # the probe
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert not breaker.allow()  # only half_open_probes=1 trial admitted
+
+    def test_probe_success_closes_and_clears_history(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker("spaden", CFG, clock=clock)
+        _trip(breaker)
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        # sick-period history must not re-trip the fresh breaker
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker("spaden", CFG, clock=clock)
+        _trip(breaker)
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(9.0)
+        assert not breaker.allow()  # cooldown restarted at the probe failure
+        clock.advance(1.0)
+        assert breaker.allow()
+
+    def test_transition_log_records_the_full_journey(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker("spaden", CFG, clock=clock)
+        _trip(breaker)
+        clock.advance(10.0)
+        breaker.allow()
+        breaker.record_success()
+        edges = [(t.old, t.new) for t in breaker.transitions]
+        assert edges == [
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "closed"),
+        ]
+        assert [t.at for t in breaker.transitions] == [0.0, 10.0, 10.0]
+        assert all(t.breaker == "spaden" for t in breaker.transitions)
+
+
+class TestBoard:
+    def test_unseen_kernels_answer_as_fresh_closed_breakers(self):
+        board = BreakerBoard(CFG, clock=ManualClock())
+        assert board.allow("never-seen")
+        assert board.state("never-seen") is BreakerState.CLOSED
+
+    def test_kernels_trip_independently(self):
+        board = BreakerBoard(CFG, clock=ManualClock())
+        for _ in range(4):
+            board.record_failure("spaden")
+            board.record_success("csr-scalar")
+        assert not board.allow("spaden")
+        assert board.allow("csr-scalar")
+
+    def test_merged_transitions_sorted_by_clock(self):
+        clock = ManualClock()
+        board = BreakerBoard(CFG, clock=clock)
+        _trip(board.breaker("a"))
+        clock.advance(1.0)
+        _trip(board.breaker("b"))
+        merged = board.transitions()
+        assert [(t.breaker, t.at) for t in merged] == [("a", 0.0), ("b", 1.0)]
+        assert board.states() == {"a": "open", "b": "open"}
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0},
+            {"failure_threshold": 0.0},
+            {"failure_threshold": 1.5},
+            {"min_volume": 0},
+            {"min_volume": 20, "window": 8},
+            {"cooldown_seconds": -1.0},
+            {"half_open_probes": 0},
+        ],
+    )
+    def test_bad_thresholds_rejected(self, kwargs):
+        with pytest.raises(ResilienceError):
+            BreakerConfig(**kwargs)

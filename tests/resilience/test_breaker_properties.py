@@ -1,0 +1,126 @@
+"""Property test: the circuit breaker against a brute-force model.
+
+Randomized ``allow`` / ``success`` / ``failure`` / ``advance`` sequences
+drive a :class:`~repro.resilience.CircuitBreaker` next to a
+trivially-correct reference that re-derives everything from first
+principles (an explicit outcome list truncated to the window, the state
+machine written as plain ifs), checking after every operation that
+
+* the state and every ``allow`` verdict match the model exactly,
+* the failure rate matches the re-computed window,
+* transitions only ever walk legal edges (closed->open, open->half-open,
+  half-open->open, half-open->closed) with non-decreasing timestamps.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience import BreakerConfig, BreakerState, CircuitBreaker, ManualClock
+
+CFG = BreakerConfig(
+    window=4, failure_threshold=0.5, min_volume=2, cooldown_seconds=5.0, half_open_probes=1
+)
+
+_ops = st.lists(
+    st.one_of(
+        st.just(("allow", 0.0)),
+        st.just(("success", 0.0)),
+        st.just(("failure", 0.0)),
+        st.tuples(st.just("advance"), st.floats(0.25, 10.0)),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+_LEGAL_EDGES = {
+    ("closed", "open"),
+    ("open", "half-open"),
+    ("half-open", "open"),
+    ("half-open", "closed"),
+}
+
+
+class Model:
+    """Straight-line reference implementation of the breaker contract."""
+
+    def __init__(self, clock):
+        self.clock = clock
+        self.state = "closed"
+        self.outcomes: list[bool] = []  # full history; window derived on read
+        self.opened_at = 0.0
+        self.probes = 0
+
+    def window(self) -> list[bool]:
+        return self.outcomes[-CFG.window :]
+
+    def failure_rate(self) -> float:
+        window = self.window()
+        if not window:
+            return 0.0
+        return sum(1 for ok in window if not ok) / len(window)
+
+    def allow(self) -> bool:
+        if self.state == "open":
+            if self.clock() - self.opened_at < CFG.cooldown_seconds:
+                return False
+            self.state = "half-open"
+            self.probes = 0
+        if self.state == "half-open":
+            if self.probes >= CFG.half_open_probes:
+                return False
+            self.probes += 1
+            return True
+        return True
+
+    def success(self):
+        if self.state == "half-open":
+            self.outcomes = []
+            self.probes = 0
+            self.state = "closed"
+        elif self.state == "closed":
+            self.outcomes.append(True)
+
+    def failure(self):
+        if self.state == "half-open":
+            self.probes = 0
+            self.opened_at = self.clock()
+            self.state = "open"
+        elif self.state == "closed":
+            self.outcomes.append(False)
+            if (
+                len(self.window()) >= CFG.min_volume
+                and self.failure_rate() >= CFG.failure_threshold
+            ):
+                self.outcomes = []
+                self.opened_at = self.clock()
+                self.state = "open"
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=_ops)
+def test_breaker_matches_model(ops):
+    clock = ManualClock()
+    breaker = CircuitBreaker("property", CFG, clock=clock)
+    model = Model(clock)
+    for action, amount in ops:
+        if action == "allow":
+            assert breaker.allow() == model.allow()
+        elif action == "success":
+            breaker.record_success()
+            model.success()
+        elif action == "failure":
+            breaker.record_failure()
+            model.failure()
+        else:
+            clock.advance(amount)
+
+        assert breaker.state.value == model.state
+        assert breaker.failure_rate == model.failure_rate()
+
+    for transition in breaker.transitions:
+        assert (transition.old, transition.new) in _LEGAL_EDGES
+    times = [t.at for t in breaker.transitions]
+    assert times == sorted(times)
+    assert breaker.state in (BreakerState.CLOSED, BreakerState.OPEN, BreakerState.HALF_OPEN)

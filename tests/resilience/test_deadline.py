@@ -1,0 +1,87 @@
+"""Deadline semantics against the manual clock."""
+
+import time
+
+import pytest
+
+from repro.errors import DeadlineExceededError, ReproError, ResilienceError
+from repro.resilience import Deadline, ManualClock, ResiliencePolicy
+
+
+class TestManualClock:
+    def test_starts_at_origin_and_advances(self):
+        clock = ManualClock()
+        assert clock() == 0.0
+        clock.advance(2.5)
+        assert clock() == 2.5
+
+    def test_sleep_advances_and_records(self):
+        clock = ManualClock(start=10.0)
+        clock.sleep(0.25)
+        clock.sleep(1.0)
+        assert clock() == 11.25
+        assert clock.sleeps == [0.25, 1.0]
+
+
+class TestDeadline:
+    def test_elapsed_and_remaining_track_the_clock(self):
+        clock = ManualClock()
+        deadline = Deadline(5.0, clock=clock)
+        clock.advance(2.0)
+        assert deadline.elapsed == 2.0
+        assert deadline.remaining() == 3.0
+        assert not deadline.expired()
+        clock.advance(3.0)
+        assert deadline.expired()
+
+    def test_check_passes_inside_budget(self):
+        clock = ManualClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(0.999)
+        deadline.check("run")  # must not raise
+
+    def test_check_raises_structured_error_at_expiry(self):
+        clock = ManualClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(1.5)
+        with pytest.raises(DeadlineExceededError) as info:
+            deadline.check("run")
+        exc = info.value
+        assert exc.stage == "run"
+        assert exc.elapsed == 1.5
+        assert exc.budget == 1.0
+        assert isinstance(exc, ReproError)
+        assert "run" in str(exc)
+
+    def test_exact_boundary_counts_as_expired(self):
+        clock = ManualClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceededError):
+            deadline.check("check")
+
+    @pytest.mark.parametrize("budget", [0.0, -1.0])
+    def test_non_positive_budget_rejected(self, budget):
+        with pytest.raises(ResilienceError):
+            Deadline(budget)
+
+    def test_default_clock_is_monotonic_wall_time(self):
+        deadline = Deadline(3600.0)
+        before = deadline.elapsed
+        time.sleep(0.001)
+        assert deadline.elapsed > before
+        assert not deadline.expired()
+
+
+class TestPolicyMinting:
+    def test_policy_mints_fresh_deadline_per_unit(self):
+        clock = ManualClock()
+        policy = ResiliencePolicy(deadline_seconds=2.0, clock=clock)
+        first = policy.new_deadline()
+        clock.advance(1.5)
+        second = policy.new_deadline()
+        assert first.remaining() == 0.5
+        assert second.remaining() == 2.0  # each unit gets the full budget
+
+    def test_empty_policy_mints_nothing(self):
+        assert ResiliencePolicy().new_deadline() is None

@@ -1,0 +1,110 @@
+"""Retry taxonomy and the seeded, jittered backoff schedule."""
+
+import pytest
+
+from repro.errors import (
+    ConversionError,
+    DeadlineExceededError,
+    KernelError,
+    NumericalError,
+    ResilienceError,
+    VerificationError,
+)
+from repro.resilience import (
+    RECOVERABLE_EXCEPTIONS,
+    ManualClock,
+    RetryClass,
+    RetryPolicy,
+    classify_exception,
+)
+
+
+class TestTaxonomy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            VerificationError("corrupted bitmap"),
+            NumericalError("fp16 accumulator overflow"),
+            MemoryError("allocation failed"),
+            FloatingPointError("overflow in multiply"),
+            OverflowError("too big"),
+        ],
+    )
+    def test_transient_causes_are_retryable(self, exc):
+        assert classify_exception(exc) is RetryClass.RETRYABLE
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            KernelError("x has the wrong shape"),
+            ConversionError("block size mismatch"),
+            DeadlineExceededError("budget spent", stage="run", elapsed=2.0, budget=1.0),
+            TypeError("a programming error"),
+            KeyboardInterrupt(),
+        ],
+    )
+    def test_deterministic_causes_are_fatal(self, exc):
+        # DeadlineExceededError is fatal *despite* being a ReproError:
+        # retrying cannot un-spend the budget.
+        assert classify_exception(exc) is RetryClass.FATAL
+
+    def test_recoverable_safelist_is_narrow(self):
+        assert MemoryError in RECOVERABLE_EXCEPTIONS
+        assert ArithmeticError in RECOVERABLE_EXCEPTIONS
+        assert not any(
+            issubclass(KeyboardInterrupt, t) for t in RECOVERABLE_EXCEPTIONS
+        )
+
+
+class TestBackoff:
+    def test_same_seed_same_schedule(self):
+        a = [RetryPolicy(seed=7).delay(n) for n in range(4)]
+        b = [RetryPolicy(seed=7).delay(n) for n in range(4)]
+        assert a == b
+
+    def test_different_seed_different_schedule(self):
+        a = [RetryPolicy(seed=7).delay(n) for n in range(4)]
+        b = [RetryPolicy(seed=8).delay(n) for n in range(4)]
+        assert a != b
+
+    def test_delays_grow_exponentially_within_jitter_bounds(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=10.0, jitter=0.5, seed=0
+        )
+        for attempt in range(5):
+            base = 0.1 * 2.0**attempt
+            delay = policy.delay(attempt)
+            assert 0.5 * base <= delay <= 1.5 * base
+
+    def test_delay_is_capped(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=2.0, seed=0)
+        assert policy.delay(50) <= 2.0 * 1.5  # cap, then jitter
+
+    def test_zero_jitter_is_exact(self):
+        policy = RetryPolicy(base_delay=0.25, multiplier=2.0, jitter=0.0, seed=0)
+        assert [policy.delay(n) for n in range(3)] == [0.25, 0.5, 1.0]
+
+    def test_backoff_sleeps_through_injected_clock(self):
+        clock = ManualClock()
+        policy = RetryPolicy(jitter=0.0, base_delay=0.5, sleep=clock.sleep, seed=0)
+        slept = policy.backoff(0)
+        assert slept == 0.5
+        assert clock.sleeps == [0.5]
+        assert clock() == 0.5  # backoff consumed virtual time, not wall time
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -0.1},
+            {"max_delay": -1.0},
+            {"multiplier": 0.5},
+            {"jitter": 1.5},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_bad_configuration_rejected_at_construction(self, kwargs):
+        with pytest.raises(ResilienceError):
+            RetryPolicy(**kwargs)
