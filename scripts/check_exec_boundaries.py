@@ -11,17 +11,17 @@ docstrings and comments never trips the gate) and fails on:
   ``.simulate_many(`` method calls outside ``repro/exec/`` and
   ``repro/kernels/`` — consumer layers call
   :func:`repro.exec.execute` instead;
-* any import inside ``repro/obs/`` of a repro package other than
-  ``repro.errors`` and ``repro.obs`` itself — observability observes
-  through the ``repro.exec.middleware`` seam; it must never reach into
-  kernels, the simulated GPU, or the engine, so enabling it cannot
-  perturb results;
-* likewise any import inside ``repro/resilience/`` beyond
-  ``repro.errors`` / ``repro.obs`` / ``repro.resilience`` — the
-  resilience primitives (deadlines, retry policies, circuit breakers)
-  are pure policy objects the exec layer consults; if they could import
-  kernels or the engine, installing a policy could change what a
-  request computes.
+* any import inside a fenced subtree (:data:`IMPORT_FENCES`) of a repro
+  package beyond its allow-list.  The fences keep the passive layers
+  passive: observability and resilience are *consulted* by the exec
+  seam (never the other way around), and the static analyzers in
+  ``repro.analysis`` inspect the serving code at the AST level without
+  ever importing it — so an auditor can never perturb, or be perturbed
+  by, the code it audits.
+
+AST traversal and import extraction come from
+``repro.analysis.astwalk`` — the same helpers the lint and the
+concurrency auditor build on, so the three gates walk files one way.
 
 Run from the repo root: ``python scripts/check_exec_boundaries.py``.
 Exits 1 with one line per violation.
@@ -34,6 +34,9 @@ import sys
 from pathlib import Path
 
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+sys.path.insert(0, str(SRC.parent))
+
+from repro.analysis.astwalk import iter_python_files, module_imports, parse_module  # noqa: E402
 
 #: Entry points that must only be invoked from inside the exec layer or
 #: by the kernels themselves (base-class fallbacks, shared helpers).
@@ -42,10 +45,10 @@ ENTRY_POINTS = {"run", "run_many", "simulate", "simulate_many"}
 #: Directories allowed to touch kernel entry points directly.
 EXEMPT = ("exec", "kernels")
 
-#: Passive packages: per top-level directory, the repro import prefixes
+#: Fenced subtrees: per path prefix under ``src/repro`` (a directory,
+#: or a single module without its ``.py``), the repro import prefixes
 #: its modules may use beside the stdlib, and why the fence exists.
-#: Both layers are *consulted* by the exec seam, never the other way
-#: around — so enabling them cannot change what a request computes.
+#: More specific prefixes win over shorter ones.
 IMPORT_FENCES = {
     "obs": (
         ("repro.errors", "repro.obs"),
@@ -57,28 +60,41 @@ IMPORT_FENCES = {
         "resilience policies may only import repro.errors, repro.obs and "
         "repro.resilience.*; the exec layer consults them, never vice versa",
     ),
+    "analysis/astwalk": (
+        (),
+        "the shared AST walker is stdlib-only; every static gate builds on "
+        "it and none may drag runtime packages in through it",
+    ),
+    "analysis/concurrency": (
+        ("repro.errors", "repro.analysis.astwalk"),
+        "the thread-safety auditor inspects the serving packages at the AST "
+        "level and must never import the code it audits",
+    ),
 }
 
 
+def _fence_for(rel_module: str):
+    """The most specific fence whose prefix covers ``rel_module``."""
+    best = None
+    for prefix in IMPORT_FENCES:
+        if rel_module == prefix or rel_module.startswith(prefix + "/"):
+            if best is None or len(prefix) > len(best):
+                best = prefix
+    return best
+
+
 def _import_violations(
-    path: Path, tree: ast.AST, package: str, allowed: tuple[str, ...], reason: str
+    path: Path, tree: ast.AST, fence: str, allowed: tuple[str, ...], reason: str
 ) -> list[str]:
     """Imports that would let a passive layer act instead of being consulted."""
     rel = path.relative_to(SRC.parent.parent)
     found = []
-    for node in ast.walk(tree):
-        targets: list[str] = []
-        if isinstance(node, ast.Import):
-            targets = [alias.name for alias in node.names]
-        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
-            targets = [node.module]
-        for name in targets:
-            if name == "repro" or name.startswith("repro."):
-                if not any(name == p or name.startswith(p + ".") for p in allowed):
-                    found.append(
-                        f"{rel}:{node.lineno}: repro.{package} imports {name!r} — "
-                        f"{reason}"
-                    )
+    for name, lineno in module_imports(tree):
+        if name == "repro" or name.startswith("repro."):
+            if not any(name == p or name.startswith(p + ".") for p in allowed):
+                found.append(
+                    f"{rel}:{lineno}: repro/{fence} imports {name!r} — {reason}"
+                )
     return found
 
 
@@ -116,20 +132,29 @@ def _violations(path: Path, tree: ast.AST, exempt: bool) -> list[str]:
 
 def main() -> int:
     violations: list[str] = []
-    for path in sorted(SRC.rglob("*.py")):
-        top = path.relative_to(SRC).parts[0]
-        exempt = top in EXEMPT
-        tree = ast.parse(path.read_text(), filename=str(path))
+    files = iter_python_files([SRC])
+    for path in files:
+        rel_module = path.relative_to(SRC).with_suffix("").as_posix()
+        exempt = path.relative_to(SRC).parts[0] in EXEMPT
+        tree, error = parse_module(path.read_text(), str(path))
+        if tree is None:
+            assert error is not None
+            violations.append(
+                f"{path.relative_to(SRC.parent.parent)}:{error.lineno or 0}: "
+                f"parse error: {error.msg}"
+            )
+            continue
         violations.extend(_violations(path, tree, exempt))
-        if top in IMPORT_FENCES:
-            allowed, reason = IMPORT_FENCES[top]
-            violations.extend(_import_violations(path, tree, top, allowed, reason))
+        fence = _fence_for(rel_module)
+        if fence is not None:
+            allowed, reason = IMPORT_FENCES[fence]
+            violations.extend(_import_violations(path, tree, fence, allowed, reason))
     for line in violations:
         print(line)
     if violations:
         print(f"\n{len(violations)} execution-boundary violation(s)", file=sys.stderr)
         return 1
-    print(f"exec boundaries clean across {sum(1 for _ in SRC.rglob('*.py'))} modules")
+    print(f"exec boundaries clean across {len(files)} modules")
     return 0
 
 

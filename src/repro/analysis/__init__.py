@@ -1,6 +1,6 @@
 """Execution-side correctness tooling for the simulated GPU.
 
-Two prongs, both reachable through ``python -m repro.cli analyze``:
+Three prongs, all reachable through ``python -m repro.cli analyze``:
 
 * :mod:`repro.analysis.sanitizer` — the *dynamic* prong: a
   :class:`~repro.gpu.instrument.Tracer` that watches every warp memory
@@ -8,9 +8,18 @@ Two prongs, both reachable through ``python -m repro.cli analyze``:
   on the lane-accurate simulator, flagging intra-warp and cross-warp data
   races, §3 lane-ownership violations, and producing an achieved-vs-ideal
   coalescing report per device array.
-* :mod:`repro.analysis.lint` — the *static* prong: an AST pass over the
-  kernel sources enforcing the warp-synchronous idioms the simulator's
-  counters (and the paper's traffic model) rely on.
+* :mod:`repro.analysis.lint` — the *static kernel* prong: an AST pass
+  over the kernel sources enforcing the warp-synchronous idioms the
+  simulator's counters (and the paper's traffic model) rely on.
+* :mod:`repro.analysis.concurrency` — the *static thread-safety* prong:
+  an AST audit of the serving-layer packages enforcing the declared
+  lock contracts (``# concurrency: guarded-by(...)``) and reporting
+  unguarded shared state and lock-ordering cycles, ahead of the
+  ROADMAP item-1 concurrent front-end.
+
+Shared traversal/reporting plumbing lives in
+:mod:`repro.analysis.astwalk`; the boundary gate
+(``scripts/check_exec_boundaries.py``) builds on it too.
 
 PR 1 gave the *data* side deep verifiers (``verify(deep=True)``); this
 package is the *execution* side counterpart, so a refactor that breaks a
@@ -18,6 +27,14 @@ kernel's warp behavior fails loudly with lane coordinates instead of
 silently skewing modeled runtimes.
 """
 
+from repro.analysis.concurrency import (
+    AUDITED_PACKAGES,
+    CONCURRENCY_RULES,
+    ConcurrencyFinding,
+    audit_package,
+    audit_paths,
+    audit_source,
+)
 from repro.analysis.lint import (
     LintFinding,
     RULES,
@@ -37,7 +54,10 @@ from repro.analysis.sanitizer import (
 )
 
 __all__ = [
+    "AUDITED_PACKAGES",
+    "CONCURRENCY_RULES",
     "CoalescingEntry",
+    "ConcurrencyFinding",
     "KernelSanitizeResult",
     "LintFinding",
     "OwnershipRecord",
@@ -45,6 +65,9 @@ __all__ = [
     "RaceRecord",
     "Sanitizer",
     "SanitizerReport",
+    "audit_package",
+    "audit_paths",
+    "audit_source",
     "format_findings",
     "lint_paths",
     "lint_source",

@@ -1,0 +1,82 @@
+"""Shared AST traversal and reporting helpers for the static gates.
+
+Three static analyses walk the tree the same way — the kernel lint
+(:mod:`repro.analysis.lint`), the thread-safety auditor
+(:mod:`repro.analysis.concurrency`) and the execution-boundary gate
+(``scripts/check_exec_boundaries.py``).  This module owns the parts
+they were each reimplementing: file discovery, parse-with-findings,
+import extraction, and grep-friendly finding output.
+
+Deliberately stdlib-only: the static analyses inspect
+``src/repro`` at the AST level and must never import the code they
+audit (the ``IMPORT_FENCES`` entry for ``analysis/astwalk`` in
+``scripts/check_exec_boundaries.py`` enforces this).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "format_findings",
+    "iter_python_files",
+    "module_imports",
+    "parse_module",
+    "sort_findings",
+]
+
+
+def iter_python_files(paths: Iterable) -> list[Path]:
+    """Expand files and/or directory trees into ``*.py`` files.
+
+    Directories are walked recursively in sorted order; explicit file
+    entries are kept as given, so callers can lint a single snippet.
+    """
+    files: list[Path] = []
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    return files
+
+
+def parse_module(source: str, path: str = "<string>") -> tuple[ast.Module | None, SyntaxError | None]:
+    """Parse one module; returns ``(tree, None)`` or ``(None, error)``.
+
+    Callers turn the error into their own structured ``parse-error``
+    finding, so every gate reports unparseable files the same way
+    instead of crashing mid-walk.
+    """
+    try:
+        return ast.parse(source), None
+    except SyntaxError as exc:
+        return None, exc
+
+
+def module_imports(tree: ast.AST) -> Iterator[tuple[str, int]]:
+    """Yield ``(module_name, lineno)`` for every absolute import.
+
+    Both ``import a.b`` and ``from a.b import c`` yield ``a.b``;
+    relative imports (``from . import x``) are skipped — the boundary
+    gates reason about absolute package names only.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name, node.lineno
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            yield node.module, node.lineno
+
+
+def sort_findings(findings: Sequence) -> list:
+    """Stable location order: ``(path, line, col-if-any)``."""
+    return sorted(findings, key=lambda f: (f.path, f.line, getattr(f, "col", 0)))
+
+
+def format_findings(findings: Sequence) -> str:
+    """One ``path:line...: [rule] message`` line per finding."""
+    return "\n".join(str(f) for f in findings)

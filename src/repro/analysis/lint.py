@@ -48,7 +48,13 @@ from __future__ import annotations
 import ast
 import re
 from dataclasses import dataclass
-from pathlib import Path
+
+from repro.analysis.astwalk import (
+    format_findings,
+    iter_python_files,
+    parse_module,
+    sort_findings,
+)
 
 __all__ = ["LintFinding", "RULES", "lint_source", "lint_paths", "format_findings"]
 
@@ -319,16 +325,16 @@ def _fp64_scope(tree: ast.Module) -> bool:
 
 def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
     """Lint one module's source text; returns unwaived findings."""
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as exc:
+    tree, error = parse_module(source, path)
+    if tree is None:
+        assert error is not None
         return [
             LintFinding(
                 path=path,
-                line=exc.lineno or 0,
-                col=exc.offset or 0,
+                line=error.lineno or 0,
+                col=error.offset or 0,
                 rule="parse-error",
-                message=str(exc.msg),
+                message=str(error.msg),
             )
         ]
     checker = _Checker(path, fp64_in_scope=_fp64_scope(tree))
@@ -343,20 +349,7 @@ def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
 
 def lint_paths(paths) -> list[LintFinding]:
     """Lint files and/or directory trees (``*.py``, recursively)."""
-    files: list[Path] = []
-    for entry in paths:
-        p = Path(entry)
-        if p.is_dir():
-            files.extend(sorted(p.rglob("*.py")))
-        else:
-            files.append(p)
     findings: list[LintFinding] = []
-    for f in files:
+    for f in iter_python_files(paths):
         findings.extend(lint_source(f.read_text(encoding="utf-8"), path=str(f)))
-    findings.sort(key=lambda f: (f.path, f.line, f.col))
-    return findings
-
-
-def format_findings(findings) -> str:
-    """One ``path:line:col: [rule] message`` line per finding."""
-    return "\n".join(str(f) for f in findings)
+    return sort_findings(findings)

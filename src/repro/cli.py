@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli formats --matrix cant
     python -m repro.cli verify  --matrix consph [--fault bitmap-bit-flip]
     python -m repro.cli analyze [--kernels spaden,csr-scalar] [--no-lint]
+                                [--concurrency] [--paths src/repro/engine]
     python -m repro.cli engine  [--batch 32] [--nrows 2048] [--kernel spaden]
                                 [--obs-out BENCH_obs.json]
     python -m repro.cli report  --matrix consph [--batch 8] [--simulate]
@@ -209,12 +210,19 @@ def _cmd_verify(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
+    """Static lint + concurrency audit + dynamic sanitizer, one verdict.
+
+    Every enabled prong reports its unwaived findings; the exit status
+    is nonzero iff *any* prong failed, so CI can gate on any subset
+    (``--no-lint`` / ``--no-sanitize`` / ``--concurrency``) and trust
+    the status the same way.
+    """
     from repro.analysis import format_findings, lint_paths, sanitize_kernel, small_suite
     from repro.errors import SanitizerError
     from repro.kernels import available_kernels
     from repro.perf.report import format_table
 
-    failed = False
+    failures: list[str] = []
 
     if not args.no_lint:
         import repro
@@ -222,11 +230,32 @@ def _cmd_analyze(args) -> int:
         paths = args.paths or [repro.__path__[0]]
         findings = lint_paths(paths)
         if findings:
-            failed = True
+            failures.append(f"lint ({len(findings)} finding(s))")
             print(f"lint: {len(findings)} finding(s)")
             print(format_findings(findings))
         else:
             print(f"lint: clean ({', '.join(str(p) for p in paths)})")
+
+    if args.concurrency:
+        import repro
+        from repro.analysis import audit_paths, audit_package
+
+        if args.paths:
+            findings = audit_paths(args.paths)
+            audited = ", ".join(str(p) for p in args.paths)
+        else:
+            from pathlib import Path
+
+            from repro.analysis.concurrency import AUDITED_PACKAGES
+
+            findings = audit_package(Path(repro.__path__[0]))
+            audited = ", ".join(AUDITED_PACKAGES)
+        if findings:
+            failures.append(f"concurrency ({len(findings)} finding(s))")
+            print(f"concurrency: {len(findings)} finding(s)")
+            print(format_findings(findings))
+        else:
+            print(f"concurrency: clean ({audited})")
 
     if not args.no_sanitize:
         names = available_kernels() if args.kernels == "all" else [
@@ -234,16 +263,21 @@ def _cmd_analyze(args) -> int:
         ]
         suite = small_suite(seed=args.seed)
         rows = []
+        violations = 0
         for name in names:
             for matrix, (csr, x) in suite.items():
                 try:
                     result = sanitize_kernel(name, csr, x)
                 except SanitizerError as exc:
-                    failed = True
+                    violations += 1
                     print(f"sanitizer: {name} on {matrix}: {type(exc).__name__}: {exc}")
                     continue
-                if not result.clean:
-                    failed = True
+                # a numerically wrong kernel is a sanitizer failure even
+                # when the SIMT checks pass — same bound the tier-1
+                # sanitizer tests enforce
+                accurate = result.max_error <= args.max_error
+                if not result.clean or not accurate:
+                    violations += 1
                 report = result.report
                 rows.append(
                     {
@@ -254,13 +288,19 @@ def _cmd_analyze(args) -> int:
                         "races": len(report.races),
                         "ownership": len(report.ownership_violations),
                         "load eff": f"{report.load_efficiency:.0%}",
-                        "verdict": "clean" if result.clean else "VIOLATION",
+                        "verdict": "clean" if result.clean and accurate else "VIOLATION",
                     }
                 )
         if rows:
             print()
             print(format_table(rows, title="SIMT sanitizer (small-matrix suite)"))
-    return 1 if failed else 0
+        if violations:
+            failures.append(f"sanitizer ({violations} violation(s))")
+
+    if failures:
+        print(f"\nanalyze: FAILED — {'; '.join(failures)}")
+        return 1
+    return 0
 
 
 def _cmd_engine(args) -> int:
@@ -459,14 +499,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "analyze",
-        help="static kernel lint + dynamic SIMT sanitizer over the "
-        "registered kernels on small matrices",
+        help="static kernel lint + thread-safety audit + dynamic SIMT "
+        "sanitizer over the registered kernels on small matrices",
     )
-    p.add_argument("--paths", nargs="*", default=None, help="files/dirs to lint (default: the repro package)")
+    p.add_argument("--paths", nargs="*", default=None, help="files/dirs to analyze (default: the repro package)")
     p.add_argument("--kernels", default="all", help="comma-separated kernel names, or 'all'")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-lint", action="store_true", help="skip the static lint pass")
     p.add_argument("--no-sanitize", action="store_true", help="skip the dynamic sanitizer pass")
+    p.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="run the static thread-safety audit over the serving packages",
+    )
+    p.add_argument(
+        "--max-error",
+        type=float,
+        default=1e-4,
+        help="sanitizer numeric-accuracy gate: max |y - ref| allowed",
+    )
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser(

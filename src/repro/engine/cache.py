@@ -18,6 +18,7 @@ way :class:`~repro.gpu.counters.ExecutionStats` reports kernel counters.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, fields
 
@@ -87,6 +88,13 @@ class OperandCache:
     ``name`` labels this cache's series in the process-wide metrics
     registry (hit/miss/eviction/rejection counters and the
     resident-bytes gauge); instances sharing a name aggregate.
+
+    Thread-safe: the entry map, the running byte total and the counters
+    move together under one lock, so concurrent lookups can never
+    observe an entry without its bytes or a hit without its count.
+    Metric emission happens after the lock is released (values captured
+    while it was held), keeping the lock ordering cache → registry
+    acyclic and the critical section free of registry work.
     """
 
     def __init__(self, device_bytes_budget: int = DEFAULT_CACHE_BYTES, name: str = "default"):
@@ -94,9 +102,11 @@ class OperandCache:
             raise KernelError("device_bytes_budget must be positive")
         self.device_bytes_budget = int(device_bytes_budget)
         self.name = name
+        self._lock = threading.Lock()
+        # concurrency: guarded-by(self._lock)
         self._entries: OrderedDict[tuple[str, str], PreparedOperand] = OrderedDict()
-        self._resident_bytes = 0
-        self.stats = CacheStats()
+        self._resident_bytes = 0  # concurrency: guarded-by(self._lock)
+        self.stats = CacheStats()  # concurrency: guarded-by(self._lock)
 
     # -- observability -------------------------------------------------------
     def _count_event(self, event: str, amount: int = 1) -> None:
@@ -106,25 +116,29 @@ class OperandCache:
             labels=("cache", "event"),
         ).inc(amount, cache=self.name, event=event)
 
-    def _publish_residency(self) -> None:
+    def _publish_residency(self, resident_bytes: int, entries: int) -> None:
+        # takes the values instead of reading guarded fields: called
+        # after the lock is dropped, with a snapshot captured inside it
         registry = get_registry()
         registry.gauge(
             "operand_cache_resident_bytes",
             "Device bytes held by resident prepared operands.",
             labels=("cache",),
-        ).set(self._resident_bytes, cache=self.name)
+        ).set(resident_bytes, cache=self.name)
         registry.gauge(
             "operand_cache_entries",
             "Prepared operands currently resident.",
             labels=("cache",),
-        ).set(len(self._entries), cache=self.name)
+        ).set(entries, cache=self.name)
 
     # -- bookkeeping ---------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: tuple[str, str]) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @property
     def resident_bytes(self) -> int:
@@ -134,23 +148,25 @@ class OperandCache:
         ``clear``, so eviction decisions are O(1) per entry instead of
         re-summing every resident operand.
         """
-        return self._resident_bytes
+        with self._lock:
+            return self._resident_bytes
 
     def keys(self) -> list[tuple[str, str]]:
         """Resident keys, least- to most-recently used."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     # -- access --------------------------------------------------------------
     def get(self, key: tuple[str, str]) -> PreparedOperand | None:
         """Fetch an operand, refreshing its recency; counts hit or miss."""
-        operand = self._entries.get(key)
-        if operand is None:
-            self.stats.misses += 1
-            self._count_event("miss")
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        self._count_event("hit")
+        with self._lock:
+            operand = self._entries.get(key)
+            if operand is None:
+                self.stats.misses += 1
+            else:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+        self._count_event("miss" if operand is None else "hit")
         return operand
 
     def put(self, key: tuple[str, str], operand: PreparedOperand) -> None:
@@ -163,44 +179,51 @@ class OperandCache:
         operand, dropping it counts as an eviction — the entry leaves
         the cache to respect the budget, exactly like an LRU eviction.
         """
-        if operand.device_bytes > self.device_bytes_budget:
-            displaced = self._entries.pop(key, None)
-            if displaced is not None:
-                self._resident_bytes -= displaced.device_bytes
-                self.stats.evictions += 1
-                self._count_event("eviction")
-            self.stats.rejected += 1
-            self._count_event("rejected")
-            self._publish_residency()
-            return
-        replaced = self._entries.get(key)
-        if replaced is not None:
-            self._resident_bytes -= replaced.device_bytes
-        self._entries[key] = operand
-        self._entries.move_to_end(key)
-        self._resident_bytes += operand.device_bytes
-        while self._resident_bytes > self.device_bytes_budget:
-            evicted_key, evicted = self._entries.popitem(last=False)
-            self._resident_bytes -= evicted.device_bytes
-            self.stats.evictions += 1
-            self._count_event("eviction")
-            if evicted_key == key:  # cannot happen (size checked), safety net
-                break
-        self._publish_residency()
+        events: list[str] = []
+        with self._lock:
+            if operand.device_bytes > self.device_bytes_budget:
+                displaced = self._entries.pop(key, None)
+                if displaced is not None:
+                    self._resident_bytes -= displaced.device_bytes
+                    self.stats.evictions += 1
+                    events.append("eviction")
+                self.stats.rejected += 1
+                events.append("rejected")
+            else:
+                replaced = self._entries.get(key)
+                if replaced is not None:
+                    self._resident_bytes -= replaced.device_bytes
+                self._entries[key] = operand
+                self._entries.move_to_end(key)
+                self._resident_bytes += operand.device_bytes
+                while self._resident_bytes > self.device_bytes_budget:
+                    evicted_key, evicted = self._entries.popitem(last=False)
+                    self._resident_bytes -= evicted.device_bytes
+                    self.stats.evictions += 1
+                    events.append("eviction")
+                    if evicted_key == key:  # cannot happen (size checked), safety net
+                        break
+            resident, count = self._resident_bytes, len(self._entries)
+        for event in events:
+            self._count_event(event)
+        self._publish_residency(resident, count)
 
     def invalidate(self, key: tuple[str, str]) -> bool:
         """Drop one entry (e.g. a poisoned operand); True if it was resident."""
-        dropped = self._entries.pop(key, None)
-        if dropped is None:
-            return False
-        self._resident_bytes -= dropped.device_bytes
-        self.stats.invalidations += 1
+        with self._lock:
+            dropped = self._entries.pop(key, None)
+            if dropped is None:
+                return False
+            self._resident_bytes -= dropped.device_bytes
+            self.stats.invalidations += 1
+            resident, count = self._resident_bytes, len(self._entries)
         self._count_event("invalidation")
-        self._publish_residency()
+        self._publish_residency(resident, count)
         return True
 
     def clear(self) -> None:
         """Drop every resident operand (counters are preserved)."""
-        self._entries.clear()
-        self._resident_bytes = 0
-        self._publish_residency()
+        with self._lock:
+            self._entries.clear()
+            self._resident_bytes = 0
+        self._publish_residency(0, 0)

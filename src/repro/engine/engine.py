@@ -25,6 +25,7 @@ throughput, never correctness.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field, fields
 
@@ -143,7 +144,12 @@ class SpMVEngine:
         self.deep_verify = deep_verify
         self.resilience = resilience
         self.cache = OperandCache(cache_bytes, name=f"engine:{kernel}")
-        self.stats = EngineStats()
+        # Guards the engine's own bookkeeping (stats, submit queue) only.
+        # It is NEVER held across prepare/execute_chain, so concurrent
+        # batches still run in parallel; the cache has its own lock.
+        self._lock = threading.Lock()
+        self.stats = EngineStats()  # concurrency: guarded-by(self._lock)
+        # concurrency: guarded-by(self._lock)
         self._queue: list[tuple[CSRMatrix, np.ndarray]] = []
 
     # -- operand management --------------------------------------------------
@@ -156,8 +162,10 @@ class SpMVEngine:
         kernel = get_kernel(kernel_name)
         start = time.perf_counter()
         operand = kernel.prepare(csr)
-        self.stats.prepare_calls += 1
-        self.stats.prepare_seconds += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self.stats.prepare_calls += 1
+            self.stats.prepare_seconds += elapsed
         if self.deep_verify:
             verify_operand(kernel, operand)
         self.cache.put(key, operand)
@@ -211,15 +219,17 @@ class SpMVEngine:
                 )
                 batch_span.attributes["served_by"] = result.kernel
         except ChainExhaustedError as exc:
-            self.stats.degradation_log.extend(exc.events)
+            with self._lock:
+                self.stats.degradation_log.extend(exc.events)
             raise
-        self.stats.run_seconds += result.run_seconds
-        self.stats.batches += 1
-        if k >= 2:
-            self.stats.batched_vectors += k
-        self.stats.degradation_log.extend(result.events)
-        if result.stats is not None:
-            self.stats.execution.merge(result.stats)
+        with self._lock:
+            self.stats.run_seconds += result.run_seconds
+            self.stats.batches += 1
+            if k >= 2:
+                self.stats.batched_vectors += k
+            self.stats.degradation_log.extend(result.events)
+            if result.stats is not None:
+                self.stats.execution.merge(result.stats)
         registry = get_registry()
         registry.counter(
             "engine_batches_total",
@@ -237,7 +247,8 @@ class SpMVEngine:
     # -- public API ----------------------------------------------------------
     def spmv(self, csr: CSRMatrix, x: np.ndarray, *, simulate: bool = False) -> np.ndarray:
         """Synchronous single SpMV through the cache (batch of one)."""
-        self.stats.requests += 1
+        with self._lock:
+            self.stats.requests += 1
         _count_requests(self.kernel_name, 1)
         x = np.asarray(x)
         if x.ndim != 1 or x.shape[0] != csr.ncols:
@@ -271,7 +282,8 @@ class SpMVEngine:
         forwarded to every attempt (the chaos harness drives it).
         """
         requests = list(requests)
-        self.stats.requests += len(requests)
+        with self._lock:
+            self.stats.requests += len(requests)
         _count_requests(self.kernel_name, len(requests))
         groups: dict[str, dict] = {}
         for position, (csr, x) in enumerate(requests):
@@ -302,8 +314,10 @@ class SpMVEngine:
 
     def submit(self, csr: CSRMatrix, x: np.ndarray) -> int:
         """Queue one request for the next :meth:`flush`; returns its index."""
-        self._queue.append((csr, np.asarray(x)))
-        return len(self._queue) - 1
+        entry = (csr, np.asarray(x))
+        with self._lock:
+            self._queue.append(entry)
+            return len(self._queue) - 1
 
     def flush(
         self,
@@ -323,7 +337,8 @@ class SpMVEngine:
         each failed request carries its error in the result list
         instead.
         """
-        queue, self._queue = self._queue, []
+        with self._lock:
+            queue, self._queue = self._queue, []
         if not queue:
             return []
         try:
@@ -334,7 +349,8 @@ class SpMVEngine:
             # requeue every request of this flush (results were never
             # delivered, so re-running them is safe), preserving order
             # relative to anything submitted while we were failing
-            self._queue = queue + self._queue
+            with self._lock:
+                self._queue = queue + self._queue
             raise
 
     def operator(self, csr: CSRMatrix):
@@ -346,7 +362,8 @@ class SpMVEngine:
         fingerprint = matrix_fingerprint(csr)
 
         def bound_spmv(x: np.ndarray) -> np.ndarray:
-            self.stats.requests += 1
+            with self._lock:
+                self.stats.requests += 1
             _count_requests(self.kernel_name, 1)
             x = np.asarray(x)
             if x.ndim != 1 or x.shape[0] != csr.ncols:

@@ -43,6 +43,8 @@ __all__ = [
 ]
 
 #: attribute -> defining submodule, resolved on first access
+# concurrency: not-shared -- constant name table; __getattr__ only reads it
+# (resolution caches into module globals, an atomic dict store under the GIL)
 _LAZY = {
     "ChainExhaustedError": "repro.exec.chain",
     "default_chain": "repro.exec.chain",

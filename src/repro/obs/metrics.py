@@ -64,6 +64,7 @@ class Metric:
         self.name = name
         self.help = help
         self.label_names = tuple(label_names)
+        # concurrency: guarded-by(self._lock)
         self._series: dict[tuple[str, ...], object] = {}
         self._lock = threading.Lock()
 
@@ -115,7 +116,9 @@ class Counter(Metric):
             self._series[key] = self._series.get(key, 0) + amount
 
     def value(self, **labels: object) -> float:
-        return self._series.get(self._key(labels), 0)
+        key = self._key(labels)
+        with self._lock:
+            return self._series.get(key, 0)
 
 
 class Gauge(Metric):
@@ -136,7 +139,9 @@ class Gauge(Metric):
         self.inc(-amount, **labels)
 
     def value(self, **labels: object) -> float:
-        return self._series.get(self._key(labels), 0)
+        key = self._key(labels)
+        with self._lock:
+            return self._series.get(key, 0)
 
 
 class Histogram(Metric):
@@ -175,12 +180,16 @@ class Histogram(Metric):
                     series["buckets"][i] += 1
 
     def count(self, **labels: object) -> int:
-        series = self._series.get(self._key(labels))
-        return series["count"] if series else 0
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return series["count"] if series else 0
 
     def sum(self, **labels: object) -> float:
-        series = self._series.get(self._key(labels))
-        return series["sum"] if series else 0.0
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return series["sum"] if series else 0.0
 
     def series(self) -> dict[tuple[str, ...], object]:
         with self._lock:
@@ -197,10 +206,12 @@ class Histogram(Metric):
 class MetricsRegistry:
     """Name-keyed collection of metrics with idempotent registration."""
 
+    # concurrency: not-shared -- registration-time kind table, written once
+    # at class creation and only ever read afterwards
     _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 
     def __init__(self):
-        self._metrics: dict[str, Metric] = {}
+        self._metrics: dict[str, Metric] = {}  # concurrency: guarded-by(self._lock)
         self._lock = threading.Lock()
 
     def _register(self, cls, name: str, help: str, labels: tuple[str, ...], **kwargs):
@@ -238,13 +249,16 @@ class MetricsRegistry:
 
     # -- introspection --------------------------------------------------------
     def get(self, name: str) -> Metric | None:
-        return self._metrics.get(name)
+        with self._lock:
+            return self._metrics.get(name)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._metrics
+        with self._lock:
+            return name in self._metrics
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
     def metrics(self) -> list[Metric]:
         """Registered metrics in registration order."""

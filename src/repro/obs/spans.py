@@ -19,6 +19,7 @@ never swallows or alters control flow.
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -69,15 +70,32 @@ class Span:
 
 
 class SpanLog:
-    """Bounded, ordered log of finished spans plus the live stack."""
+    """Bounded, ordered log of finished spans plus the live stack.
+
+    Thread-safe: the live span stack is **thread-local** (each thread
+    nests its own spans; a worker's ``exec.run`` can never become the
+    child of another thread's batch), while the finished-span buffer
+    and its overflow counter live under one lock.  Span ids come from
+    ``itertools.count``, whose ``next`` is atomic under the GIL.
+    """
 
     def __init__(self, limit: int = DEFAULT_SPAN_LIMIT):
         self.limit = int(limit)
-        self._spans: list[Span] = []
-        self._stack: list[Span] = []
+        self._spans: list[Span] = []  # concurrency: guarded-by(self._lock)
+        # concurrency: not-shared -- live span stack is per-thread
+        # (threading.local), so only its owning thread touches it
+        self._local = threading.local()
         self._ids = itertools.count(1)
+        self._lock = threading.Lock()
         #: Finished spans discarded to respect :attr:`limit`.
-        self.dropped = 0
+        self.dropped = 0  # concurrency: guarded-by(self._lock)
+
+    def _live(self) -> list[Span]:
+        """This thread's in-flight span stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     @contextmanager
     def span(self, name: str, **attributes: object):
@@ -87,7 +105,8 @@ class SpanLog:
         span still records, so a failed stage shows up in the timeline
         exactly where it died.
         """
-        parent = self._stack[-1].span_id if self._stack else None
+        stack = self._live()
+        parent = stack[-1].span_id if stack else None
         current = Span(
             span_id=next(self._ids),
             parent_id=parent,
@@ -95,7 +114,7 @@ class SpanLog:
             attributes=dict(attributes),
             start_seconds=time.perf_counter(),
         )
-        self._stack.append(current)
+        stack.append(current)
         try:
             yield current
         except BaseException as exc:
@@ -105,37 +124,42 @@ class SpanLog:
         finally:
             current.end_seconds = time.perf_counter()
             # unwind even if an inner frame leaked stack entries
-            while self._stack and self._stack[-1] is not current:
-                self._stack.pop()
-            if self._stack:
-                self._stack.pop()
-            self._spans.append(current)
-            if len(self._spans) > self.limit:
-                overflow = len(self._spans) - self.limit
-                del self._spans[:overflow]
-                self.dropped += overflow
+            while stack and stack[-1] is not current:
+                stack.pop()
+            if stack:
+                stack.pop()
+            with self._lock:
+                self._spans.append(current)
+                if len(self._spans) > self.limit:
+                    overflow = len(self._spans) - self.limit
+                    del self._spans[:overflow]
+                    self.dropped += overflow
 
     # -- introspection --------------------------------------------------------
     def spans(self) -> tuple[Span, ...]:
         """Finished spans, oldest first (children before parents)."""
-        return tuple(self._spans)
+        with self._lock:
+            return tuple(self._spans)
 
     def __len__(self) -> int:
-        return len(self._spans)
+        with self._lock:
+            return len(self._spans)
 
     def by_name(self, name: str) -> list[Span]:
-        return [s for s in self._spans if s.name == name]
+        return [s for s in self.spans() if s.name == name]
 
     def children_of(self, parent: Span) -> list[Span]:
-        return [s for s in self._spans if s.parent_id == parent.span_id]
+        return [s for s in self.spans() if s.parent_id == parent.span_id]
 
     def as_dicts(self) -> list[dict]:
-        return [s.as_dict() for s in self._spans]
+        return [s.as_dict() for s in self.spans()]
 
     def clear(self) -> None:
-        self._spans.clear()
-        self._stack.clear()
-        self.dropped = 0
+        """Drop finished spans and this thread's live stack."""
+        with self._lock:
+            self._spans.clear()
+            self.dropped = 0
+        self._live().clear()
 
 
 #: The process-wide span log the exec seam records into.

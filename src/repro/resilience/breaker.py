@@ -29,6 +29,7 @@ kept on the breaker (for reports) and mirrored into :mod:`repro.obs`.
 from __future__ import annotations
 
 import enum
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -55,6 +56,7 @@ class BreakerState(enum.Enum):
 
 
 #: Gauge encoding of the state (0 = healthy .. 2 = quarantined).
+# concurrency: not-shared -- constant encoding table, never written after import
 _STATE_VALUE = {BreakerState.CLOSED: 0, BreakerState.HALF_OPEN: 1, BreakerState.OPEN: 2}
 
 
@@ -122,7 +124,14 @@ def _count_transition(name: str, old: BreakerState, new: BreakerState) -> None:
 
 
 class CircuitBreaker:
-    """The three-state machine for one kernel."""
+    """The three-state machine for one kernel.
+
+    Thread-safe: every state read and transition happens under one
+    re-entrant lock (``_transition`` runs inside the public methods
+    that already hold it), so two threads racing ``allow`` during a
+    cooldown can never both flip the breaker half-open or overshoot
+    the probe budget.
+    """
 
     def __init__(
         self,
@@ -134,28 +143,34 @@ class CircuitBreaker:
         self.name = name
         self.config = config or BreakerConfig()
         self._clock = clock
-        self.state = BreakerState.CLOSED
+        self._lock = threading.RLock()
+        self.state = BreakerState.CLOSED  # concurrency: guarded-by(self._lock)
+        # concurrency: guarded-by(self._lock)
         self._window: deque[bool] = deque(maxlen=self.config.window)
-        self._opened_at = 0.0
-        self._probes = 0
+        self._opened_at = 0.0  # concurrency: guarded-by(self._lock)
+        self._probes = 0  # concurrency: guarded-by(self._lock)
+        # concurrency: guarded-by(self._lock)
         self.transitions: list[BreakerTransition] = []
-        _publish_state(name, self.state)
+        _publish_state(name, BreakerState.CLOSED)
 
     # -- state machine -------------------------------------------------------
     def _transition(self, new: BreakerState) -> None:
-        old, self.state = self.state, new
-        self.transitions.append(
-            BreakerTransition(self.name, old.value, new.value, self._clock())
-        )
+        # callers hold the lock already; the RLock makes this nesting safe
+        with self._lock:
+            old, self.state = self.state, new
+            self.transitions.append(
+                BreakerTransition(self.name, old.value, new.value, self._clock())
+            )
         _count_transition(self.name, old, new)
         _publish_state(self.name, new)
 
     @property
     def failure_rate(self) -> float:
         """Failures over the current window (0.0 when empty)."""
-        if not self._window:
-            return 0.0
-        return sum(1 for ok in self._window if not ok) / len(self._window)
+        with self._lock:
+            if not self._window:
+                return 0.0
+            return sum(1 for ok in self._window if not ok) / len(self._window)
 
     def allow(self) -> bool:
         """May the next request attempt this kernel?
@@ -164,53 +179,57 @@ class CircuitBreaker:
         flip to half-open; half-open breakers admit at most
         ``half_open_probes`` outstanding trials.
         """
-        if self.state is BreakerState.OPEN:
-            if self._clock() - self._opened_at < self.config.cooldown_seconds:
-                return False
-            self._transition(BreakerState.HALF_OPEN)
-            self._probes = 0
-        if self.state is BreakerState.HALF_OPEN:
-            if self._probes >= self.config.half_open_probes:
-                return False
-            self._probes += 1
+        with self._lock:
+            if self.state is BreakerState.OPEN:
+                if self._clock() - self._opened_at < self.config.cooldown_seconds:
+                    return False
+                self._transition(BreakerState.HALF_OPEN)
+                self._probes = 0
+            if self.state is BreakerState.HALF_OPEN:
+                if self._probes >= self.config.half_open_probes:
+                    return False
+                self._probes += 1
+                return True
             return True
-        return True
 
     def record_success(self) -> None:
         """Feed one successful attempt (closes a half-open breaker)."""
-        if self.state is BreakerState.HALF_OPEN:
-            self._window.clear()
-            self._probes = 0
-            self._transition(BreakerState.CLOSED)
-        elif self.state is BreakerState.CLOSED:
-            self._window.append(True)
-        # OPEN: a straggler from before the trip; the quarantine stands.
+        with self._lock:
+            if self.state is BreakerState.HALF_OPEN:
+                self._window.clear()
+                self._probes = 0
+                self._transition(BreakerState.CLOSED)
+            elif self.state is BreakerState.CLOSED:
+                self._window.append(True)
+            # OPEN: a straggler from before the trip; the quarantine stands.
 
     def record_failure(self) -> None:
         """Feed one failed attempt (may open the breaker)."""
-        if self.state is BreakerState.HALF_OPEN:
-            self._probes = 0
-            self._opened_at = self._clock()
-            self._transition(BreakerState.OPEN)
-        elif self.state is BreakerState.CLOSED:
-            self._window.append(False)
-            if (
-                len(self._window) >= self.config.min_volume
-                and self.failure_rate >= self.config.failure_threshold
-            ):
-                self._window.clear()
+        with self._lock:
+            if self.state is BreakerState.HALF_OPEN:
+                self._probes = 0
                 self._opened_at = self._clock()
                 self._transition(BreakerState.OPEN)
-        # OPEN: already quarantined.
+            elif self.state is BreakerState.CLOSED:
+                self._window.append(False)
+                if (
+                    len(self._window) >= self.config.min_volume
+                    and self.failure_rate >= self.config.failure_threshold
+                ):
+                    self._window.clear()
+                    self._opened_at = self._clock()
+                    self._transition(BreakerState.OPEN)
+            # OPEN: already quarantined.
 
     def as_dict(self) -> dict:
-        return {
-            "name": self.name,
-            "state": self.state.value,
-            "failure_rate": self.failure_rate,
-            "window": len(self._window),
-            "transitions": len(self.transitions),
-        }
+        with self._lock:
+            return {
+                "name": self.name,
+                "state": self.state.value,
+                "failure_rate": self.failure_rate,
+                "window": len(self._window),
+                "transitions": len(self.transitions),
+            }
 
 
 class BreakerBoard:
@@ -229,13 +248,16 @@ class BreakerBoard:
     ):
         self.config = config or BreakerConfig()
         self._clock = clock
+        self._lock = threading.Lock()
+        # concurrency: guarded-by(self._lock)
         self._breakers: dict[str, CircuitBreaker] = {}
 
     def breaker(self, name: str) -> CircuitBreaker:
-        board = self._breakers
-        if name not in board:
-            board[name] = CircuitBreaker(name, self.config, clock=self._clock)
-        return board[name]
+        with self._lock:
+            board = self._breakers
+            if name not in board:
+                board[name] = CircuitBreaker(name, self.config, clock=self._clock)
+            return board[name]
 
     def allow(self, name: str) -> bool:
         return self.breaker(name).allow()
@@ -249,13 +271,17 @@ class BreakerBoard:
     def state(self, name: str) -> BreakerState:
         return self.breaker(name).state
 
+    def _snapshot(self) -> list[tuple[str, CircuitBreaker]]:
+        with self._lock:
+            return sorted(self._breakers.items())
+
     def transitions(self) -> list[BreakerTransition]:
         """Every transition on the board, in clock (then insertion) order."""
-        merged = [t for b in self._breakers.values() for t in b.transitions]
+        merged = [t for _, b in self._snapshot() for t in list(b.transitions)]
         return sorted(merged, key=lambda t: t.at)
 
     def states(self) -> dict[str, str]:
-        return {name: b.state.value for name, b in sorted(self._breakers.items())}
+        return {name: b.state.value for name, b in self._snapshot()}
 
     def as_dict(self) -> dict:
-        return {name: b.as_dict() for name, b in sorted(self._breakers.items())}
+        return {name: b.as_dict() for name, b in self._snapshot()}

@@ -34,6 +34,8 @@ class ManualClock:
 
     def advance(self, seconds: float) -> None:
         """Move the clock forward (a stalled kernel, an expensive stage)."""
+        # concurrency: not-shared -- deterministic test clock, driven by the
+        # single test thread that owns it; production code uses time.monotonic
         self.now += float(seconds)
 
     def sleep(self, seconds: float) -> None:

@@ -94,6 +94,8 @@ class FaultModel:
         return self._inject(matrix, rng)
 
 
+# concurrency: not-shared -- populated by @register_fault at import time
+# (single-threaded module execution); read-only once imports settle
 _REGISTRY: dict[str, FaultModel] = {}
 
 

@@ -1,0 +1,483 @@
+"""Thread-safety auditor: each rule on synthetic sources, pragma
+placement, the lock-ordering graph, and the requirement that the
+shipped serving packages audit clean."""
+
+import textwrap
+from pathlib import Path
+
+import repro
+from repro.analysis import (
+    AUDITED_PACKAGES,
+    CONCURRENCY_RULES,
+    audit_package,
+    audit_paths,
+    audit_source,
+    format_findings,
+)
+
+
+def _audit(code):
+    return audit_source(textwrap.dedent(code), path="snippet.py")
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+GUARDED_CLEAN = """
+    import threading
+
+    class Cache:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._entries = {}  # concurrency: guarded-by(self._lock)
+
+        def put(self, key, value):
+            with self._lock:
+                self._entries[key] = value
+"""
+
+
+class TestSharedStateDiscovery:
+    def test_unguarded_write_outside_init_flagged(self):
+        findings = _audit(
+            """
+            class Engine:
+                def __init__(self):
+                    self.stats = {}
+
+                def bump(self):
+                    self.stats["n"] = 1
+            """
+        )
+        assert _rules(findings) == ["unguarded-mutable-state"]
+        assert findings[0].cls == "Engine"
+        assert findings[0].field == "stats"
+
+    def test_augassign_through_attribute_chain_resolves_base_field(self):
+        # self.stats.hits += 1 mutates state reachable from self.stats
+        findings = _audit(
+            """
+            class Cache:
+                def __init__(self):
+                    self.stats = Stats()
+
+                def hit(self):
+                    self.stats.hits += 1
+            """
+        )
+        assert _rules(findings) == ["unguarded-mutable-state"]
+        assert findings[0].field == "stats"
+
+    def test_subscript_store_resolves_base_field(self):
+        findings = _audit(
+            """
+            class Cache:
+                def __init__(self):
+                    self._entries = {}
+
+                def put(self, k, v):
+                    self._entries[k] = v
+            """
+        )
+        assert _rules(findings) == ["unguarded-mutable-state"]
+        assert findings[0].field == "_entries"
+
+    def test_init_writes_are_exempt(self):
+        assert _audit("class A:\n    def __init__(self):\n        self.xs = []\n") == []
+
+    def test_post_init_counts_as_init(self):
+        assert (
+            _audit(
+                """
+                class Policy:
+                    def __post_init__(self):
+                        self._rng = {}
+                """
+            )
+            == []
+        )
+
+    def test_mutable_global_flagged(self):
+        findings = _audit("_REGISTRY = {}\n")
+        assert _rules(findings) == ["mutable-global"]
+        assert findings[0].field == "_REGISTRY"
+
+    def test_dunder_globals_exempt(self):
+        assert _audit('__all__ = ["a", "b"]\n') == []
+
+    def test_immutable_global_is_fine(self):
+        assert _audit("LIMIT = 100\nNAMES = (1, 2)\n") == []
+
+    def test_mutable_class_attribute_flagged(self):
+        findings = _audit("class Registry:\n    _KINDS = {}\n")
+        assert _rules(findings) == ["mutable-class-attribute"]
+        assert findings[0].cls == "Registry"
+
+    def test_reads_of_uncontracted_fields_are_fine(self):
+        assert (
+            _audit(
+                """
+                class Engine:
+                    def __init__(self):
+                        self.name = "spaden"
+
+                    def label(self):
+                        return self.name.upper()
+                """
+            )
+            == []
+        )
+
+
+class TestLockContract:
+    def test_guarded_write_inside_lock_is_clean(self):
+        assert _audit(GUARDED_CLEAN) == []
+
+    def test_guarded_write_outside_lock_escapes(self):
+        findings = _audit(
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}  # concurrency: guarded-by(self._lock)
+
+                def put(self, key, value):
+                    self._entries[key] = value
+            """
+        )
+        assert _rules(findings) == ["guarded-field-escape"]
+        assert "write" in findings[0].message
+
+    def test_guarded_read_outside_lock_escapes(self):
+        findings = _audit(
+            """
+            class Cache:
+                def __init__(self):
+                    self._entries = {}  # concurrency: guarded-by(self._lock)
+
+                def size(self):
+                    return len(self._entries)
+            """
+        )
+        assert _rules(findings) == ["guarded-field-escape"]
+        assert "read" in findings[0].message
+
+    def test_wrong_lock_still_escapes(self):
+        findings = _audit(
+            """
+            class Cache:
+                def __init__(self):
+                    self._entries = {}  # concurrency: guarded-by(self._lock)
+
+                def put(self, k, v):
+                    with self._other_lock:
+                        self._entries[k] = v
+            """
+        )
+        assert _rules(findings) == ["guarded-field-escape"]
+
+    def test_nested_function_does_not_inherit_held_lock(self):
+        # the closure body runs when *called*, not where it is written;
+        # lexically holding the lock around `def` proves nothing
+        findings = _audit(
+            """
+            class Engine:
+                def __init__(self):
+                    self.stats = {}  # concurrency: guarded-by(self._lock)
+
+                def operator(self):
+                    with self._lock:
+                        def bound():
+                            self.stats["n"] = 1
+                        return bound
+            """
+        )
+        assert _rules(findings) == ["guarded-field-escape"]
+
+    def test_helper_method_is_flagged_even_if_callers_hold_the_lock(self):
+        # the documented intra-procedural limitation: pass values into
+        # helpers instead of reading guarded fields from them
+        findings = _audit(
+            """
+            class Cache:
+                def __init__(self):
+                    self._resident = 0  # concurrency: guarded-by(self._lock)
+
+                def put(self):
+                    with self._lock:
+                        self._resident += 1
+                        self._publish()
+
+                def _publish(self):
+                    return self._resident
+            """
+        )
+        assert _rules(findings) == ["guarded-field-escape"]
+        assert findings[0].field == "_resident"
+
+    def test_contract_inherited_from_same_module_base(self):
+        clean = _audit(
+            """
+            class Metric:
+                def __init__(self):
+                    self._series = {}  # concurrency: guarded-by(self._lock)
+
+            class Counter(Metric):
+                def inc(self, key):
+                    with self._lock:
+                        self._series[key] = 1
+            """
+        )
+        assert clean == []
+        escaped = _audit(
+            """
+            class Metric:
+                def __init__(self):
+                    self._series = {}  # concurrency: guarded-by(self._lock)
+
+            class Counter(Metric):
+                def inc(self, key):
+                    self._series[key] = 1
+            """
+        )
+        assert _rules(escaped) == ["guarded-field-escape"]
+        assert escaped[0].cls == "Counter"
+
+
+class TestPragmas:
+    def test_trailing_pragma_covers_its_own_line(self):
+        assert _audit(GUARDED_CLEAN) == []
+
+    def test_standalone_pragma_covers_next_code_line(self):
+        assert (
+            _audit(
+                """
+                class Cache:
+                    def __init__(self):
+                        # concurrency: guarded-by(self._lock)
+                        self._entries = {}
+
+                    def put(self, k, v):
+                        with self._lock:
+                            self._entries[k] = v
+                """
+            )
+            == []
+        )
+
+    def test_standalone_pragma_skips_comment_continuations(self):
+        assert (
+            _audit(
+                """
+                class Log:
+                    def __init__(self):
+                        # concurrency: not-shared -- per-thread live stack,
+                        # each thread only ever touches its own
+                        self._stack = []
+
+                    def push(self, item):
+                        self._stack.append(item)
+                        self._stack[0] = item
+                """
+            )
+            == []
+        )
+
+    def test_not_shared_waiver_without_justification_is_a_finding(self):
+        findings = _audit(
+            """
+            class Clock:
+                def __init__(self):
+                    self.now = 0.0
+
+                def advance(self, s):
+                    self.now += s  # concurrency: not-shared
+            """
+        )
+        # the bad waiver is reported AND waives nothing
+        assert sorted(_rules(findings)) == [
+            "missing-justification",
+            "unguarded-mutable-state",
+        ]
+
+    def test_waiver_on_access_line_suppresses(self):
+        assert (
+            _audit(
+                """
+                class Clock:
+                    def __init__(self):
+                        self.now = 0.0
+
+                    def advance(self, s):
+                        # concurrency: not-shared -- test clock, single driver thread
+                        self.now += s
+                """
+            )
+            == []
+        )
+
+    def test_waived_mutable_global(self):
+        code = "# concurrency: not-shared -- import-time only\n_REGISTRY = {}\n"
+        assert audit_source(code) == []
+
+    def test_waived_class_attribute(self):
+        code = (
+            "class R:\n"
+            "    _KINDS = {}  # concurrency: not-shared -- written once at class creation\n"
+        )
+        assert audit_source(code) == []
+
+    def test_dangling_guarded_by_is_bad_pragma(self):
+        findings = _audit(
+            """
+            class Cache:
+                def put(self, k):
+                    pass  # concurrency: guarded-by(self._lock)
+            """
+        )
+        assert _rules(findings) == ["bad-pragma"]
+
+    def test_unrecognized_pragma_is_bad_pragma(self):
+        findings = _audit("x = 1  # concurrency: lockless-wizardry\n")
+        assert _rules(findings) == ["bad-pragma"]
+
+    def test_pragma_covering_no_code_is_bad_pragma(self):
+        findings = audit_source("x = 1\n# concurrency: guarded-by(self._lock)\n")
+        assert _rules(findings) == ["bad-pragma"]
+
+
+class TestLockOrdering:
+    CYCLE = """
+        class Worker:
+            def transfer(self):
+                with self._lock_a:
+                    with self._lock_b:
+                        pass
+
+            def refund(self):
+                with self._lock_b:
+                    with self._lock_a:
+                        pass
+    """
+
+    def test_opposite_nesting_orders_form_a_cycle(self):
+        findings = _audit(self.CYCLE)
+        assert _rules(findings) == ["lock-order-cycle"]
+        assert "self._lock_a" in findings[0].message
+        assert "self._lock_b" in findings[0].message
+
+    def test_consistent_order_is_clean(self):
+        assert (
+            _audit(
+                """
+                class Worker:
+                    def f(self):
+                        with self._lock_a:
+                            with self._lock_b:
+                                pass
+
+                    def g(self):
+                        with self._lock_a:
+                            with self._lock_b:
+                                pass
+                """
+            )
+            == []
+        )
+
+    def test_reentrant_same_lock_is_not_an_edge(self):
+        assert (
+            _audit(
+                """
+                class Breaker:
+                    def allow(self):
+                        with self._lock:
+                            with self._lock:
+                                pass
+                """
+            )
+            == []
+        )
+
+    def test_same_lock_name_in_two_classes_stays_two_locks(self):
+        # Cache takes its lock inside Engine's in one file; the reverse
+        # nesting in the other class is a different pair of locks
+        assert (
+            _audit(
+                """
+                class A:
+                    def f(self):
+                        with self._lock:
+                            with other_lock:
+                                pass
+
+                class B:
+                    def g(self):
+                        with other_lock:
+                            with self._lock:
+                                pass
+                """
+            )
+            == []
+        )
+
+    def test_cycle_detected_across_files(self, tmp_path):
+        one = tmp_path / "one.py"
+        two = tmp_path / "two.py"
+        one.write_text(
+            "class P:\n"
+            "    def f(self):\n"
+            "        with A_LOCK:\n"
+            "            with B_LOCK:\n"
+            "                pass\n"
+        )
+        two.write_text(
+            "class Q:\n"
+            "    def g(self):\n"
+            "        with B_LOCK:\n"
+            "            with A_LOCK:\n"
+            "                pass\n"
+        )
+        findings = audit_paths([one, two])
+        assert _rules(findings) == ["lock-order-cycle"]
+
+
+class TestHarness:
+    def test_parse_error_is_a_finding(self):
+        findings = audit_source("def broken(:\n", path="bad.py")
+        assert _rules(findings) == ["parse-error"]
+
+    def test_findings_are_grep_friendly(self):
+        findings = _audit(
+            """
+            class Engine:
+                def __init__(self):
+                    self.stats = {}
+
+                def bump(self):
+                    self.stats["n"] = 1
+            """
+        )
+        line = format_findings(findings)
+        assert line.startswith("snippet.py:")
+        assert "[unguarded-mutable-state]" in line
+        assert "Engine.stats" in line
+
+    def test_rules_registry_documents_every_rule(self):
+        produced = set()
+        produced.update(_rules(_audit(TestLockOrdering.CYCLE)))
+        produced.update(_rules(audit_source("_G = []\n")))
+        produced.update(_rules(audit_source("def broken(:\n")))
+        assert produced <= set(CONCURRENCY_RULES)
+
+    def test_audited_packages_exist(self):
+        root = Path(repro.__path__[0])
+        for name in AUDITED_PACKAGES:
+            assert (root / name).is_dir(), name
+
+    def test_shipped_serving_packages_audit_clean(self):
+        findings = audit_package(Path(repro.__path__[0]))
+        assert findings == [], format_findings(findings)

@@ -182,6 +182,87 @@ class TestWaivers:
         assert len(findings) == 1
         assert findings[0].line == 3
 
+    def test_trailing_pragma_does_not_leak_to_next_line(self):
+        code = (
+            "x = 1  # lint: ignore[per-lane-loop] -- wrong line\n"
+            "for lane in range(32):\n"
+            "    pass\n"
+        )
+        assert _rules(lint_source(code)) == ["per-lane-loop"]
+
+    def test_standalone_pragma_skips_blank_lines(self):
+        code = (
+            "# lint: ignore[per-lane-loop] -- why\n"
+            "\n"
+            "for lane in range(32):\n"
+            "    pass\n"
+        )
+        assert lint_source(code) == []
+
+    def test_pragma_at_eof_covers_nothing(self):
+        code = (
+            "for lane in range(32):\n"
+            "    pass\n"
+            "# lint: ignore[per-lane-loop] -- dangles past the last code line\n"
+        )
+        assert _rules(lint_source(code)) == ["per-lane-loop"]
+
+    def test_one_pragma_waives_multiple_rules(self):
+        code = (
+            "from repro.gpu.mma import MMAUnit\n"
+            "# lint: ignore[per-lane-loop, fp64-upcast] -- reference table build\n"
+            "for lane in range(32):\n"
+            "    acc = np.float64(0)\n"
+        )
+        # the loop line is waived for both rules; the fp64 use sits on
+        # the *inner* line, which the pragma does not cover
+        findings = lint_source(code)
+        assert _rules(findings) == ["fp64-upcast"]
+        assert findings[0].line == 4
+
+
+class TestIntraProceduralLimitation:
+    """Pin the documented blind spots so a future fix shows up as a diff."""
+
+    def test_unmasked_access_in_helper_called_under_divergence_not_flagged(self):
+        # the checker is intra-procedural: divergence at the call site
+        # does not propagate into the helper's body
+        code = textwrap.dedent(
+            """
+            def f(warp, idx, flag):
+                if flag:
+                    _helper(warp, idx)
+
+            def _helper(warp, idx):
+                warp.load("x", idx)
+            """
+        )
+        assert lint_source(code) == []
+
+    def test_alias_through_chained_assignment_not_tracked(self):
+        # alias tracking follows direct single-name assignments only
+        code = textwrap.dedent(
+            """
+            def f(memory, idx, v):
+                a = b = memory.array("y")
+                a[idx] = v
+            """
+        )
+        assert lint_source(code) == []
+
+    def test_alias_does_not_cross_function_boundaries(self):
+        code = textwrap.dedent(
+            """
+            def make(memory):
+                return memory.array("y")
+
+            def f(memory, idx, v):
+                arr = make(memory)
+                arr[idx] = v
+            """
+        )
+        assert lint_source(code) == []
+
 
 class TestHarness:
     def test_parse_error_is_a_finding(self):
