@@ -85,7 +85,14 @@ __all__ = [
 
 #: ``src/repro`` sub-packages the serving arc touches from more than one
 #: thread; ``repro.cli analyze --concurrency`` audits exactly these.
-AUDITED_PACKAGES: tuple[str, ...] = ("engine", "exec", "obs", "resilience", "robustness")
+AUDITED_PACKAGES: tuple[str, ...] = (
+    "engine",
+    "exec",
+    "obs",
+    "resilience",
+    "robustness",
+    "serve",
+)
 
 CONCURRENCY_RULES: dict[str, str] = {
     "unguarded-mutable-state": (
@@ -263,7 +270,15 @@ def _self_field(node: ast.expr) -> str | None:
 
 
 def _looks_like_lock(expr_text: str) -> bool:
-    return "lock" in expr_text.lower()
+    """Heuristic: is this ``with``-context expression a mutex?
+
+    Covers ``Lock``/``RLock`` naming conventions and condition
+    variables (``threading.Condition`` wraps a lock, and ``with cond:``
+    acquires it — the serving front-end guards its bookkeeping that
+    way so waiters and mutators share one mutex).
+    """
+    lowered = expr_text.lower()
+    return "lock" in lowered or "cond" in lowered
 
 
 @dataclass(frozen=True)

@@ -1,6 +1,13 @@
 """Shared benchmark harness: suite loading, profile caching, reporting."""
 
 from repro.bench.engine import EngineBenchResult, append_obs_trajectory, bench_engine
+from repro.bench.load import (
+    LoadCampaignResult,
+    append_serve_trajectory,
+    bench_load,
+    format_load_report,
+    zipf_weights,
+)
 from repro.bench.harness import (
     EVALUATED_METHODS,
     FIG8_METHODS,
@@ -15,10 +22,15 @@ __all__ = [
     "EVALUATED_METHODS",
     "EngineBenchResult",
     "FIG8_METHODS",
+    "LoadCampaignResult",
     "append_obs_trajectory",
+    "append_serve_trajectory",
     "bench_engine",
+    "bench_load",
     "bench_scale",
+    "format_load_report",
     "load_suite",
+    "zipf_weights",
     "modeled_times",
     "profile_suite",
     "prune_bench_cache",

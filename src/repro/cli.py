@@ -17,6 +17,8 @@ Usage::
                                 [--jsonl run_report.jsonl] [--prometheus metrics.txt]
     python -m repro.cli chaos   [--seed 0] [--requests 48] [--batch 8]
                                 [--probabilities 0,0.5,0.9] [--out BENCH_chaos.json]
+    python -m repro.cli serve-bench [--mode open] [--workers 4] [--tenants 2]
+                                [--zipf-s 1.1] [--out BENCH_serve.json]
 """
 
 from __future__ import annotations
@@ -458,6 +460,41 @@ def _cmd_chaos(args) -> int:
     return 1 if result.lost or result.incorrect else 0
 
 
+def _cmd_serve_bench(args) -> int:
+    """Drive the serving front-end with a seeded multi-tenant load.
+
+    Exit status is the campaign verdict: nonzero if any admitted
+    request was lost (neither answered nor errored) or any served ``y``
+    disagreed bitwise with the serial per-request reference — the two
+    things the front-end is never allowed to trade for latency.
+    """
+    from repro.bench.load import append_serve_trajectory, bench_load, format_load_report
+    from repro.obs import reset_observability
+
+    reset_observability()  # scope the folded report to this campaign
+
+    result = bench_load(
+        args.nrows,
+        args.ncols or args.nrows,
+        args.density,
+        kernel=args.kernel,
+        matrices=args.matrices,
+        requests=args.requests,
+        workers=args.workers,
+        tenants=args.tenants,
+        zipf_s=args.zipf_s,
+        mode=args.mode,
+        max_batch=args.max_batch,
+        max_wait_seconds=args.max_wait_ms / 1000.0,
+        seed=args.seed,
+    )
+    print(format_load_report(result))
+    if args.out:
+        length = append_serve_trajectory(args.out, result)
+        print(f"[serve trajectory {args.out}: {length} campaign(s)]")
+    return 1 if result.lost or result.incorrect else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -587,6 +624,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="append the campaign to a BENCH_chaos.json trajectory",
     )
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="drive the concurrent multi-tenant serving front-end with a "
+        "seeded zipfian load and report latency percentiles, throughput, "
+        "coalescing factor and quota rejections",
+    )
+    p.add_argument("--nrows", type=int, default=96)
+    p.add_argument("--ncols", type=int, default=0, help="defaults to --nrows")
+    p.add_argument("--density", type=float, default=0.06)
+    p.add_argument("--kernel", default="spaden")
+    p.add_argument("--matrices", type=int, default=3, help="registered tenant matrices")
+    p.add_argument("--requests", type=int, default=96, help="planned requests (plus quota probe)")
+    p.add_argument("--workers", type=int, default=4, help="front-end worker threads")
+    p.add_argument("--tenants", type=int, default=2, help="distinct request tenants")
+    p.add_argument("--zipf-s", type=float, default=1.1, help="zipfian popularity exponent")
+    p.add_argument(
+        "--mode",
+        choices=("open", "closed"),
+        default="open",
+        help="open = bursty fire-and-collect arrivals; closed = each "
+        "worker waits for its result before the next submit",
+    )
+    p.add_argument("--max-batch", type=int, default=16, help="flush at this batch size")
+    p.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=5.0,
+        help="flush when the oldest queued request is this old",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--out",
+        default=None,
+        help="append the campaign to a BENCH_serve.json trajectory",
+    )
+    p.set_defaults(func=_cmd_serve_bench)
     return parser
 
 

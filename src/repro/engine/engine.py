@@ -246,13 +246,18 @@ class SpMVEngine:
 
     # -- public API ----------------------------------------------------------
     def spmv(self, csr: CSRMatrix, x: np.ndarray, *, simulate: bool = False) -> np.ndarray:
-        """Synchronous single SpMV through the cache (batch of one)."""
-        with self._lock:
-            self.stats.requests += 1
-        _count_requests(self.kernel_name, 1)
+        """Synchronous single SpMV through the cache (batch of one).
+
+        A shape-invalid ``x`` is rejected *before* it is counted:
+        ``stats.requests`` and ``engine_requests_total`` only ever cover
+        requests the engine actually attempted to serve.
+        """
         x = np.asarray(x)
         if x.ndim != 1 or x.shape[0] != csr.ncols:
             raise KernelError(f"x has shape {x.shape}, expected ({csr.ncols},)")
+        with self._lock:
+            self.stats.requests += 1
+        _count_requests(self.kernel_name, 1)
         fingerprint = matrix_fingerprint(csr)
         Y = self._execute_batch(csr, fingerprint, x[None, :].astype(np.float32), simulate)
         return Y[0]
@@ -278,26 +283,39 @@ class SpMVEngine:
         every request of the failed group gets the
         :class:`~repro.errors.ReproError` *instance* at its position
         and the remaining groups still execute — no request is ever
-        silently dropped.  ``faults`` is the fault-injection seam,
-        forwarded to every attempt (the chaos harness drives it).
+        silently dropped.  A *shape-invalid* request follows the same
+        contract: it gets a per-request :class:`~repro.errors.KernelError`
+        at its position and never aborts the grouping loop, so a
+        malformed vector can never wedge a :meth:`flush` queue (with
+        ``return_errors=False`` the first invalid request raises before
+        anything executes or is counted).  Only requests that pass
+        validation are counted in ``stats.requests`` /
+        ``engine_requests_total``.  ``faults`` is the fault-injection
+        seam, forwarded to every attempt (the chaos harness drives it).
         """
         requests = list(requests)
-        with self._lock:
-            self.stats.requests += len(requests)
-        _count_requests(self.kernel_name, len(requests))
+        results: list[np.ndarray | ReproError | None] = [None] * len(requests)
         groups: dict[str, dict] = {}
+        admitted = 0
         for position, (csr, x) in enumerate(requests):
             x = np.asarray(x)
             if x.ndim != 1 or x.shape[0] != csr.ncols:
-                raise KernelError(
+                error = KernelError(
                     f"request {position}: x has shape {x.shape}, expected ({csr.ncols},)"
                 )
+                if not return_errors:
+                    raise error
+                results[position] = error
+                continue
+            admitted += 1
             fingerprint = matrix_fingerprint(csr)
             group = groups.setdefault(fingerprint, {"csr": csr, "positions": [], "xs": []})
             group["positions"].append(position)
             group["xs"].append(x.astype(np.float32))
-
-        results: list[np.ndarray | ReproError | None] = [None] * len(requests)
+        with self._lock:
+            self.stats.requests += admitted
+        if admitted:
+            _count_requests(self.kernel_name, admitted)
         for fingerprint, group in groups.items():
             X = np.stack(group["xs"]) if group["xs"] else np.zeros((0, 0), np.float32)
             try:
@@ -313,8 +331,23 @@ class SpMVEngine:
         return results
 
     def submit(self, csr: CSRMatrix, x: np.ndarray) -> int:
-        """Queue one request for the next :meth:`flush`; returns its index."""
-        entry = (csr, np.asarray(x))
+        """Queue one request for the next :meth:`flush`; returns its index.
+
+        Shape validation happens *here*, at submission time: a malformed
+        vector raises a :class:`~repro.errors.KernelError` to the
+        submitter and never enters the queue.  This is the first half of
+        the poison-pill fix — a request that cannot possibly execute
+        must not be able to wedge :meth:`flush`'s restore path (the
+        second half is :meth:`spmv_many` routing validation failures
+        through ``return_errors``, which covers entries that become
+        invalid later, e.g. a matrix mutated in place after submission).
+        """
+        x = np.asarray(x)
+        if x.ndim != 1 or x.shape[0] != csr.ncols:
+            raise KernelError(
+                f"submitted x has shape {x.shape}, expected ({csr.ncols},)"
+            )
+        entry = (csr, x)
         with self._lock:
             self._queue.append(entry)
             return len(self._queue) - 1
@@ -335,7 +368,10 @@ class SpMVEngine:
         error propagates, so the caller may fix the condition and flush
         again.  With ``return_errors=True`` the queue is consumed and
         each failed request carries its error in the result list
-        instead.
+        instead — including requests that fail *validation* (they get a
+        per-request :class:`~repro.errors.KernelError`), so the queue
+        always drains and a malformed entry can never be requeued
+        forever by the restore path.
         """
         with self._lock:
             queue, self._queue = self._queue, []
@@ -358,17 +394,37 @@ class SpMVEngine:
 
         The content hash is computed once; every call reuses the cached
         operand, so iterative solvers pay ``prepare`` exactly once.
+
+        The binding is guarded against the stale-fingerprint hazard:
+        every call runs a cheap shape/nnz check against the matrix as it
+        was at bind time, and on a mismatch (the caller rebound the
+        CSR's storage arrays in place) the fingerprint is recomputed so
+        the engine prepares — and caches — the *current* contents
+        instead of silently serving the old operand.  A mutation that
+        preserves both shape and nnz (e.g. overwriting ``values``
+        element-wise) is undetectable at this cost and unsupported:
+        build a new :class:`~repro.formats.csr.CSRMatrix` (or call
+        :meth:`spmv` directly, which fingerprints per request) instead.
         """
-        fingerprint = matrix_fingerprint(csr)
+        state = {
+            "fingerprint": matrix_fingerprint(csr),
+            "shape": csr.shape,
+            "nnz": csr.nnz,
+        }
 
         def bound_spmv(x: np.ndarray) -> np.ndarray:
-            with self._lock:
-                self.stats.requests += 1
-            _count_requests(self.kernel_name, 1)
             x = np.asarray(x)
             if x.ndim != 1 or x.shape[0] != csr.ncols:
                 raise KernelError(f"x has shape {x.shape}, expected ({csr.ncols},)")
-            Y = self._execute_batch(csr, fingerprint, x[None, :].astype(np.float32), False)
+            if csr.shape != state["shape"] or csr.nnz != state["nnz"]:
+                state["fingerprint"] = matrix_fingerprint(csr)
+                state["shape"], state["nnz"] = csr.shape, csr.nnz
+            with self._lock:
+                self.stats.requests += 1
+            _count_requests(self.kernel_name, 1)
+            Y = self._execute_batch(
+                csr, state["fingerprint"], x[None, :].astype(np.float32), False
+            )
             return Y[0]
 
         bound_spmv.__doc__ = f"Engine-cached SpMV bound to a {csr.shape} matrix."

@@ -218,6 +218,48 @@ class ResilienceError(ReproError):
     ...).  Raised at construction time, never during a request."""
 
 
+class ServeError(ReproError):
+    """The serving front-end was misconfigured or misused (bad flush
+    policy, duplicate matrix registration, unknown matrix name, a
+    request submitted after :meth:`~repro.serve.ServeFrontend.close`,
+    ...)."""
+
+
+class AdmissionError(ServeError):
+    """The serving front-end refused to admit a request.
+
+    Admission control is the front door of :mod:`repro.serve`: a
+    request that would blow a tenant's quota is rejected *before* it
+    consumes queue space or engine time, with enough structure for the
+    caller (and the load generator) to react without parsing messages:
+
+    * ``tenant``  — the tenant whose quota rejected the request,
+    * ``reason``  — ``"queue-depth"`` (too many requests in flight) or
+      ``"rate"`` (the tenant's token bucket is empty),
+    * ``limit``   — the configured bound that was enforced,
+    * ``current`` — the observed value at rejection time (queue depth
+      for ``"queue-depth"``; ``None`` for ``"rate"``).
+
+    Every rejection is counted in ``serve_admission_rejected_total``
+    (labeled by tenant and reason) in :mod:`repro.obs`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str | None = None,
+        reason: str | None = None,
+        limit: float | None = None,
+        current: float | None = None,
+    ):
+        super().__init__(message)
+        self.tenant = tenant
+        self.reason = reason
+        self.limit = limit
+        self.current = current
+
+
 class DeadlineExceededError(ReproError):
     """A request ran out of its time budget at a stage boundary.
 

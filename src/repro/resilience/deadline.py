@@ -57,6 +57,18 @@ class Deadline:
         """Seconds consumed since the deadline was created."""
         return self._clock() - self._start
 
+    @property
+    def expires_at(self) -> float:
+        """Absolute clock reading at which the budget runs out.
+
+        This is what deadline-aware schedulers order by: the serving
+        front-end's flush policy flushes a micro-batch early when the
+        group's earliest ``expires_at`` gets close (see
+        :class:`repro.serve.FlushPolicy`), and batch assembly sorts
+        requests so the most urgent deadline rides first.
+        """
+        return self._start + self.budget
+
     def remaining(self) -> float:
         """Seconds of budget left (negative once expired)."""
         return self.budget - self.elapsed

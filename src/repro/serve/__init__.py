@@ -1,0 +1,35 @@
+"""``repro.serve`` — the concurrent multi-tenant SpMV serving front-end.
+
+The engine (:mod:`repro.engine`) amortizes work across *batches*; this
+package supplies the layer that turns concurrent multi-tenant traffic
+into those batches.  A :class:`ServeFrontend` accepts requests against
+registered matrices from many threads, applies admission control and
+per-tenant quotas (:class:`TenantQuota`, rejecting with a structured
+:class:`~repro.errors.AdmissionError`), coalesces same-matrix requests
+under a :class:`FlushPolicy` (flush on full batch, oldest-request age,
+or earliest-deadline pressure), and executes micro-batches on a worker
+pool through :meth:`~repro.engine.SpMVEngine.spmv_many` — every request
+resolving a :class:`ServeTicket` with its result vector or its
+structured error, never silently dropped.
+
+Built entirely on the PR-6/PR-7 hardened seams: per-request
+:class:`~repro.resilience.Deadline`\\ s feed the flush policy and gate
+dispatch, the engine's ``return_errors`` contract delivers per-request
+failures, everything shared is lock-guarded under the
+:mod:`repro.analysis.concurrency` audit, and the whole layer reports
+through :mod:`repro.obs` (``serve_*`` metrics).  The paired load
+generator lives in :mod:`repro.bench.load` (``repro.cli serve-bench``).
+See ``docs/serving.md``.
+"""
+
+from repro.serve.frontend import ServeFrontend, ServeTicket
+from repro.serve.policy import FlushPolicy
+from repro.serve.quota import TenantQuota, TokenBucket
+
+__all__ = [
+    "FlushPolicy",
+    "ServeFrontend",
+    "ServeTicket",
+    "TenantQuota",
+    "TokenBucket",
+]

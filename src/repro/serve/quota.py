@@ -1,0 +1,105 @@
+"""Per-tenant quotas: queue-depth caps and request-rate token buckets.
+
+Admission control protects the engine from any single tenant: a
+request that would blow its tenant's quota is rejected at the front
+door with a structured :class:`~repro.errors.AdmissionError` — before
+it consumes queue space, a worker slot, or an operand-cache entry.
+Two independent limits, both optional (``None`` = unlimited):
+
+* **queue depth** — how many of the tenant's requests may be in flight
+  (admitted but not yet answered) at once; enforced by the front-end
+  against its live per-tenant depth counter;
+* **request rate** — a token bucket refilled at
+  ``max_requests_per_second`` with capacity ``burst``; a submission
+  spends one token or is rejected.  The bucket reads time through the
+  front-end's injectable clock, so rate behavior is deterministic
+  under a :class:`~repro.resilience.ManualClock` in tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ServeError
+
+__all__ = ["TenantQuota", "TokenBucket"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """One tenant's admission limits (``None`` disables that limit).
+
+    * ``max_queue_depth`` — cap on the tenant's in-flight requests;
+    * ``max_requests_per_second`` — sustained admission rate;
+    * ``burst`` — token-bucket capacity: how many requests may be
+      admitted back-to-back after an idle period.  ``None`` defaults to
+      ``max(1, max_requests_per_second)`` — one second's allowance.
+    """
+
+    max_queue_depth: int | None = None
+    max_requests_per_second: float | None = None
+    burst: int | None = None
+
+    def __post_init__(self):
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ServeError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.max_requests_per_second is not None and self.max_requests_per_second <= 0:
+            raise ServeError(
+                f"max_requests_per_second must be positive, got "
+                f"{self.max_requests_per_second}"
+            )
+        if self.burst is not None and self.burst < 1:
+            raise ServeError(f"burst must be >= 1, got {self.burst}")
+
+    @property
+    def capacity(self) -> float:
+        """The rate bucket's token capacity implied by this quota."""
+        if self.burst is not None:
+            return float(self.burst)
+        return max(1.0, float(self.max_requests_per_second or 1.0))
+
+
+class TokenBucket:
+    """Classic token bucket against an injectable monotonic clock.
+
+    Starts full (a quiet tenant may burst immediately), refills
+    continuously at ``rate`` tokens/second up to ``capacity``, and
+    :meth:`try_acquire` spends one token atomically or reports
+    exhaustion — it never blocks, because admission control rejects
+    instead of queueing.
+    """
+
+    def __init__(self, rate: float, capacity: float, clock: Callable[[], float]):
+        if rate <= 0:
+            raise ServeError(f"token rate must be positive, got {rate}")
+        if capacity < 1:
+            raise ServeError(f"token capacity must be >= 1, got {capacity}")
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tokens = float(capacity)  # concurrency: guarded-by(self._lock)
+        self._last = clock()  # concurrency: guarded-by(self._lock)
+
+    def try_acquire(self) -> bool:
+        """Spend one token if available; ``False`` means reject."""
+        now = self._clock()
+        with self._lock:
+            elapsed = max(0.0, now - self._last)
+            self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+            self._last = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            return False
+
+    def available(self) -> float:
+        """Tokens currently in the bucket (diagnostic snapshot)."""
+        now = self._clock()
+        with self._lock:
+            elapsed = max(0.0, now - self._last)
+            return min(self.capacity, self._tokens + elapsed * self.rate)
