@@ -60,6 +60,12 @@ IMPORT_FENCES = {
         "resilience policies may only import repro.errors, repro.obs and "
         "repro.resilience.*; the exec layer consults them, never vice versa",
     ),
+    "plan": (
+        ("repro.constants", "repro.errors", "repro.obs", "repro.perf", "repro.plan"),
+        "the planner consumes structure profiles, the perf cost model and "
+        "the metrics registry; it may never import the dispatch layers it "
+        "plans for (exec/engine/serve), which consume *it*",
+    ),
     "analysis/astwalk": (
         (),
         "the shared AST walker is stdlib-only; every static gate builds on "

@@ -8,6 +8,14 @@ from repro.bench.load import (
     format_load_report,
     zipf_weights,
 )
+from repro.bench.plan import (
+    PlanBenchResult,
+    PlanCrossoverPoint,
+    append_plan_trajectory,
+    bench_plan_crossover,
+    block_sweep_csr,
+    format_plan_report,
+)
 from repro.bench.harness import (
     EVALUATED_METHODS,
     FIG8_METHODS,
@@ -23,11 +31,17 @@ __all__ = [
     "EngineBenchResult",
     "FIG8_METHODS",
     "LoadCampaignResult",
+    "PlanBenchResult",
+    "PlanCrossoverPoint",
     "append_obs_trajectory",
+    "append_plan_trajectory",
     "append_serve_trajectory",
     "bench_engine",
     "bench_load",
+    "bench_plan_crossover",
     "bench_scale",
+    "block_sweep_csr",
+    "format_plan_report",
     "format_load_report",
     "load_suite",
     "zipf_weights",

@@ -19,6 +19,9 @@ Usage::
                                 [--probabilities 0,0.5,0.9] [--out BENCH_chaos.json]
     python -m repro.cli serve-bench [--mode open] [--workers 4] [--tenants 2]
                                 [--zipf-s 1.1] [--out BENCH_serve.json]
+    python -m repro.cli plan    --matrix consph [--gpu L40] [--simulate]
+    python -m repro.cli plan-bench [--sweep 64,32,16,8,4,2,1] [--gpu L40]
+                                [--tolerance 0.15] [--out BENCH_plan.json]
 """
 
 from __future__ import annotations
@@ -346,7 +349,12 @@ def _cmd_report(args) -> int:
     reset_observability()  # scope the report to this run
 
     g = generate_matrix(args.matrix, scale=args.scale)
-    engine = SpMVEngine(args.kernel)
+    planner = None
+    if args.planner:
+        from repro.plan import StructurePlanner
+
+        planner = StructurePlanner(args.gpu)
+    engine = SpMVEngine(args.kernel, planner=planner)
     rng = np.random.default_rng(args.seed)
     vectors = [
         rng.standard_normal(g.csr.ncols).astype(np.float32) for _ in range(args.batch)
@@ -495,6 +503,55 @@ def _cmd_serve_bench(args) -> int:
     return 1 if result.lost or result.incorrect else 0
 
 
+def _cmd_plan(args) -> int:
+    """Profile one matrix and print its ranked execution plan."""
+    from repro.matrices import generate_matrix
+    from repro.plan import StructurePlanner
+
+    g = generate_matrix(args.matrix, scale=args.scale)
+    planner = StructurePlanner(
+        args.gpu, mode="simulated" if args.simulate else "numeric"
+    )
+    plan = planner.plan(g.csr)
+    print(plan.explain())
+    if args.json:
+        import json
+
+        print(json.dumps(plan.as_dict(), indent=2))
+    return 0
+
+
+def _cmd_plan_bench(args) -> int:
+    """Run the Fig. 9-style planner crossover sweep.
+
+    Exit status is the tolerance verdict: nonzero if the planner's
+    first pick is slower than the static chain's first pick beyond
+    ``--tolerance`` at any sweep point (ground truth = exact measured
+    counters through the roofline model).
+    """
+    from repro.bench.plan import (
+        append_plan_trajectory,
+        bench_plan_crossover,
+        format_plan_report,
+    )
+
+    sweep = tuple(int(p.strip()) for p in args.sweep.split(",") if p.strip())
+    result = bench_plan_crossover(
+        sweep,
+        nrows=args.nrows,
+        ncols=args.ncols or args.nrows,
+        nnz_target=args.nnz,
+        gpu=args.gpu,
+        seed=args.seed,
+        tolerance=args.tolerance,
+    )
+    print(format_plan_report(result))
+    if args.out:
+        length = append_plan_trajectory(args.out, result)
+        print(f"[plan trajectory {args.out}: {length} sweep(s)]")
+    return 0 if result.within_tolerance else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -587,6 +644,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", type=int, default=8)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--simulate", action="store_true", help="route batches through the simulator")
+    p.add_argument(
+        "--planner",
+        action="store_true",
+        help="drive the workload through a StructurePlanner (planner "
+        "decisions and rank flips appear in the report's metrics)",
+    )
+    p.add_argument("--gpu", default="L40", help="cost-model target for --planner")
     p.add_argument("--fault", default=None, help="also dispatch once with this fault injected")
     p.add_argument("--sanitize", action="store_true", help="fold a sanitizer sweep into the report")
     p.add_argument("--jsonl", default=None, help="write the JSON-lines export and verify round trip")
@@ -661,6 +725,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="append the campaign to a BENCH_serve.json trajectory",
     )
     p.set_defaults(func=_cmd_serve_bench)
+
+    p = sub.add_parser(
+        "plan",
+        help="profile one matrix's sparsity structure and print the "
+        "planner's ranked, capability-filtered execution plan",
+    )
+    p.add_argument("--matrix", default="consph")
+    p.add_argument("--scale", type=float, default=0.08)
+    p.add_argument("--gpu", default="L40")
+    p.add_argument(
+        "--simulate",
+        action="store_true",
+        help="plan for a simulation campaign (drops kernels that cannot simulate)",
+    )
+    p.add_argument("--json", action="store_true", help="also print the plan document as JSON")
+    p.set_defaults(func=_cmd_plan)
+
+    p = sub.add_parser(
+        "plan-bench",
+        help="sweep block density (Fig. 9 axis) and verify the planner's "
+        "pick is never slower than the static chain's beyond tolerance",
+    )
+    p.add_argument("--sweep", default="64,32,16,8,4,2,1", help="comma-separated nnz-per-block points")
+    p.add_argument("--nrows", type=int, default=512)
+    p.add_argument("--ncols", type=int, default=0, help="defaults to --nrows")
+    p.add_argument("--nnz", type=int, default=4096, help="target nnz per sweep matrix")
+    p.add_argument("--gpu", default="L40")
+    p.add_argument("--tolerance", type=float, default=0.15, help="max allowed planner-vs-static slowdown")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--out",
+        default=None,
+        help="append the sweep to a BENCH_plan.json trajectory",
+    )
+    p.set_defaults(func=_cmd_plan_bench)
     return parser
 
 

@@ -17,40 +17,23 @@ way :class:`~repro.gpu.counters.ExecutionStats` reports kernel counters.
 
 from __future__ import annotations
 
-import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, fields
 
 from repro.errors import KernelError
-from repro.formats.csr import CSRMatrix
 from repro.kernels.base import PreparedOperand
 from repro.obs import get_registry
+
+# The canonical fingerprint implementation lives in repro.plan.profile
+# (the planner's profile cache and this operand cache must key by the
+# same content hash); re-exported here so engine callers are unchanged.
+from repro.plan.profile import matrix_fingerprint
 
 __all__ = ["CacheStats", "OperandCache", "matrix_fingerprint"]
 
 #: Default device-bytes budget: 256 MiB, a small slice of either board.
 DEFAULT_CACHE_BYTES: int = 256 * 1024 * 1024
-
-
-def matrix_fingerprint(csr: CSRMatrix) -> str:
-    """Content hash of a CSR matrix (shape + all three arrays).
-
-    Blake2b over each array's dtype, length and raw bytes: structurally
-    identical matrices map to the same key regardless of object
-    identity, and any in-place edit of pointers, indices or values
-    changes the key.  The dtype/length framing keeps arrays with
-    identical byte content but different element types apart (an int32
-    ``[1, 0]`` and an int64 ``[1]`` share raw bytes) and pins the
-    boundary between adjacent arrays, so bytes can never shift from one
-    array into the next and still hash the same.
-    """
-    h = hashlib.blake2b(digest_size=16)
-    h.update(repr(csr.shape).encode())
-    for array in (csr.row_pointers, csr.col_indices, csr.values):
-        h.update(f"{array.dtype.str}:{array.size};".encode())
-        h.update(array.tobytes())
-    return h.hexdigest()
 
 
 @dataclass

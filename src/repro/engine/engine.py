@@ -119,6 +119,16 @@ class SpMVEngine:
     kernel is quarantined and its cached operand dropped together.
     ``None`` (the default) leaves every request on the exact pre-policy
     path — results are bit-identical.
+
+    ``planner`` installs a :class:`~repro.plan.Planner`: each batch
+    walks the planner's per-matrix :class:`~repro.plan.ExecutionPlan`
+    instead of the static ``chain``, the plan is cached next to the
+    prepared operand (same fingerprint key) and both are invalidated
+    together when a kernel poisons its operand, and every successful
+    batch feeds its measured per-vector seconds back through
+    :meth:`~repro.plan.Planner.observe` so rankings improve as traffic
+    accumulates.  ``None`` (the default) leaves every request on the
+    exact static-chain path — results are bit-identical.
     """
 
     def __init__(
@@ -130,6 +140,7 @@ class SpMVEngine:
         degrade: bool = True,
         deep_verify: bool = False,
         resilience: ResiliencePolicy | None = None,
+        planner=None,
     ):
         get_kernel(kernel)  # fail fast on unknown names
         self.kernel_name = kernel
@@ -143,6 +154,7 @@ class SpMVEngine:
             raise KernelError("empty kernel chain")
         self.deep_verify = deep_verify
         self.resilience = resilience
+        self.planner = planner
         self.cache = OperandCache(cache_bytes, name=f"engine:{kernel}")
         # Guards the engine's own bookkeeping (stats, submit queue) only.
         # It is NEVER held across prepare/execute_chain, so concurrent
@@ -151,6 +163,10 @@ class SpMVEngine:
         self.stats = EngineStats()  # concurrency: guarded-by(self._lock)
         # concurrency: guarded-by(self._lock)
         self._queue: list[tuple[CSRMatrix, np.ndarray]] = []
+        # per-fingerprint plans from self.planner, invalidated together
+        # with the operand cache entry they were planned for
+        # concurrency: guarded-by(self._lock)
+        self._plans: dict = {}
 
     # -- operand management --------------------------------------------------
     def _prepared(self, kernel_name: str, csr: CSRMatrix, fingerprint: str) -> PreparedOperand:
@@ -171,6 +187,36 @@ class SpMVEngine:
         self.cache.put(key, operand)
         return operand
 
+    def _invalidate_operand(self, kernel_name: str, fingerprint: str) -> None:
+        """Drop a poisoned cached operand *and* the matrix's cached plan.
+
+        The plan ranked kernels against evidence that predates the
+        failure; dropping it with the operand means the next batch
+        re-plans with the planner's current EWMA table (which the
+        failure's latency just updated).  With no planner the plan map
+        is empty and this is exactly the old cache eviction.
+        """
+        self.cache.invalidate((kernel_name, fingerprint))
+        with self._lock:
+            self._plans.pop(fingerprint, None)
+
+    def _plan_for(self, csr: CSRMatrix, fingerprint: str, planner):
+        """The plan a batch should walk (cached for the engine's own planner)."""
+        if planner is None:
+            return None
+        if planner is self.planner:
+            with self._lock:
+                plan = self._plans.get(fingerprint)
+            if plan is not None:
+                return plan
+            plan = planner.plan(csr, fingerprint=fingerprint)
+            with self._lock:
+                self._plans[fingerprint] = plan
+            return plan
+        # a per-call override (serve's per-tenant planners) is not
+        # co-cached: the override owns its own profile cache
+        return planner.plan(csr, fingerprint=fingerprint)
+
     # -- execution -----------------------------------------------------------
     def _execute_batch(
         self,
@@ -179,6 +225,7 @@ class SpMVEngine:
         X: np.ndarray,
         simulate: bool,
         faults: tuple[FaultHook, ...] = (),
+        planner=None,
     ) -> np.ndarray:
         """Run one same-matrix batch down the degradation chain.
 
@@ -190,6 +237,8 @@ class SpMVEngine:
         """
         k = X.shape[0]
         policy = self.resilience
+        effective_planner = planner if planner is not None else self.planner
+        plan = self._plan_for(csr, fingerprint, effective_planner)
 
         def pick_mode(kernel) -> ExecutionMode:
             # simulate only where one simulated decode serves the whole
@@ -206,12 +255,13 @@ class SpMVEngine:
                 result = execute_chain(
                     csr,
                     X,
-                    self.chain,
+                    plan if plan is not None else self.chain,
                     mode=pick_mode,
                     faults=faults,
                     prepare=lambda name: self._prepared(name, csr, fingerprint),
-                    # never let a poisoned operand serve the next request
-                    invalidate=lambda name: self.cache.invalidate((name, fingerprint)),
+                    # never let a poisoned operand (or its stale plan)
+                    # serve the next request
+                    invalidate=lambda name: self._invalidate_operand(name, fingerprint),
                     deep_verify=policy.deep_verify if policy is not None else False,
                     deadline=policy.new_deadline() if policy is not None else None,
                     retry=policy.retry if policy is not None else None,
@@ -222,6 +272,9 @@ class SpMVEngine:
             with self._lock:
                 self.stats.degradation_log.extend(exc.events)
             raise
+        if effective_planner is not None:
+            # feedback: measured per-batch seconds, per-vector normalized
+            effective_planner.observe(result.kernel, result.run_seconds, vectors=k)
         with self._lock:
             self.stats.run_seconds += result.run_seconds
             self.stats.batches += 1
@@ -269,8 +322,13 @@ class SpMVEngine:
         simulate: bool = False,
         return_errors: bool = False,
         faults: tuple[FaultHook, ...] = (),
+        planner=None,
     ) -> list[np.ndarray]:
         """Serve a queue of ``(matrix, x)`` requests with micro-batching.
+
+        ``planner`` overrides the engine's configured planner for this
+        call (the serving front-end routes per-tenant planner overrides
+        through it); ``None`` keeps the engine's own.
 
         Requests carrying content-identical matrices are grouped (in
         first-seen order, each group's vectors in request order) and
@@ -319,7 +377,9 @@ class SpMVEngine:
         for fingerprint, group in groups.items():
             X = np.stack(group["xs"]) if group["xs"] else np.zeros((0, 0), np.float32)
             try:
-                Y = self._execute_batch(group["csr"], fingerprint, X, simulate, faults)
+                Y = self._execute_batch(
+                    group["csr"], fingerprint, X, simulate, faults, planner=planner
+                )
             except ReproError as exc:
                 if not return_errors:
                     raise
@@ -440,5 +500,7 @@ class SpMVEngine:
         from repro.obs import build_run_report
 
         base = {"kernel": self.kernel_name, "chain": list(self.chain)}
+        if self.planner is not None:
+            base["planner"] = getattr(self.planner, "name", type(self.planner).__name__)
         base.update(meta or {})
         return build_run_report(meta=base, engine=self)

@@ -225,6 +225,12 @@ class ServeError(ReproError):
     ...)."""
 
 
+class PlanError(ReproError):
+    """An execution planner was misconfigured or asked the impossible
+    (unknown GPU or kernel candidate, a capability filter that leaves
+    no kernel standing, a malformed structure profile, ...)."""
+
+
 class AdmissionError(ServeError):
     """The serving front-end refused to admit a request.
 

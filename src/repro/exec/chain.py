@@ -142,10 +142,20 @@ def execute_chain(
     :class:`~repro.errors.DeadlineExceededError` without walking
     further.
 
+    ``chain`` also accepts an :class:`~repro.plan.ExecutionPlan` (or
+    anything carrying an ordered ``kernels`` attribute): the walker
+    consumes the plan's kernel order exactly as it would a name tuple,
+    so planners slot in without the exec layer importing
+    :mod:`repro.plan`.  A plain sequence of names (or ``None`` for the
+    registry default) walks the byte-identical pre-planner path.
+
     The returned result carries the accumulated ``events`` and the full
     ``attempts`` list.  Raises :class:`ChainExhaustedError` (a
     :class:`~repro.errors.KernelError`) only if every kernel fails.
     """
+    plan_kernels = getattr(chain, "kernels", None)
+    if plan_kernels is not None:
+        chain = tuple(plan_kernels)
     if chain is None:
         chain = default_chain()
     if not chain:

@@ -85,6 +85,17 @@ class CSRMatrix(SparseMatrix):
         """nnz per row (``row_pointers[i+1] - row_pointers[i]``)."""
         return np.diff(self.row_pointers)
 
+    def structure_profile(self):
+        """This matrix's :class:`~repro.plan.StructureProfile`.
+
+        Convenience over :func:`repro.plan.compute_structure_profile`
+        (imported lazily — ``repro.formats`` must not depend on the
+        planner package at import time), fingerprint included.
+        """
+        from repro.plan.profile import compute_structure_profile, matrix_fingerprint
+
+        return compute_structure_profile(self, fingerprint=matrix_fingerprint(self))
+
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """Vectorized equivalent of Algorithm 1 (row-parallel CSR SpMV)."""
         x = self._check_matvec_operand(x)

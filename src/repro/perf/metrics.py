@@ -39,6 +39,12 @@ def speedups_over(
     if baseline not in times:
         raise KeyError(f"baseline {baseline!r} missing from times")
     base = times[baseline]
+    for name, t in times.items():
+        if t <= 0:
+            raise ValueError(
+                f"method {name!r} has non-positive time {t!r}; speedups are "
+                "undefined for zero or negative measurements"
+            )
     return {name: base / t for name, t in times.items() if name != baseline}
 
 

@@ -1,0 +1,285 @@
+"""Structure → predicted seconds, per fallback-chain kernel.
+
+The planner (:mod:`repro.plan`) must rank the degradation-chain kernels
+for a matrix it has only *profiled*, never prepared: it knows the block
+count, the pairing depth and the nnz/row distribution, but holds no
+bitBSR and may not import :mod:`repro.kernels`.  This adapter closes
+the gap on the perf side of the fence: it rebuilds a coarse
+:class:`~repro.kernels.base.KernelProfile` for each chain kernel from
+those structure numbers alone — mirroring the shape (not the exact
+constants) of each kernel's analytic ``profile()`` — and runs it
+through the same :func:`~repro.perf.model.estimate_time` roofline the
+benches use, so predicted and measured rankings share one cost model.
+
+Two deliberate modeling choices:
+
+* **Coarse mirrors, exact crossover drivers.**  Spaden's cost scales
+  with *blocks* (pairing depth, per-block broadcasts); the CSR kernels
+  scale with *nonzeros*.  Those first-order terms are reproduced
+  exactly from the profile (``paired_steps`` is even bit-exact); the
+  second-order sector arithmetic is approximated, which moves predicted
+  times by percents but never moves the Fig. 9 crossover.
+* **Per-kernel setup charge.**  cuSPARSE's generic API runs an
+  analysis/workspace pass before the first SpMV; at hypersparse sizes
+  where every kernel collapses to launch overhead, that fixed charge is
+  what separates the merge-path kernel from the zero-setup scalar
+  baseline (:data:`SETUP_SECONDS`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import SECTOR_BYTES, WARP_SIZE
+from repro.gpu.counters import ExecutionStats
+from repro.gpu.spec import get_gpu
+from repro.kernels.base import KernelProfile, registered_kernels
+from repro.perf.model import estimate_time
+
+__all__ = [
+    "KernelTraits",
+    "SETUP_SECONDS",
+    "fallback_order",
+    "kernel_menu",
+    "predict_chain_seconds",
+]
+
+#: Modeled one-off setup charge per execution, seconds.  cuSPARSE's
+#: generic API performs a merge-path analysis / workspace pass; the
+#: bitBSR kernels run a short decode prologue.  The scalar CSR baseline
+#: launches straight into its grid.
+SETUP_SECONDS: dict[str, float] = {
+    "cusparse-csr": 2.0e-6,
+    "spaden": 5.0e-7,
+    "spaden-no-tc": 5.0e-7,
+}
+
+#: Value bytes the bitBSR kernels stream (fp16) vs. the CSR kernels (fp32).
+_BITBSR_VALUE_BYTES = 2
+_CSR_VALUE_BYTES = 4
+
+
+@dataclass(frozen=True)
+class KernelTraits:
+    """Capability summary of one registered kernel, for planners.
+
+    A plain-data mirror of :class:`~repro.exec.modes.KernelCapabilities`
+    plus the registry name/label, so :mod:`repro.plan` can
+    capability-filter without importing the kernel classes.
+    """
+
+    name: str
+    label: str
+    fallback_tier: int
+    tensor_cores: bool
+    batch: bool
+    simulate: bool
+    simulate_batch: bool
+
+
+def kernel_menu() -> dict[str, KernelTraits]:
+    """Traits of every fallback-chain kernel, in tier order.
+
+    Only kernels declaring a ``fallback_tier`` participate (the same
+    membership rule as :func:`repro.exec.default_chain`), sorted by
+    ``(tier, name)`` so iteration order *is* the static chain order.
+    """
+    import repro.kernels  # noqa: F401  (side effect: registry population)
+
+    members = []
+    for name, cls in registered_kernels().items():
+        caps = cls.capabilities
+        if caps.fallback_tier is None:
+            continue
+        members.append(
+            KernelTraits(
+                name=name,
+                label=cls.label,
+                fallback_tier=caps.fallback_tier,
+                tensor_cores=caps.tensor_cores,
+                batch=caps.batch,
+                simulate=caps.simulate,
+                simulate_batch=caps.simulate_batch,
+            )
+        )
+    members.sort(key=lambda traits: (traits.fallback_tier, traits.name))
+    return {traits.name: traits for traits in members}
+
+
+def fallback_order(menu: dict[str, KernelTraits] | None = None) -> tuple[str, ...]:
+    """The static chain order the menu implies (tier, then name)."""
+    return tuple(menu if menu is not None else kernel_menu())
+
+
+def _sectors(useful_bytes: float) -> int:
+    """32-byte sectors needed to move ``useful_bytes`` when streamed."""
+    return int(math.ceil(max(0.0, useful_bytes) / SECTOR_BYTES))
+
+
+def _spaden_profile(
+    name: str,
+    *,
+    nrows: int,
+    nnz: int,
+    nonzero_blocks: int,
+    nonzero_block_rows: int,
+    paired_steps: int,
+    tensor: bool,
+) -> KernelProfile:
+    """Coarse mirror of the bitBSR kernels: cost scales with *blocks*.
+
+    Per nonzero block the kernel broadcasts its bitmap (8 B), column
+    index (4 B) and value offset (4 B), gathers two fp16 value slices
+    and two x slices, and issues one step of the paired MMA pipeline;
+    per block-row pair one warp walks ``max(len_even, len_odd)``
+    dependent steps (``paired_steps``, exact from the profile).
+    """
+    blocks = max(1, nonzero_blocks)
+    warps = max(1, (max(1, nonzero_block_rows) + 1) // 2)
+    stats = ExecutionStats()
+    # broadcasts ride one sector each; the two value/x gathers touch
+    # one sector per parity in the common clustered case
+    stats.load_transactions = 3 * blocks + 2 * blocks + 2 * blocks
+    stats.store_transactions = _sectors(nrows * 4)
+    stats.global_load_bytes = (
+        blocks * (8 + 4 + 4)
+        + nnz * _BITBSR_VALUE_BYTES
+        + min(blocks * 8, nnz) * 4
+    )
+    stats.global_store_bytes = nrows * 4
+    stats.warps_launched = warps
+    stats.warp_instructions = 8 * blocks + 2 * warps
+    stats.cuda_int_ops = 12 * blocks  # bitmap decode + offset scan
+    if tensor:
+        stats.mma_ops = max(1, paired_steps)
+    else:
+        # the CUDA-core twin multiplies every decoded lane pair and
+        # runs the log2(8)-round shuffle reduction per block
+        stats.cuda_flops = 10 * WARP_SIZE * blocks
+        stats.cuda_int_ops += 3 * WARP_SIZE * blocks
+    return KernelProfile(
+        kernel_name=name,
+        stats=stats,
+        dram_load_bytes=int(stats.global_load_bytes),
+        dram_store_bytes=int(stats.global_store_bytes),
+        serial_steps=max(1, paired_steps),
+    )
+
+
+def _cusparse_csr_profile(*, nrows: int, ncols: int, nnz: int) -> KernelProfile:
+    """Coarse mirror of merge-path CSR: cost scales with *nonzeros*.
+
+    Values and columns stream fully coalesced, row pointers stream
+    once, and the x gather lands between fully scattered (one sector
+    per nonzero) and fully clustered — split the difference, it is not
+    a crossover driver.  Merge-path balancing keeps per-warp serial
+    depth at the item count per warp, independent of row skew.
+    """
+    warps = max(1, math.ceil(nnz / WARP_SIZE))
+    stats = ExecutionStats()
+    stats.load_transactions = (
+        _sectors(nnz * (_CSR_VALUE_BYTES + 4))
+        + _sectors((nrows + 1) * 4)
+        + min(nnz, nnz // 2 + ncols // 8 + 1)
+    )
+    stats.store_transactions = _sectors(nrows * 4)
+    stats.global_load_bytes = nnz * (_CSR_VALUE_BYTES + 4 + 4) + (nrows + 1) * 4
+    stats.global_store_bytes = nrows * 4
+    stats.warps_launched = warps
+    stats.warp_instructions = 6 * warps + nnz // 4
+    stats.cuda_flops = 2 * nnz
+    stats.cuda_int_ops = 24 * warps + 2 * nnz
+    return KernelProfile(
+        kernel_name="cusparse-csr",
+        stats=stats,
+        dram_load_bytes=int(stats.global_load_bytes),
+        dram_store_bytes=int(stats.global_store_bytes),
+        serial_steps=WARP_SIZE * warps // max(1, warps),
+    )
+
+
+def _csr_scalar_profile(
+    *, nrows: int, nnz: int, row_nnz_mean: float, row_nnz_std: float, row_nnz_max: int
+) -> KernelProfile:
+    """Coarse mirror of scalar CSR: one thread per row, no setup.
+
+    Each warp serializes to its longest row; approximate the per-warp
+    maximum with ``mean + std`` clamped to the global maximum (a warp
+    of 32 rows almost surely holds a longer-than-average row).
+    """
+    warps = max(1, math.ceil(nrows / WARP_SIZE))
+    warp_max = min(float(row_nnz_max), max(1.0, row_nnz_mean + row_nnz_std))
+    stats = ExecutionStats()
+    # lanes walk different rows: value/column reads splinter per lane
+    stats.load_transactions = 2 * _sectors((nrows + 1) * 4) + nnz + nnz // 2
+    stats.store_transactions = _sectors(nrows * 4)
+    stats.global_load_bytes = nnz * (_CSR_VALUE_BYTES + 4 + 4) + (nrows + 1) * 4
+    stats.global_store_bytes = nrows * 4
+    stats.warps_launched = warps
+    stats.warp_instructions = 2 * warps + 3 * nnz
+    stats.cuda_flops = 2 * nnz
+    stats.cuda_int_ops = 3 * nnz
+    return KernelProfile(
+        kernel_name="csr-scalar",
+        stats=stats,
+        dram_load_bytes=int(stats.global_load_bytes),
+        dram_store_bytes=int(stats.global_store_bytes),
+        serial_steps=int(warps * warp_max),
+    )
+
+
+def predict_chain_seconds(
+    *,
+    nrows: int,
+    ncols: int,
+    nnz: int,
+    nonzero_blocks: int,
+    nonzero_block_rows: int,
+    paired_steps: int,
+    row_nnz_mean: float,
+    row_nnz_std: float,
+    row_nnz_max: int,
+    gpu: str = "L40",
+    kernels: tuple[str, ...] | None = None,
+) -> dict[str, float]:
+    """Predicted seconds per chain kernel, from structure numbers alone.
+
+    Takes the :class:`~repro.plan.profile.StructureProfile` fields as
+    plain keywords (so :mod:`repro.plan` depends on this signature, not
+    the other way around) and returns ``{kernel: seconds}`` for every
+    requested chain kernel — each a coarse synthetic profile run
+    through :func:`~repro.perf.model.estimate_time` on ``gpu``, plus
+    the kernel's :data:`SETUP_SECONDS` charge.
+    """
+    spec = get_gpu(gpu)
+    names = kernels if kernels is not None else fallback_order()
+    out: dict[str, float] = {}
+    for name in names:
+        if name in ("spaden", "spaden-no-tc"):
+            profile = _spaden_profile(
+                name,
+                nrows=nrows,
+                nnz=nnz,
+                nonzero_blocks=nonzero_blocks,
+                nonzero_block_rows=nonzero_block_rows,
+                paired_steps=paired_steps,
+                tensor=(name == "spaden"),
+            )
+        elif name == "cusparse-csr":
+            profile = _cusparse_csr_profile(nrows=nrows, ncols=ncols, nnz=nnz)
+        elif name == "csr-scalar":
+            profile = _csr_scalar_profile(
+                nrows=nrows,
+                nnz=nnz,
+                row_nnz_mean=row_nnz_mean,
+                row_nnz_std=row_nnz_std,
+                row_nnz_max=row_nnz_max,
+            )
+        else:
+            # an unknown chain member (a future registered kernel) gets
+            # the conservative nnz-streaming estimate so it ranks with
+            # the baselines rather than being silently dropped
+            profile = _cusparse_csr_profile(nrows=nrows, ncols=ncols, nnz=nnz)
+        out[name] = estimate_time(profile, spec).total + SETUP_SECONDS.get(name, 0.0)
+    return out

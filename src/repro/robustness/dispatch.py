@@ -89,6 +89,7 @@ def dispatch_spmv(
     x: np.ndarray,
     chain: Sequence[str] | None = None,
     *,
+    planner=None,
     deep_verify: bool = True,
     simulate: bool = False,
     corrupt_hook: Callable[[str, PreparedOperand], None] | None = None,
@@ -99,7 +100,12 @@ def dispatch_spmv(
     """Compute ``y = A @ x`` with graceful degradation along ``chain``.
 
     ``chain`` defaults to the registry-derived
-    :func:`~repro.exec.default_chain`.  ``deep_verify=False`` skips the
+    :func:`~repro.exec.default_chain`.  ``planner`` (a
+    :class:`repro.plan.Planner`) asks for a per-operand
+    :class:`~repro.plan.ExecutionPlan` instead — its ranked kernel
+    order replaces the static chain for this dispatch; an explicit
+    ``chain`` wins over ``planner``, and with neither the walk is the
+    byte-identical pre-planner path.  ``deep_verify=False`` skips the
     pre-flight verification stage (for callers who amortize it
     elsewhere); corruption then surfaces at the ``run`` or ``check``
     stage instead of crashing.  ``simulate`` routes kernels with the
@@ -121,6 +127,9 @@ def dispatch_spmv(
         if simulate and kernel.capabilities.simulate:
             return ExecutionMode.SIMULATED
         return ExecutionMode.NUMERIC
+
+    if chain is None and planner is not None:
+        chain = planner.plan(csr)
 
     result = execute_chain(
         csr,

@@ -197,18 +197,26 @@ def _group_pressure(group: list, now: float) -> tuple[float, float | None]:
 
 
 def _pop_due(
-    pending: dict[str, list], policy: FlushPolicy, now: float, drain: bool
+    pending: dict[str, list],
+    policies: dict[str, FlushPolicy],
+    default_policy: FlushPolicy,
+    now: float,
+    drain: bool,
 ) -> list[tuple[str, str, list]]:
     """Pop every due group as ``(matrix, cause, batch)`` triples.
 
     Mutates ``pending`` in place and must run under the front-end lock;
     it is kept free of ``self`` so the lock discipline stays lexical
-    (pass the data, not the field).  With ``drain=True`` every pending
-    request is taken regardless of pressure (shutdown path), still in
-    ``max_batch``-sized urgency-ordered chunks.
+    (pass the data, not the fields).  Each matrix flushes under its own
+    policy from ``policies`` (a plan-hinted variant installed at
+    registration) falling back to ``default_policy``.  With
+    ``drain=True`` every pending request is taken regardless of
+    pressure (shutdown path), still in ``max_batch``-sized
+    urgency-ordered chunks.
     """
     batches: list[tuple[str, str, list]] = []
     for name, group in pending.items():
+        policy = policies.get(name, default_policy)
         while group:
             if drain:
                 cause = "drain"
@@ -228,13 +236,18 @@ def _pop_due(
     return batches
 
 
-def _min_due_in(pending: dict[str, list], policy: FlushPolicy, now: float) -> float | None:
+def _min_due_in(
+    pending: dict[str, list],
+    policies: dict[str, FlushPolicy],
+    default_policy: FlushPolicy,
+    now: float,
+) -> float | None:
     """Seconds until the most pressed group becomes due (None if idle)."""
     waits = [
-        policy.due_in(
+        policies.get(name, default_policy).due_in(
             oldest_age=pressure[0], min_expires_in=pressure[1]
         )
-        for group in pending.values()
+        for name, group in pending.items()
         if group
         for pressure in (_group_pressure(group, now),)
     ]
@@ -254,6 +267,16 @@ class ServeFrontend:
     extra thread.  ``clock`` is injectable
     (:class:`~repro.resilience.ManualClock` in tests) and feeds
     admission timestamps, rate buckets and request deadlines alike.
+
+    ``planner`` (a :class:`repro.plan.Planner`) makes registration
+    plan-aware: each matrix registered while a planner is installed is
+    profiled once and its :class:`~repro.plan.ExecutionPlan` batch
+    hints specialize the flush policy for that matrix's coalescing
+    group (dense-blocked operands coalesce into larger batches than
+    hypersparse ones).  :meth:`set_tenant_planner` additionally routes
+    one tenant's batches through a planner override on the engine call
+    itself; tenants without an override ride the engine's unchanged
+    default path.
     """
 
     def __init__(
@@ -264,11 +287,13 @@ class ServeFrontend:
         flush_policy: FlushPolicy | None = None,
         default_quota: TenantQuota | None = None,
         default_deadline_seconds: float | None = None,
+        planner=None,
         clock: Callable[[], float] = time.monotonic,
     ):
         if workers < 1:
             raise ServeError(f"workers must be >= 1, got {workers}")
         self.engine = engine if engine is not None else SpMVEngine()
+        self.planner = planner
         self.flush_policy = flush_policy or FlushPolicy()
         self.default_quota = default_quota or TenantQuota()
         self.default_deadline_seconds = default_deadline_seconds
@@ -280,6 +305,10 @@ class ServeFrontend:
         self._cond = threading.Condition()
         self._matrices: dict[str, CSRMatrix] = {}  # concurrency: guarded-by(self._cond)
         self._pending: dict[str, list] = {}  # concurrency: guarded-by(self._cond)
+        # per-matrix plan-hinted flush policies (default policy when absent)
+        self._policies: dict[str, FlushPolicy] = {}  # concurrency: guarded-by(self._cond)
+        # per-tenant planner overrides threaded into engine.spmv_many
+        self._tenant_planners: dict = {}  # concurrency: guarded-by(self._cond)
         self._quotas: dict[str, TenantQuota] = {}  # concurrency: guarded-by(self._cond)
         self._buckets: dict[str, TokenBucket] = {}  # concurrency: guarded-by(self._cond)
         self._tenant_depth: dict[str, int] = {}  # concurrency: guarded-by(self._cond)
@@ -297,12 +326,24 @@ class ServeFrontend:
         Re-registering a taken name is a :class:`~repro.errors.ServeError`
         — tenants hold references to results computed against the old
         contents, so silent replacement would be a correctness trap.
+
+        With a ``planner`` installed, the matrix is profiled here (once,
+        outside the lock — registration is the cold path) and its plan's
+        batch hints specialize this matrix's flush policy.
         """
+        policy = self.flush_policy
+        if self.planner is not None:
+            plan = self.planner.plan(csr)
+            policy = policy.with_hints(
+                max_batch=plan.batch_hint,
+                max_wait_seconds=plan.max_wait_hint_seconds,
+            )
         with self._cond:
             if name in self._matrices:
                 raise ServeError(f"matrix {name!r} is already registered")
             self._matrices[name] = csr
             self._pending[name] = []
+            self._policies[name] = policy
 
     def matrices(self) -> list[str]:
         """Registered matrix names, in registration order."""
@@ -314,6 +355,28 @@ class ServeFrontend:
         with self._cond:
             self._quotas[tenant] = quota
             self._buckets.pop(tenant, None)
+
+    def set_tenant_planner(self, tenant: str, planner) -> None:
+        """Route one tenant's batches through a planner override.
+
+        ``planner`` is a :class:`repro.plan.Planner` handed to
+        :meth:`~repro.engine.SpMVEngine.spmv_many` for this tenant's
+        requests (the engine re-plans per call, so the override also
+        collects its own latency feedback); ``None`` removes the
+        override, returning the tenant to the engine's default path.
+        Batches mixing tenants are partitioned per planner before they
+        reach the engine.
+        """
+        with self._cond:
+            if planner is None:
+                self._tenant_planners.pop(tenant, None)
+            else:
+                self._tenant_planners[tenant] = planner
+
+    def tenant_planner(self, tenant: str):
+        """The tenant's planner override, or ``None``."""
+        with self._cond:
+            return self._tenant_planners.get(tenant)
 
     def queue_depth(self, tenant: str) -> int:
         """The tenant's in-flight (admitted, unresolved) request count."""
@@ -435,13 +498,19 @@ class ServeFrontend:
                 while True:
                     now = self._clock()
                     batches = _pop_due(
-                        self._pending, self.flush_policy, now, drain=self._closed
+                        self._pending,
+                        self._policies,
+                        self.flush_policy,
+                        now,
+                        drain=self._closed,
                     )
                     if batches:
                         break
                     if self._closed:
                         return  # drained: nothing pending, nothing due
-                    timeout = _min_due_in(self._pending, self.flush_policy, now)
+                    timeout = _min_due_in(
+                        self._pending, self._policies, self.flush_policy, now
+                    )
                     self._cond.wait(
                         None
                         if timeout is None
@@ -459,6 +528,11 @@ class ServeFrontend:
         new work starts after expiry").  The rest ride one
         ``spmv_many(return_errors=True)`` call, so failures come back
         per-request and nothing raises across the batch.
+
+        Tenants with a planner override (see :meth:`set_tenant_planner`)
+        are partitioned out and run through their own ``spmv_many`` call
+        carrying ``planner=``; everyone else shares one call on the
+        engine's unchanged default path.
         """
         outcomes: list[tuple[_Pending, object]] = []
         ready: list[_Pending] = []
@@ -470,11 +544,32 @@ class ServeFrontend:
                     outcomes.append((record, exc))
                     continue
             ready.append(record)
-        if ready:
+        if not ready:
+            return outcomes
+        with self._cond:
+            overrides = dict(self._tenant_planners)
+        default_records = [r for r in ready if overrides.get(r.tenant) is None]
+        if default_records:
             results = self.engine.spmv_many(
-                [(record.csr, record.x) for record in ready], return_errors=True
+                [(record.csr, record.x) for record in default_records],
+                return_errors=True,
             )
-            outcomes.extend(zip(ready, results))
+            outcomes.extend(zip(default_records, results))
+        planned: dict[int, list[_Pending]] = {}
+        planners: dict[int, object] = {}
+        for record in ready:
+            override = overrides.get(record.tenant)
+            if override is None:
+                continue
+            planned.setdefault(id(override), []).append(record)
+            planners[id(override)] = override
+        for key, records in planned.items():
+            results = self.engine.spmv_many(
+                [(record.csr, record.x) for record in records],
+                return_errors=True,
+                planner=planners[key],
+            )
+            outcomes.extend(zip(records, results))
         return outcomes
 
     def _run_batch(self, matrix: str, cause: str, batch: list) -> None:

@@ -22,7 +22,7 @@ Three triggers, checked in priority order:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.errors import ServeError
 
@@ -60,6 +60,28 @@ class FlushPolicy:
                 f"deadline_slack_seconds must be >= 0, got "
                 f"{self.deadline_slack_seconds}"
             )
+
+    def with_hints(
+        self,
+        *,
+        max_batch: int | None = None,
+        max_wait_seconds: float | None = None,
+    ) -> "FlushPolicy":
+        """A copy of this policy with planner batch hints applied.
+
+        The front-end calls this with an
+        :class:`~repro.plan.ExecutionPlan`'s ``batch_hint`` /
+        ``max_wait_hint_seconds`` when a matrix is registered, so
+        dense-blocked operands coalesce into larger batches than
+        hypersparse ones.  ``None`` hints leave the corresponding field
+        untouched; validation re-runs through ``__post_init__``.
+        """
+        updates = {}
+        if max_batch is not None:
+            updates["max_batch"] = int(max_batch)
+        if max_wait_seconds is not None:
+            updates["max_wait_seconds"] = float(max_wait_seconds)
+        return replace(self, **updates) if updates else self
 
     def decide(
         self,

@@ -32,6 +32,22 @@ class TestMetrics:
         out = speedups_over({"a": 2.0, "b": 1.0}, "a")
         assert out == {"b": 2.0}
 
+    def test_speedups_over_zero_time_is_structured(self):
+        # a zero measurement must raise a ValueError naming the method,
+        # not leak a bare ZeroDivisionError out of the dict comprehension
+        with pytest.raises(ValueError, match="'b'"):
+            speedups_over({"a": 2.0, "b": 0.0}, "a")
+
+    def test_speedups_over_zero_baseline_is_structured(self):
+        with pytest.raises(ValueError, match="'a'"):
+            speedups_over({"a": 0.0, "b": 1.0}, "a")
+
+    def test_speedup_table_zero_overlap(self):
+        # no matrix holds both the target and another method: the table
+        # is empty, never a geomean-of-empty crash (regression guard)
+        times = {"m1": {"spaden": 1.0}, "m2": {"csr": 2.0}}
+        assert speedup_table(times, "spaden") == {}
+
     def test_speedup_table_geomean(self):
         times = {
             "m1": {"spaden": 1.0, "csr": 2.0},

@@ -1,0 +1,108 @@
+"""Crossover bench tests: sweep generator, tolerance verdict, artifact."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.plan import (
+    append_plan_trajectory,
+    bench_plan_crossover,
+    block_sweep_csr,
+    format_plan_report,
+)
+from repro.errors import ObservabilityError, PlanError
+
+
+class TestBlockSweepMatrix:
+    @pytest.mark.parametrize("per_block", [64, 16, 1])
+    def test_exact_block_density(self, per_block):
+        csr = block_sweep_csr(per_block, nnz_target=1024, seed=2)
+        prof = csr.structure_profile()
+        assert prof.mean_block_nnz == pytest.approx(per_block)
+        assert csr.nnz == (1024 // per_block) * per_block
+
+    def test_seeded_reproducible(self):
+        a = block_sweep_csr(8, seed=4)
+        b = block_sweep_csr(8, seed=4)
+        assert a.structure_profile().fingerprint == b.structure_profile().fingerprint
+
+    def test_rejects_impossible_density(self):
+        with pytest.raises(PlanError):
+            block_sweep_csr(65)
+        with pytest.raises(PlanError):
+            block_sweep_csr(0)
+
+    def test_rejects_unaligned_shape(self):
+        with pytest.raises(PlanError):
+            block_sweep_csr(8, nrows=100, ncols=96)
+
+
+class TestCrossoverBench:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # a short sweep keeps the measured-counter ground truth cheap:
+        # one dense point (agreement expected) and one hypersparse point
+        # (the planner should reorder)
+        return bench_plan_crossover(
+            (64, 2), nrows=256, ncols=256, nnz_target=1024, seed=0
+        )
+
+    def test_within_tolerance_everywhere(self, result):
+        assert result.within_tolerance
+        assert result.worst_margin <= result.tolerance
+
+    def test_dense_point_agrees_with_static(self, result):
+        dense = result.points[0]
+        assert dense.per_block_nnz == 64
+        assert dense.planner_pick == dense.static_pick == "spaden"
+        assert dense.margin == pytest.approx(0.0)
+
+    def test_hypersparse_point_reorders_and_wins(self, result):
+        sparse = result.points[1]
+        assert sparse.per_block_nnz == 2
+        assert sparse.planner_pick != sparse.static_pick
+        # the reorder must be a ground-truth *win*, not just a flip
+        assert sparse.margin < 0
+        assert result.reorder_points == 1
+
+    def test_truth_covers_whole_chain(self, result):
+        for point in result.points:
+            assert set(point.truth_seconds) == set(point.plan["kernels"])
+            assert all(t > 0 for t in point.truth_seconds.values())
+
+    def test_report_format(self, result):
+        text = format_plan_report(result)
+        assert "plan crossover" in text
+        assert "OK" in text
+        for point in result.points:
+            assert point.planner_pick in text
+
+
+class TestTrajectoryArtifact:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return bench_plan_crossover((64,), nrows=128, ncols=128, nnz_target=256, seed=1)
+
+    def test_appends_and_grows(self, tmp_path, result):
+        path = tmp_path / "BENCH_plan.json"
+        assert append_plan_trajectory(path, result) == 1
+        assert append_plan_trajectory(path, result) == 2
+        doc = json.loads(path.read_text())
+        assert isinstance(doc, list) and len(doc) == 2
+        assert doc[0]["bench"]["within_tolerance"] is True
+        assert doc[0]["bench"]["points"][0]["planner_pick"]
+
+    def test_refuses_non_list(self, tmp_path, result):
+        path = tmp_path / "BENCH_plan.json"
+        path.write_text('{"not": "a list"}')
+        with pytest.raises(ObservabilityError):
+            append_plan_trajectory(path, result)
+        assert path.read_text() == '{"not": "a list"}'  # untouched
+
+    def test_refuses_invalid_json(self, tmp_path, result):
+        path = tmp_path / "BENCH_plan.json"
+        path.write_text("not json at all")
+        with pytest.raises(ObservabilityError):
+            append_plan_trajectory(path, result)

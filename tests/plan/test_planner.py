@@ -1,0 +1,210 @@
+"""Planner tests: ranking, capability filters, feedback, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.exec import default_chain
+from repro.obs import get_registry, reset_observability
+from repro.plan import ExecutionPlan, StaticPlanner, StructurePlanner
+from repro.bench.plan import block_sweep_csr
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    reset_observability()
+    yield
+    reset_observability()
+
+
+def _counter(name, labels):
+    return get_registry().counter(name, "", labels=tuple(labels)).value(**labels)
+
+
+@pytest.fixture(scope="module")
+def dense_csr():
+    return block_sweep_csr(64, seed=3)
+
+
+@pytest.fixture(scope="module")
+def hypersparse_csr():
+    return block_sweep_csr(1, seed=3)
+
+
+class TestStaticPlanner:
+    def test_emits_registry_chain(self, dense_csr):
+        plan = StaticPlanner().plan(dense_csr)
+        assert plan.kernels == default_chain()
+        assert plan.planner == "static"
+        assert plan.ranking == ()
+        assert plan.batch_hint is None and plan.max_wait_hint_seconds is None
+
+    def test_explicit_chain(self, dense_csr):
+        plan = StaticPlanner(("csr-scalar", "spaden")).plan(dense_csr)
+        assert plan.kernels == ("csr-scalar", "spaden")
+
+    def test_empty_chain_rejected(self, dense_csr):
+        with pytest.raises(PlanError):
+            StaticPlanner(()).plan(dense_csr)
+
+
+class TestStructurePlannerRanking:
+    def test_dense_blocks_keep_spaden_first(self, dense_csr):
+        plan = StructurePlanner("L40").plan(dense_csr)
+        assert plan.kernels[0] == "spaden"
+        # the plan reorders the chain, never shortens it
+        assert sorted(plan.kernels) == sorted(default_chain())
+
+    def test_hypersparse_promotes_scalar(self, hypersparse_csr):
+        plan = StructurePlanner("L40").plan(hypersparse_csr)
+        assert plan.kernels[0] == "csr-scalar"
+
+    def test_mixed_density_sweep_crossover(self):
+        picks = {
+            per_block: StructurePlanner("L40").plan(
+                block_sweep_csr(per_block, seed=0)
+            ).kernels[0]
+            for per_block in (64, 32, 16, 8, 4, 2, 1)
+        }
+        for per_block in (64, 32, 16, 8):
+            assert picks[per_block] == "spaden", picks
+        for per_block in (4, 2, 1):
+            assert picks[per_block] == "csr-scalar", picks
+
+    def test_ranking_carries_evidence(self, dense_csr):
+        plan = StructurePlanner("L40").plan(dense_csr)
+        assert [entry.name for entry in plan.ranking] == list(plan.kernels)
+        assert all(entry.predicted_seconds > 0 for entry in plan.ranking)
+        assert plan.ranking[0].score == pytest.approx(1.0)
+        assert plan.profile is not None and plan.profile.nnz == dense_csr.nnz
+
+    def test_explain_mentions_every_kernel(self, dense_csr):
+        text = StructurePlanner("L40").plan(dense_csr).explain()
+        for name in default_chain():
+            assert name in text
+        assert "structure:" in text and "hints:" in text
+
+    def test_plan_walks_like_a_chain(self, dense_csr):
+        plan = StructurePlanner("L40").plan(dense_csr)
+        assert isinstance(plan, ExecutionPlan)
+        assert tuple(plan.kernels) == plan.kernels  # duck-type contract
+
+
+class TestCapabilityFilter:
+    def test_simulated_mode_drops_non_simulating_kernels(self, dense_csr):
+        plan = StructurePlanner("L40", mode="simulated").plan(dense_csr)
+        assert "cusparse-csr" not in plan.kernels
+        assert set(plan.kernels) == {"spaden", "spaden-no-tc", "csr-scalar"}
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(PlanError):
+            StructurePlanner("L40", mode="quantum")
+
+    def test_unknown_candidate_rejected(self):
+        with pytest.raises(PlanError):
+            StructurePlanner("L40", candidates=("spaden", "no-such-kernel"))
+
+    def test_candidates_restrict_pool(self, dense_csr):
+        plan = StructurePlanner(
+            "L40", candidates=("csr-scalar", "spaden")
+        ).plan(dense_csr)
+        assert set(plan.kernels) == {"spaden", "csr-scalar"}
+
+    def test_filter_that_empties_pool_rejected(self):
+        with pytest.raises(PlanError):
+            StructurePlanner(
+                "L40", mode="simulated", candidates=("cusparse-csr",)
+            )
+
+
+class TestFeedback:
+    def test_observations_demote_a_slow_kernel(self, dense_csr):
+        planner = StructurePlanner("L40")
+        assert planner.plan(dense_csr).kernels[0] == "spaden"
+        for _ in range(20):
+            planner.observe("spaden", 5e-3)
+            planner.observe("csr-scalar", 1e-5)
+        plan = planner.plan(dense_csr)
+        # the slow evidence sinks spaden to the bottom; fast evidence
+        # lifts csr-scalar above it (unobserved kernels keep their
+        # model-only scores and may still outrank both)
+        assert plan.kernels[0] != "spaden"
+        assert plan.kernels[-1] == "spaden"
+        assert plan.kernels.index("csr-scalar") < plan.kernels.index("spaden")
+        spaden = next(e for e in plan.ranking if e.name == "spaden")
+        assert spaden.observations == 20
+        assert spaden.observed_seconds == pytest.approx(5e-3, rel=0.2)
+
+    def test_observe_normalizes_per_vector(self):
+        planner = StructurePlanner("L40")
+        planner.observe("spaden", 8e-3, vectors=8)
+        assert planner.observed()["spaden"][0] == pytest.approx(1e-3)
+
+    def test_negative_observation_rejected(self):
+        with pytest.raises(PlanError):
+            StructurePlanner("L40").observe("spaden", -1.0)
+
+    def test_model_never_fully_silenced(self, dense_csr):
+        # even unbounded evidence keeps MAX_FEEDBACK_WEIGHT < 1, so the
+        # score still moves when the model prediction changes
+        planner = StructurePlanner("L40")
+        for _ in range(1000):
+            planner.observe("spaden", 1e-3)
+        plan = planner.plan(dense_csr)
+        spaden = next(e for e in plan.ranking if e.name == "spaden")
+        assert spaden.observations == 1000
+        assert np.isfinite(spaden.score)
+
+
+class TestPlannerMetrics:
+    def test_decisions_counted(self, dense_csr):
+        planner = StructurePlanner("L40")
+        planner.plan(dense_csr)
+        assert (
+            _counter(
+                "planner_decisions_total",
+                {"planner": "structure", "kernel": "spaden"},
+            )
+            == 1
+        )
+
+    def test_rank_flip_counted(self, dense_csr):
+        planner = StructurePlanner("L40")
+        planner.plan(dense_csr)
+        assert _counter("planner_rank_flips_total", {"planner": "structure"}) == 0
+        for _ in range(20):
+            planner.observe("spaden", 5e-3)
+            planner.observe("csr-scalar", 1e-5)
+        planner.plan(dense_csr)
+        assert _counter("planner_rank_flips_total", {"planner": "structure"}) == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_plan_and_observe(self, dense_csr, hypersparse_csr):
+        planner = StructurePlanner("L40")
+        matrices = [dense_csr, hypersparse_csr]
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(index):
+            try:
+                barrier.wait()
+                for i in range(40):
+                    plan = planner.plan(matrices[(index + i) % 2])
+                    assert sorted(plan.kernels) == sorted(default_chain())
+                    planner.observe(plan.kernels[0], 1e-5 * (i + 1))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # profile cache holds exactly the two distinct matrices
+        assert len(planner._profiles) == 2
