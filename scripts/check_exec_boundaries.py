@@ -60,6 +60,12 @@ IMPORT_FENCES = {
         "resilience policies may only import repro.errors, repro.obs and "
         "repro.resilience.*; the exec layer consults them, never vice versa",
     ),
+    "persist": (
+        ("repro.errors", "repro.obs", "repro.persist"),
+        "the on-disk operand store deals only in validated bytes; the "
+        "operand codec lives in repro.engine, which consumes the store, "
+        "never the other way around",
+    ),
     "plan": (
         ("repro.constants", "repro.errors", "repro.obs", "repro.perf", "repro.plan"),
         "the planner consumes structure profiles, the perf cost model and "

@@ -89,6 +89,7 @@ AUDITED_PACKAGES: tuple[str, ...] = (
     "engine",
     "exec",
     "obs",
+    "persist",
     "plan",
     "resilience",
     "robustness",

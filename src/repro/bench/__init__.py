@@ -1,5 +1,11 @@
 """Shared benchmark harness: suite loading, profile caching, reporting."""
 
+from repro.bench.convert import (
+    ConvertBenchResult,
+    append_convert_trajectory,
+    bench_convert,
+    format_convert_report,
+)
 from repro.bench.engine import EngineBenchResult, append_obs_trajectory, bench_engine
 from repro.bench.load import (
     LoadCampaignResult,
@@ -28,19 +34,23 @@ from repro.bench.harness import (
 
 __all__ = [
     "EVALUATED_METHODS",
+    "ConvertBenchResult",
     "EngineBenchResult",
     "FIG8_METHODS",
     "LoadCampaignResult",
     "PlanBenchResult",
     "PlanCrossoverPoint",
+    "append_convert_trajectory",
     "append_obs_trajectory",
     "append_plan_trajectory",
     "append_serve_trajectory",
+    "bench_convert",
     "bench_engine",
     "bench_load",
     "bench_plan_crossover",
     "bench_scale",
     "block_sweep_csr",
+    "format_convert_report",
     "format_plan_report",
     "format_load_report",
     "load_suite",

@@ -19,6 +19,8 @@ Usage::
                                 [--probabilities 0,0.5,0.9] [--out BENCH_chaos.json]
     python -m repro.cli serve-bench [--mode open] [--workers 4] [--tenants 2]
                                 [--zipf-s 1.1] [--out BENCH_serve.json]
+    python -m repro.cli convert-bench [--nrows 1024] [--density 0.02]
+                                [--rounds 5] [--out BENCH_convert.json]
     python -m repro.cli plan    --matrix consph [--gpu L40] [--simulate]
     python -m repro.cli plan-bench [--sweep 64,32,16,8,4,2,1] [--gpu L40]
                                 [--tolerance 0.15] [--out BENCH_plan.json]
@@ -55,6 +57,22 @@ def _cmd_table1(args) -> int:
     return 0
 
 
+def _served_kernel(preferred: str, degradation_log) -> str:
+    """The kernel that actually served the run.
+
+    Each :class:`~repro.exec.DegradationEvent` names the kernel it fell
+    back *to*; following the log from the preferred kernel lands on the
+    one whose operand is in the cache.  (A run that degraded to, say,
+    ``csr-scalar`` cached its operand under *that* key — introspecting
+    the preferred kernel's key would silently miss.)
+    """
+    served = preferred
+    for event in degradation_log:
+        if event.fallback is not None:
+            served = event.fallback
+    return served
+
+
 def _cmd_spmv(args) -> int:
     from repro.engine import SpMVEngine, matrix_fingerprint
     from repro.exec import ExecutionMode, execute
@@ -66,13 +84,17 @@ def _cmd_spmv(args) -> int:
 
     g = generate_matrix(args.matrix, scale=args.scale)
     x = g.dense_vector()
-    kernel = get_kernel(args.kernel)
     # served through the engine: caching + graceful degradation for free
     engine = SpMVEngine(args.kernel)
     y = engine.spmv(g.csr, x)
     for event in engine.stats.degradation_log:
         print(f"degraded: {event}")
-    operand = engine.cache.get((args.kernel, matrix_fingerprint(g.csr)))
+    # introspect side-effect-free: peek() counts no hit/miss and leaves
+    # LRU recency alone, and the key is the kernel that actually served
+    # the request (after any degradation), not the one we asked for
+    served_by = _served_kernel(args.kernel, engine.stats.degradation_log)
+    kernel = get_kernel(served_by)
+    operand = engine.cache.peek((served_by, matrix_fingerprint(g.csr)))
     # PROFILED mode: the numeric run plus the exact analytic counters
     profiled = execute(kernel, operand if operand is not None else g.csr, x,
                        mode=ExecutionMode.PROFILED)
@@ -503,6 +525,39 @@ def _cmd_serve_bench(args) -> int:
     return 1 if result.lost or result.incorrect else 0
 
 
+def _cmd_convert_bench(args) -> int:
+    """Measure the conversion pipeline cold / warm / persistent-warm.
+
+    Exit status is the bench verdict: nonzero if the direct ``from_csr``
+    route diverges bitwise from the COO route, any tier's result
+    diverges from cold, or the restarted engine paid a conversion the
+    persistent store should have absorbed.
+    """
+    from repro.bench.convert import (
+        append_convert_trajectory,
+        bench_convert,
+        format_convert_report,
+    )
+    from repro.obs import reset_observability
+
+    reset_observability()  # scope the folded report to this run
+
+    result = bench_convert(
+        args.nrows,
+        args.ncols or args.nrows,
+        args.density,
+        rounds=args.rounds,
+        kernel=args.kernel,
+        seed=args.seed,
+        store_dir=args.store_dir,
+    )
+    print(format_convert_report(result))
+    if args.out:
+        length = append_convert_trajectory(args.out, result)
+        print(f"[convert trajectory {args.out}: {length} run(s)]")
+    return 0 if result.passed else 1
+
+
 def _cmd_plan(args) -> int:
     """Profile one matrix and print its ranked execution plan."""
     from repro.matrices import generate_matrix
@@ -725,6 +780,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="append the campaign to a BENCH_serve.json trajectory",
     )
     p.set_defaults(func=_cmd_serve_bench)
+
+    p = sub.add_parser(
+        "convert-bench",
+        help="benchmark CSR->bitBSR conversion (direct vs via-COO) and "
+        "the cold/warm/persistent-warm prepare tiers across a simulated "
+        "process restart",
+    )
+    p.add_argument("--nrows", type=int, default=1024)
+    p.add_argument("--ncols", type=int, default=0, help="defaults to --nrows")
+    p.add_argument("--density", type=float, default=0.02)
+    p.add_argument("--rounds", type=int, default=5, help="timed conversions per route")
+    p.add_argument("--kernel", default="spaden")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--store-dir",
+        default=None,
+        help="persistent-store directory (default: a throwaway temp dir)",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        help="append the run to a BENCH_convert.json trajectory",
+    )
+    p.set_defaults(func=_cmd_convert_bench)
 
     p = sub.add_parser(
         "plan",

@@ -11,13 +11,17 @@ from repro.engine.cache import (
     OperandCache,
     matrix_fingerprint,
 )
+from repro.engine.codec import OPERAND_CODEC, decode_operand, encode_operand
 from repro.engine.engine import EngineStats, SpMVEngine
 
 __all__ = [
     "CacheStats",
     "DEFAULT_CACHE_BYTES",
     "EngineStats",
+    "OPERAND_CODEC",
     "OperandCache",
     "SpMVEngine",
+    "decode_operand",
+    "encode_operand",
     "matrix_fingerprint",
 ]

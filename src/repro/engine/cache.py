@@ -152,6 +152,17 @@ class OperandCache:
         self._count_event("miss" if operand is None else "hit")
         return operand
 
+    def peek(self, key: tuple[str, str]) -> PreparedOperand | None:
+        """Side-effect-free read: no counters, no recency refresh.
+
+        Introspection (CLI reporting, tests, debuggers) must not distort
+        the cache it is observing — :meth:`get` counts a hit/miss and
+        moves the entry to the MRU end, so using it to *look* changes
+        both the stats and the next eviction victim.
+        """
+        with self._lock:
+            return self._entries.get(key)
+
     def put(self, key: tuple[str, str], operand: PreparedOperand) -> None:
         """Insert an operand, evicting LRU entries to honor the budget.
 

@@ -1,0 +1,67 @@
+"""Serialization between :class:`PreparedOperand` and store payloads.
+
+:mod:`repro.persist` is import-fenced below the kernel layer, so it
+moves opaque bytes only; this module — living in the engine, above the
+fence — owns the byte layout.  The codec string is part of every
+entry's validated header: changing the layout means changing the
+string, and old entries become structured ``codec`` misses instead of
+misdecodes.
+
+The payload is a pickle.  That is safe *here* because entries are only
+ever read back through :class:`~repro.persist.OperandStore`, which
+verifies a blake2b digest over the exact bytes written — a store
+directory is a private cache, not an exchange format, and a tampered
+file fails the digest before it reaches the unpickler.  Decoding still
+trusts nothing semantically: anything that is not a well-formed
+:class:`PreparedOperand` for the requested kernel and matrix is
+rejected (``None``), which the engine reports back to the store as a
+structured ``decode`` miss.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.formats.csr import CSRMatrix
+from repro.kernels.base import PreparedOperand
+
+__all__ = ["OPERAND_CODEC", "decode_operand", "encode_operand"]
+
+#: Store-header codec tag; bump when the pickled shape changes.
+OPERAND_CODEC = "operand-pickle/v1"
+
+
+def encode_operand(operand: PreparedOperand) -> bytes | None:
+    """Pickle an operand for spilling; ``None`` if it cannot be.
+
+    An unpicklable operand (a kernel stuffed a live handle into
+    ``data``) simply never persists — spilling is an optimization, so
+    the failure is absorbed rather than raised.
+    """
+    try:
+        return pickle.dumps(operand, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return None
+
+
+def decode_operand(
+    payload: bytes, *, kernel_name: str, csr: CSRMatrix
+) -> PreparedOperand | None:
+    """Rebuild an operand, or ``None`` if the payload is unusable.
+
+    Checks that the unpickled object is a :class:`PreparedOperand`
+    prepared by ``kernel_name`` for a matrix with ``csr``'s shape and
+    nnz.  (Content identity beyond that is already guaranteed by the
+    store key: the fingerprint is a content hash of the CSR arrays.)
+    """
+    try:
+        operand = pickle.loads(payload)
+    except Exception:
+        return None
+    if not isinstance(operand, PreparedOperand):
+        return None
+    if operand.kernel_name != kernel_name:
+        return None
+    if tuple(operand.shape) != tuple(csr.shape) or operand.nnz != csr.nnz:
+        return None
+    return operand

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.errors import KernelError, ReproError
 from repro.engine.cache import DEFAULT_CACHE_BYTES, OperandCache, matrix_fingerprint
+from repro.engine.codec import OPERAND_CODEC, decode_operand, encode_operand
 from repro.exec import (
     ChainExhaustedError,
     ExecutionMode,
@@ -120,6 +121,17 @@ class SpMVEngine:
     ``None`` (the default) leaves every request on the exact pre-policy
     path — results are bit-identical.
 
+    ``store`` installs a :class:`~repro.persist.OperandStore` as a
+    durable tier under the in-memory cache: an operand-cache miss
+    checks disk *before* converting, and every fresh ``prepare`` spills
+    its result, so converted formats survive process restarts and can
+    be shared by engines pointing at the same directory.  Disk loads
+    are fully validated (frame digest by the store, kernel/shape/nnz by
+    the codec) and any invalid entry degrades to a counted miss plus
+    ordinary re-conversion — the store can slow a cold start down to at
+    worst the no-store path, never break it.  ``None`` (the default)
+    is the exact memory-only behavior.
+
     ``planner`` installs a :class:`~repro.plan.Planner`: each batch
     walks the planner's per-matrix :class:`~repro.plan.ExecutionPlan`
     instead of the static ``chain``, the plan is cached next to the
@@ -141,9 +153,11 @@ class SpMVEngine:
         deep_verify: bool = False,
         resilience: ResiliencePolicy | None = None,
         planner=None,
+        store=None,
     ):
         get_kernel(kernel)  # fail fast on unknown names
         self.kernel_name = kernel
+        self.store = store
         if chain is not None:
             self.chain = tuple(chain)
         elif degrade:
@@ -170,10 +184,23 @@ class SpMVEngine:
 
     # -- operand management --------------------------------------------------
     def _prepared(self, kernel_name: str, csr: CSRMatrix, fingerprint: str) -> PreparedOperand:
-        """Cache-through prepare: a hit skips both conversion and verify."""
+        """Cache-through prepare: a hit skips both conversion and verify.
+
+        With a persistent ``store``, the miss path checks disk before
+        converting (a disk hit repopulates the memory tier and skips
+        ``prepare`` entirely — it does not count in
+        ``stats.prepare_calls``), and a fresh ``prepare`` spills its
+        result after the memory tier takes it.  The spilled bytes are a
+        pristine pre-execution snapshot: fault hooks mutate the *live*
+        operand, never the disk copy, so a later reload heals poisoning.
+        """
         key = (kernel_name, fingerprint)
         operand = self.cache.get(key)
         if operand is not None:
+            return operand
+        operand = self._load_persisted(kernel_name, csr, fingerprint)
+        if operand is not None:
+            self.cache.put(key, operand)
             return operand
         kernel = get_kernel(kernel_name)
         start = time.perf_counter()
@@ -185,7 +212,42 @@ class SpMVEngine:
         if self.deep_verify:
             verify_operand(kernel, operand)
         self.cache.put(key, operand)
+        self._spill(kernel_name, fingerprint, operand)
         return operand
+
+    def _load_persisted(
+        self, kernel_name: str, csr: CSRMatrix, fingerprint: str
+    ) -> PreparedOperand | None:
+        """Disk tier of the miss path; any failure is a counted miss."""
+        if self.store is None:
+            return None
+        payload = self.store.get(kernel_name, fingerprint, codec=OPERAND_CODEC)
+        if payload is None:
+            return None
+        operand = decode_operand(payload, kernel_name=kernel_name, csr=csr)
+        if operand is None:
+            # frame-valid bytes the codec could not use: demote the
+            # store's hit to a structured miss and drop the entry
+            self.store.discard(kernel_name, fingerprint, reason="decode")
+        return operand
+
+    def _spill(self, kernel_name: str, fingerprint: str, operand: PreparedOperand) -> None:
+        """Persist a fresh operand; failures are absorbed (and counted)."""
+        if self.store is None:
+            return
+        payload = encode_operand(operand)
+        if payload is not None:
+            self.store.put(kernel_name, fingerprint, payload, codec=OPERAND_CODEC)
+
+    def warm(self, csr: CSRMatrix) -> PreparedOperand:
+        """Prepare the preferred kernel's operand without executing.
+
+        The serving front-end calls this at matrix-registration time so
+        a tenant's first request never pays the conversion: the operand
+        comes from memory, disk, or one fresh ``prepare`` (spilled for
+        the next process).  Counts neither a request nor a batch.
+        """
+        return self._prepared(self.kernel_name, csr, matrix_fingerprint(csr))
 
     def _invalidate_operand(self, kernel_name: str, fingerprint: str) -> None:
         """Drop a poisoned cached operand *and* the matrix's cached plan.
@@ -195,6 +257,11 @@ class SpMVEngine:
         re-plans with the planner's current EWMA table (which the
         failure's latency just updated).  With no planner the plan map
         is empty and this is exactly the old cache eviction.
+
+        The persistent store is deliberately *not* touched: its copy is
+        a pre-execution snapshot serialized before any kernel ran, so
+        it cannot carry runtime poisoning — re-loading it is the cheap
+        way back to a healthy operand.
         """
         self.cache.invalidate((kernel_name, fingerprint))
         with self._lock:

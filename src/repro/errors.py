@@ -231,6 +231,17 @@ class PlanError(ReproError):
     no kernel standing, a malformed structure profile, ...)."""
 
 
+class PersistError(ReproError):
+    """The on-disk operand store was misconfigured (bad root path,
+    non-positive size budget, invalid store name).
+
+    Note the asymmetry with runtime trouble: configuration errors raise,
+    but *operational* failures (corrupt entries, truncated files, a
+    full disk during spill) never do — persistence is an optimization,
+    so :mod:`repro.persist` degrades those to counted structured misses
+    and the engine falls through to re-conversion."""
+
+
 class AdmissionError(ServeError):
     """The serving front-end refused to admit a request.
 

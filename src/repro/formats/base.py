@@ -51,6 +51,18 @@ def available_formats() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def _dtype_matches(requested, stored: np.dtype) -> bool:
+    """Whether ``requested`` names ``stored``; junk inputs are a mismatch.
+
+    ``config_matches`` must never raise — an invalid ``value_dtype``
+    reports ``False`` so the rebuild path surfaces the real error.
+    """
+    try:
+        return np.dtype(requested) == stored
+    except TypeError:
+        return False
+
+
 @dataclass(frozen=True)
 class ArrayField:
     """One storage array of a format, for byte-exact memory accounting."""
@@ -129,6 +141,20 @@ class SparseMatrix(ABC):
         if isinstance(self, cls):
             return self
         return cls.from_coo(self.tocoo())
+
+    def config_matches(self, **kwargs) -> bool:
+        """Whether construction ``kwargs`` describe this instance's config.
+
+        :func:`repro.formats.convert.convert` uses this to return the
+        same object instead of rebuilding when the target format *and*
+        its parameters already match (e.g. ``value_dtype=np.float16`` on
+        an already-float16 bitBSR).  The base implementation only
+        matches the no-kwargs call; parameterized formats override it to
+        compare the kwargs they accept against their stored
+        configuration.  Unknown kwargs must report ``False`` (rebuild),
+        never raise — ``from_coo`` is the authority on their validity.
+        """
+        return not kwargs
 
     # -- computation ------------------------------------------------------
     @abstractmethod

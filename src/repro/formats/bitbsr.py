@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.constants import BLOCK_DIM, BLOCK_SIZE
 from repro.errors import BitmapPopcountError, EmptyBlockError, FormatError, OffsetScanError
-from repro.formats.base import ArrayField, SparseMatrix, register_format
+from repro.formats.base import ArrayField, SparseMatrix, _dtype_matches, register_format
 from repro.formats.bsr import BSRMatrix, block_coordinates
 from repro.formats.coo import COOMatrix
 from repro.utils.bitops import popcount
@@ -112,17 +112,30 @@ class BitBSRMatrix(SparseMatrix):
 
     # -- conversion -----------------------------------------------------------
     @classmethod
-    def from_coo(cls, coo: COOMatrix, value_dtype: np.dtype | type = np.float16) -> "BitBSRMatrix":
-        br, bc, lr, lc = block_coordinates(coo.rows, coo.cols, BLOCK_DIM)
-        nbcols = -(-coo.ncols // BLOCK_DIM)
-        nbrows = -(-coo.nrows // BLOCK_DIM)
+    def _from_entries(
+        cls,
+        shape: tuple[int, int],
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+        value_dtype: np.dtype | type,
+    ) -> "BitBSRMatrix":
+        """Shared tail of :meth:`from_coo` and :meth:`from_csr`.
+
+        ``rows``/``cols``/``values`` are the per-entry coordinates in
+        canonical (row, col) order; both constructors reduce to this one
+        sweep, so the two routes are bitwise-identical by construction.
+        """
+        br, bc, lr, lc = block_coordinates(rows, cols, BLOCK_DIM)
+        nbcols = -(-shape[1] // BLOCK_DIM)
+        nbrows = -(-shape[0] // BLOCK_DIM)
         bitpos = lr * BLOCK_DIM + lc
         keys = br * nbcols + bc
         # order entries by (block, bit position) so values pack in bit order
         order = np.argsort(keys * BLOCK_SIZE + bitpos, kind="stable")
         keys_sorted = keys[order]
         bitpos_sorted = bitpos[order]
-        values_sorted = coo.values[order]
+        values_sorted = values[order]
         unique_keys, starts = np.unique(keys_sorted, return_index=True)
         if unique_keys.size:
             weights = _U64(1) << bitpos_sorted.astype(_U64)
@@ -132,13 +145,42 @@ class BitBSRMatrix(SparseMatrix):
         counts = np.bincount((unique_keys // nbcols).astype(np.int64), minlength=nbrows)
         ptr = exclusive_scan(counts)
         return cls(
-            coo.shape,
+            shape,
             ptr,
             (unique_keys % nbcols).astype(np.int32),
             bitmaps,
             values_sorted.astype(value_dtype),
             value_dtype=value_dtype,
         )
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, value_dtype: np.dtype | type = np.float16) -> "BitBSRMatrix":
+        return cls._from_entries(coo.shape, coo.rows, coo.cols, coo.values, value_dtype)
+
+    @classmethod
+    def from_csr(cls, csr, value_dtype: np.dtype | type = np.float16) -> "BitBSRMatrix":
+        """Direct one-pass CSR -> bitBSR conversion (no COO materialization).
+
+        The classic single-sweep ``BSRMatrix(CSRMatrix&)`` idiom,
+        vectorized: per-entry row ids come straight from
+        ``row_pointers`` (a repeat/scan, no per-nnz Python work), block
+        coordinates and bit positions from ``col_indices``, and the
+        packing order from one stable argsort — skipping the COO
+        round trip's array copies and canonical re-validation entirely.
+        The result is bitwise-identical to
+        ``from_coo(csr.tocoo(), value_dtype)``: both routes feed the
+        same per-entry coordinates, in the same canonical order, through
+        :meth:`_from_entries`.
+        """
+        rows = segment_ids(csr.row_pointers)
+        return cls._from_entries(csr.shape, rows, csr.col_indices, csr.values, value_dtype)
+
+    def config_matches(self, **kwargs) -> bool:
+        kwargs = dict(kwargs)
+        value_dtype = kwargs.pop("value_dtype", None)
+        if kwargs:
+            return False
+        return value_dtype is None or _dtype_matches(value_dtype, self.value_dtype)
 
     @classmethod
     def from_bsr(cls, bsr: BSRMatrix, value_dtype: np.dtype | type = np.float16) -> "BitBSRMatrix":

@@ -21,7 +21,7 @@ from repro.errors import (
     OffsetScanError,
     VerificationError,
 )
-from repro.formats.base import ArrayField, SparseMatrix, register_format
+from repro.formats.base import ArrayField, SparseMatrix, _dtype_matches, register_format
 from repro.formats.coo import COOMatrix
 from repro.utils.bitops import popcount
 from repro.utils.scan import exclusive_scan, segment_ids
@@ -141,6 +141,16 @@ class GenericBitBSRMatrix(SparseMatrix):
             block_dim=d,
             value_dtype=value_dtype,
         )
+
+    def config_matches(self, **kwargs) -> bool:
+        kwargs = dict(kwargs)
+        block_dim = kwargs.pop("block_dim", None)
+        value_dtype = kwargs.pop("value_dtype", None)
+        if kwargs:
+            return False
+        if block_dim is not None and block_dim != self.block_dim:
+            return False
+        return value_dtype is None or _dtype_matches(value_dtype, self.value_dtype)
 
     # -- decoding ------------------------------------------------------------------
     def entry_coordinates(self) -> tuple[np.ndarray, np.ndarray]:

@@ -21,7 +21,7 @@ from repro.errors import (
     OffsetScanError,
     VerificationError,
 )
-from repro.formats.base import ArrayField, SparseMatrix, register_format
+from repro.formats.base import ArrayField, SparseMatrix, _dtype_matches, register_format
 from repro.formats.bitbsr import BitBSRMatrix
 from repro.formats.coo import COOMatrix
 from repro.utils.bitops import popcount
@@ -92,6 +92,13 @@ class BitCOOMatrix(SparseMatrix):
     def from_coo(cls, coo: COOMatrix, value_dtype: np.dtype | type = np.float16) -> "BitCOOMatrix":
         bit = BitBSRMatrix.from_coo(coo, value_dtype=value_dtype)
         return cls.from_bitbsr(bit)
+
+    def config_matches(self, **kwargs) -> bool:
+        kwargs = dict(kwargs)
+        value_dtype = kwargs.pop("value_dtype", None)
+        if kwargs:
+            return False
+        return value_dtype is None or _dtype_matches(value_dtype, self.value_dtype)
 
     @classmethod
     def from_bitbsr(cls, bit: BitBSRMatrix) -> "BitCOOMatrix":

@@ -117,6 +117,13 @@ class BSRMatrix(SparseMatrix):
         ptr = exclusive_scan(counts)
         return cls(coo.shape, ptr, (unique_keys % nbcols).astype(np.int32), blocks, block_dim)
 
+    def config_matches(self, **kwargs) -> bool:
+        kwargs = dict(kwargs)
+        block_dim = kwargs.pop("block_dim", None)
+        if kwargs:
+            return False
+        return block_dim is None or block_dim == self.block_dim
+
     def tocoo(self) -> COOMatrix:
         bidx, lr, lc = np.nonzero(self.blocks)
         brow = self.block_row_of()[bidx]

@@ -8,6 +8,7 @@ import scipy.sparse as sp
 from repro.errors import ConversionError
 from repro.formats.base import SparseMatrix, get_format
 from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
 
 __all__ = ["convert", "from_dense", "from_scipy", "to_scipy"]
 
@@ -15,12 +16,26 @@ __all__ = ["convert", "from_dense", "from_scipy", "to_scipy"]
 def convert(matrix: SparseMatrix, name: str, **kwargs) -> SparseMatrix:
     """Convert ``matrix`` to the format registered under ``name``.
 
-    Extra keyword arguments are forwarded to the target's ``from_coo``
-    (e.g. ``block_dim=4`` for BSR, ``value_dtype=np.float32`` for bitBSR).
+    Extra keyword arguments are forwarded to the target's constructor
+    (e.g. ``block_dim=4`` for BSR, ``value_dtype=np.float32`` for
+    bitBSR).  Two fast paths avoid needless work:
+
+    * a matrix already in the target format whose configuration
+      satisfies the requested kwargs (see
+      :meth:`~repro.formats.base.SparseMatrix.config_matches`) is
+      returned as the *same object* — ``convert(b, "bitbsr",
+      value_dtype=np.float16)`` on an already-float16 bitBSR is a no-op
+      instead of a full COO round-trip rebuild;
+    * a CSR source converting to a format with a direct ``from_csr``
+      constructor (bitBSR's one-pass sweep) skips the COO
+      materialization entirely, with bitwise-identical results.
     """
     cls = get_format(name)
-    if isinstance(matrix, cls) and not kwargs:
+    if isinstance(matrix, cls) and matrix.config_matches(**kwargs):
         return matrix
+    direct = getattr(cls, "from_csr", None)
+    if direct is not None and isinstance(matrix, CSRMatrix):
+        return direct(matrix, **kwargs)
     return cls.from_coo(matrix.tocoo(), **kwargs)
 
 

@@ -62,6 +62,16 @@ class HYBMatrix(SparseMatrix):
         )
         return cls(ell, tail)
 
+    def config_matches(self, **kwargs) -> bool:
+        if not kwargs:
+            return True
+        if set(kwargs) != {"width"}:
+            return False
+        width = kwargs["width"]
+        # an explicit width=None means "pick from the data" — that choice
+        # is data-dependent, so conservatively rebuild
+        return isinstance(width, int) and width == self.ell.width
+
     def tocoo(self) -> COOMatrix:
         e = self.ell.tocoo()
         return COOMatrix(

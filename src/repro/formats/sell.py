@@ -111,6 +111,21 @@ class SELLMatrix(SparseMatrix):
                 vals[dest] = coo.values[lo:hi]
         return cls(coo.shape, order.astype(np.int32), ptr, widths, cols, vals, c=c)
 
+    def config_matches(self, **kwargs) -> bool:
+        if not kwargs:
+            return True
+        extra = set(kwargs) - {"c", "sigma"}
+        if extra:
+            return False
+        # sigma (the row-sort window) is not recorded on the instance, so
+        # any explicit sigma conservatively forces a rebuild
+        if kwargs.get("sigma") is not None:
+            return False
+        # an explicit c=None asks for the class default
+        c = kwargs.get("c")
+        target = type(self).C if c is None else c
+        return target == self.c
+
     def tocoo(self) -> COOMatrix:
         rows_out, cols_out, vals_out = [], [], []
         nslices = self.slice_widths.size

@@ -1,0 +1,32 @@
+"""On-disk persistence tier for prepared operands.
+
+:mod:`repro.engine`'s :class:`~repro.engine.cache.OperandCache` is
+memory-only — every process restart re-pays the CSR -> bitBSR
+conversion tax (the paper's Fig. 10a cost) for every registered matrix.
+:class:`~repro.persist.store.OperandStore` makes the conversion durable:
+a content-addressed directory of atomically-written entries keyed by
+``(kernel, matrix_fingerprint)`` plus a schema version, with
+corruption-tolerant loads (every invalid entry is a *counted structured
+miss*, never a crash, never wrong bytes) and an LRU-by-mtime size
+budget.
+
+The package is import-fenced to the standard library plus
+:mod:`repro.errors` and :mod:`repro.obs` — it never sees kernels or
+formats, so it deals only in opaque byte payloads.  Serialization
+to/from :class:`~repro.kernels.base.PreparedOperand` lives in the
+engine layer (:mod:`repro.engine.codec`), which sits above the fence.
+"""
+
+from repro.persist.store import (
+    DEFAULT_STORE_BYTES,
+    SCHEMA_VERSION,
+    OperandStore,
+    StoreStats,
+)
+
+__all__ = [
+    "DEFAULT_STORE_BYTES",
+    "SCHEMA_VERSION",
+    "OperandStore",
+    "StoreStats",
+]

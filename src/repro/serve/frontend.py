@@ -320,7 +320,7 @@ class ServeFrontend:
         self._dispatcher.start()
 
     # -- registration and quotas ----------------------------------------------
-    def register_matrix(self, name: str, csr: CSRMatrix) -> None:
+    def register_matrix(self, name: str, csr: CSRMatrix, *, warm: bool | None = None) -> None:
         """Register a matrix under ``name``; requests address it by name.
 
         Re-registering a taken name is a :class:`~repro.errors.ServeError`
@@ -330,6 +330,14 @@ class ServeFrontend:
         With a ``planner`` installed, the matrix is profiled here (once,
         outside the lock — registration is the cold path) and its plan's
         batch hints specialize this matrix's flush policy.
+
+        ``warm`` pre-prepares the preferred kernel's operand through
+        :meth:`~repro.engine.SpMVEngine.warm` — memory cache, then the
+        engine's persistent store, then one conversion spilled back to
+        disk — so the tenant's first request never pays the cold-start
+        tax.  The default (``None``) warms exactly when the engine has
+        a persistent store attached; pass ``True``/``False`` to force.
+        Warming happens outside the lock, on the registration path.
         """
         policy = self.flush_policy
         if self.planner is not None:
@@ -338,6 +346,10 @@ class ServeFrontend:
                 max_batch=plan.batch_hint,
                 max_wait_seconds=plan.max_wait_hint_seconds,
             )
+        if warm is None:
+            warm = getattr(self.engine, "store", None) is not None
+        if warm:
+            self.engine.warm(csr)
         with self._cond:
             if name in self._matrices:
                 raise ServeError(f"matrix {name!r} is already registered")

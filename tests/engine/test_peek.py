@@ -1,0 +1,119 @@
+"""peek(): the side-effect-free cache read, and the CLI that needs it."""
+
+import numpy as np
+
+from repro.cli import _served_kernel
+from repro.engine import OperandCache, SpMVEngine, matrix_fingerprint
+from repro.exec.result import DegradationEvent
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.kernels.base import PreparedOperand
+from repro.obs import get_registry, reset_observability
+
+from tests.conftest import make_random_dense
+
+
+def _operand(name: str, device_bytes: int = 10) -> PreparedOperand:
+    return PreparedOperand(
+        kernel_name="spaden",
+        data=name,
+        shape=(8, 8),
+        nnz=1,
+        device_bytes=device_bytes,
+        preprocessing_seconds=0.0,
+    )
+
+
+def _cache_event_count(cache_name: str) -> float:
+    metric = get_registry().get("operand_cache_events_total")
+    if metric is None:
+        return 0.0
+    return sum(
+        value
+        for labels, value in metric.labeled()
+        if labels.get("cache") == cache_name
+    )
+
+
+class TestPeek:
+    def test_peek_returns_resident_operand(self):
+        cache = OperandCache(1000, name="peek-t1")
+        op = _operand("a")
+        cache.put(("spaden", "f"), op)
+        assert cache.peek(("spaden", "f")) is op
+        assert cache.peek(("spaden", "missing")) is None
+
+    def test_peek_counts_nothing(self):
+        reset_observability()
+        cache = OperandCache(1000, name="peek-t2")
+        cache.put(("spaden", "f"), _operand("a"))
+        before = cache.stats.as_dict()
+        events_before = _cache_event_count("peek-t2")
+        cache.peek(("spaden", "f"))
+        cache.peek(("spaden", "missing"))
+        assert cache.stats.as_dict() == before
+        assert _cache_event_count("peek-t2") == events_before
+
+    def test_peek_leaves_lru_order_alone(self):
+        cache = OperandCache(1000, name="peek-t3")
+        cache.put(("spaden", "a"), _operand("a"))
+        cache.put(("spaden", "b"), _operand("b"))
+        order_before = cache.keys()
+        cache.peek(("spaden", "a"))  # a get() would move "a" to MRU
+        assert cache.keys() == order_before
+        cache.get(("spaden", "a"))
+        assert cache.keys() != order_before  # sanity: get() does move it
+
+
+class TestServedKernel:
+    def test_no_degradation_returns_preferred(self):
+        assert _served_kernel("spaden", []) == "spaden"
+
+    def test_follows_fallback_chain(self):
+        log = [
+            DegradationEvent(
+                kernel="spaden", stage="run", cause="KernelError",
+                detail="boom", fallback="spaden-no-tc",
+            ),
+            DegradationEvent(
+                kernel="spaden-no-tc", stage="run", cause="KernelError",
+                detail="boom", fallback="csr-scalar",
+            ),
+        ]
+        assert _served_kernel("spaden", log) == "csr-scalar"
+
+    def test_exhausted_tail_keeps_last_fallback(self):
+        log = [
+            DegradationEvent(
+                kernel="spaden", stage="run", cause="KernelError",
+                detail="boom", fallback="csr-scalar",
+            ),
+            DegradationEvent(
+                kernel="csr-scalar", stage="run", cause="KernelError",
+                detail="boom", fallback=None,
+            ),
+        ]
+        # fallback=None means exhaustion; the last *named* kernel stands
+        assert _served_kernel("spaden", log) == "csr-scalar"
+
+
+class TestCliIntrospectionRegression:
+    """The cli spmv flow must observe the cache without distorting it."""
+
+    def _engine_after_one_request(self, rng):
+        csr = CSRMatrix.from_coo(
+            COOMatrix.from_dense(make_random_dense(rng, 24, 24))
+        )
+        engine = SpMVEngine("spaden")
+        x = rng.standard_normal(24).astype(np.float32)
+        engine.spmv(csr, x)
+        return engine, csr
+
+    def test_peek_based_introspection_keeps_counters_exact(self, rng):
+        engine, csr = self._engine_after_one_request(rng)
+        stats_before = engine.cache.stats.as_dict()
+        served = _served_kernel("spaden", engine.stats.degradation_log)
+        operand = engine.cache.peek((served, matrix_fingerprint(csr)))
+        assert operand is not None
+        # the old cache.get() here inflated hits by one
+        assert engine.cache.stats.as_dict() == stats_before

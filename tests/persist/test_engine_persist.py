@@ -1,0 +1,247 @@
+"""Engine + persistent store: restart semantics, sharing, warm-up."""
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import OPERAND_CODEC, SpMVEngine, matrix_fingerprint
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.obs import reset_observability
+from repro.persist import OperandStore
+from repro.serve.frontend import ServeFrontend
+
+from tests.conftest import make_random_dense
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    reset_observability()
+    yield
+    reset_observability()
+
+
+def _csr(rng, nrows=32, ncols=32, density=0.2) -> CSRMatrix:
+    return CSRMatrix.from_coo(
+        COOMatrix.from_dense(make_random_dense(rng, nrows, ncols, density))
+    )
+
+
+class TestRestart:
+    def test_fresh_process_serves_from_disk_with_zero_conversions(self, rng, tmp_path):
+        """The tentpole contract, with exact counter reconciliation."""
+        csr = _csr(rng)
+        x = rng.standard_normal(csr.ncols).astype(np.float32)
+
+        cold = SpMVEngine("spaden", store=OperandStore(tmp_path, name="cold"))
+        y_cold = cold.spmv(csr, x)
+        assert cold.stats.prepare_calls == 1
+        assert cold.store.stats.puts == 1
+        assert cold.store.stats.hits == 0
+        # the one convert was spilled: exactly one entry on disk
+        assert cold.store.keys() == [("spaden", matrix_fingerprint(csr))]
+
+        # "restart": new engine, new store instance, same directory
+        warm = SpMVEngine("spaden", store=OperandStore(tmp_path, name="warm"))
+        y_warm = warm.spmv(csr, x)
+        assert warm.stats.prepare_calls == 0  # zero conversions
+        assert warm.store.stats.hits == 1
+        assert warm.store.stats.misses == 0
+        assert warm.store.stats.puts == 0  # nothing re-spilled
+        # memory-cache accounting: the disk hit populated the cache,
+        # so the request itself was an in-memory miss then a put
+        assert warm.cache.stats.misses == 1
+        assert np.array_equal(y_cold, y_warm)
+
+        # second request on the restarted engine: pure memory hit,
+        # the disk tier is not consulted again
+        warm.spmv(csr, x)
+        assert warm.store.stats.hits == 1
+        assert warm.cache.stats.hits == 1
+
+    def test_warm_prepares_without_counting_traffic(self, rng, tmp_path):
+        csr = _csr(rng)
+        seed = SpMVEngine("spaden", store=OperandStore(tmp_path, name="seed"))
+        seed.warm(csr)
+        assert seed.stats.prepare_calls == 1
+        assert seed.stats.requests == 0 and seed.stats.batches == 0
+
+        restarted = SpMVEngine("spaden", store=OperandStore(tmp_path, name="re"))
+        operand = restarted.warm(csr)
+        assert operand is not None
+        assert restarted.stats.prepare_calls == 0
+        assert restarted.stats.requests == 0
+        assert restarted.store.stats.hits == 1
+
+    def test_no_store_engine_unchanged(self, rng):
+        engine = SpMVEngine("spaden")
+        assert engine.store is None
+        csr = _csr(rng)
+        x = rng.standard_normal(csr.ncols).astype(np.float32)
+        engine.spmv(csr, x)
+        assert engine.stats.prepare_calls == 1
+
+
+class TestCorruptionAtEngineLevel:
+    def test_corrupt_entry_heals_via_reconversion(self, rng, tmp_path):
+        csr = _csr(rng)
+        x = rng.standard_normal(csr.ncols).astype(np.float32)
+        cold = SpMVEngine("spaden", store=OperandStore(tmp_path, name="c"))
+        y_cold = cold.spmv(csr, x)
+
+        path = cold.store._path("spaden", matrix_fingerprint(csr))
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+
+        healed = SpMVEngine("spaden", store=OperandStore(tmp_path, name="h"))
+        y = healed.spmv(csr, x)
+        assert healed.store.stats.miss_reasons == {"digest": 1}
+        assert healed.stats.prepare_calls == 1  # re-converted
+        assert healed.store.stats.puts == 1  # fresh spill replaced it
+        assert np.array_equal(y, y_cold)
+
+    def test_decode_failure_is_discarded_then_reconverted(self, rng, tmp_path):
+        """Frame-valid bytes the codec rejects: counted 'decode' miss."""
+        csr = _csr(rng)
+        x = rng.standard_normal(csr.ncols).astype(np.float32)
+        store = OperandStore(tmp_path, name="poison")
+        # a perfectly framed entry whose payload is not a PreparedOperand
+        store.put(
+            "spaden",
+            matrix_fingerprint(csr),
+            pickle.dumps({"not": "an operand"}),
+            codec=OPERAND_CODEC,
+        )
+        engine = SpMVEngine("spaden", store=OperandStore(tmp_path, name="e"))
+        y = engine.spmv(csr, x)
+        assert engine.store.stats.hits == 1  # frame was valid
+        assert engine.store.stats.miss_reasons == {"decode": 1}
+        assert engine.stats.prepare_calls == 1
+        np.testing.assert_allclose(
+            y, csr.matvec(x.astype(np.float64)).astype(np.float32),
+            rtol=1e-2, atol=1e-2,
+        )
+
+    def test_invalidate_keeps_disk_copy(self, rng, tmp_path):
+        """Poison-invalidate drops memory only; disk snapshot heals it."""
+        csr = _csr(rng)
+        x = rng.standard_normal(csr.ncols).astype(np.float32)
+        engine = SpMVEngine("spaden", store=OperandStore(tmp_path, name="i"))
+        engine.spmv(csr, x)
+        engine._invalidate_operand("spaden", matrix_fingerprint(csr))
+        assert engine.cache.peek(("spaden", matrix_fingerprint(csr))) is None
+        assert len(engine.store) == 1  # pristine snapshot survives
+        engine.spmv(csr, x)
+        assert engine.stats.prepare_calls == 1  # reloaded, not reconverted
+        assert engine.store.stats.hits == 1
+
+
+class TestSharedStoreDir:
+    def test_two_engines_share_one_directory(self, rng, tmp_path):
+        """Concurrent engines over one store dir: no tears, no re-prepares
+        beyond the first per matrix-kernel pair across both engines'
+        disk tiers."""
+        matrices = [_csr(rng, 24 + 8 * i, 24 + 8 * i) for i in range(4)]
+        vectors = [
+            rng.standard_normal(m.ncols).astype(np.float32) for m in matrices
+        ]
+        reference = [
+            SpMVEngine("spaden").spmv(m, x) for m, x in zip(matrices, vectors)
+        ]
+
+        engines = [
+            SpMVEngine("spaden", store=OperandStore(tmp_path, name=f"eng{i}"))
+            for i in range(2)
+        ]
+        results: dict = {}
+        errors: list = []
+
+        def worker(engine_idx: int):
+            engine = engines[engine_idx]
+            try:
+                for j, (m, x) in enumerate(zip(matrices, vectors)):
+                    results[(engine_idx, j)] = engine.spmv(m, x)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not errors
+        for (engine_idx, j), y in results.items():
+            assert np.array_equal(y, reference[j]), (engine_idx, j)
+        # the store never served corrupt bytes to either engine
+        assert all(e.store.stats.corrupt == 0 for e in engines)
+        # every prepared operand ended up on disk exactly once per pair
+        store = OperandStore(tmp_path, name="audit")
+        assert len(store) == len(matrices)
+        # disk tier saved work: total prepares across engines is less
+        # than the no-store worst case of one per engine per matrix
+        total_prepares = sum(e.stats.prepare_calls for e in engines)
+        assert len(matrices) <= total_prepares <= 2 * len(matrices)
+
+
+class TestFrontendWarmup:
+    def test_register_matrix_warms_store_backed_engine(self, rng, tmp_path):
+        csr = _csr(rng)
+        engine = SpMVEngine("spaden", store=OperandStore(tmp_path, name="fe"))
+        frontend = ServeFrontend(engine)
+        try:
+            frontend.register_matrix("m", csr)  # warm defaults to True here
+            assert engine.stats.prepare_calls == 1
+            assert engine.stats.requests == 0
+            assert engine.store.stats.puts == 1
+            # the tenant's first request pays nothing
+            x = rng.standard_normal(csr.ncols).astype(np.float32)
+            y = frontend.submit("m", x, tenant="t").result(timeout=5)
+            assert engine.stats.prepare_calls == 1
+            assert y.shape == (csr.nrows,)
+        finally:
+            frontend.close()
+
+    def test_register_matrix_warm_default_off_without_store(self, rng):
+        engine = SpMVEngine("spaden")
+        frontend = ServeFrontend(engine)
+        try:
+            frontend.register_matrix("m", _csr(rng))
+            assert engine.stats.prepare_calls == 0  # lazy, as before
+        finally:
+            frontend.close()
+
+    def test_register_matrix_warm_forced_on(self, rng):
+        engine = SpMVEngine("spaden")
+        frontend = ServeFrontend(engine)
+        try:
+            frontend.register_matrix("m", _csr(rng), warm=True)
+            assert engine.stats.prepare_calls == 1
+        finally:
+            frontend.close()
+
+    def test_restarted_frontend_serves_from_disk(self, rng, tmp_path):
+        csr = _csr(rng)
+        x = rng.standard_normal(csr.ncols).astype(np.float32)
+        first = ServeFrontend(
+            SpMVEngine("spaden", store=OperandStore(tmp_path, name="a"))
+        )
+        try:
+            first.register_matrix("m", csr)
+            y_first = first.submit("m", x, tenant="t").result(timeout=5)
+        finally:
+            first.close()
+
+        second = ServeFrontend(
+            SpMVEngine("spaden", store=OperandStore(tmp_path, name="b"))
+        )
+        try:
+            second.register_matrix("m", csr)
+            assert second.engine.stats.prepare_calls == 0  # warmed from disk
+            y_second = second.submit("m", x, tenant="t").result(timeout=5)
+            assert np.array_equal(y_first, y_second)
+        finally:
+            second.close()

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.engine",
     "repro.exec",
+    "repro.persist",
 ]
 
 
